@@ -1,0 +1,20 @@
+//! E2 bench: cost of computing the Table 1 area models.
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_cells::{node_netlist, system_wrapper_netlist, ChannelShape, Table1};
+
+fn bench_area(c: &mut Criterion) {
+    c.bench_function("table1_compute", |b| b.iter(Table1::compute));
+    c.bench_function("node_netlist", |b| b.iter(node_netlist));
+    c.bench_function("system_wrapper_64ch", |b| {
+        let channels: Vec<ChannelShape> = (0..64)
+            .map(|i| ChannelShape {
+                bits: 8 + (i % 32),
+                fifo_depth: 4,
+            })
+            .collect();
+        b.iter(|| system_wrapper_netlist(32, &channels).area_ge())
+    });
+}
+
+criterion_group!(benches, bench_area);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E1 bench: cost of one determinism-campaign run (build + 100 cycles +
+//! trace digest) in synchro-tokens and bypass modes.
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_sim::time::SimDuration;
+use synchro_tokens::scenarios::{build_e1, build_e1_bypass, e1_spec};
+use synchro_tokens::spec::SbId;
+
+fn bench_determinism(c: &mut Criterion) {
+    let spec = e1_spec();
+    c.bench_function("e1_run_100_cycles", |b| {
+        b.iter(|| {
+            let mut sys = build_e1(spec.clone(), 0, 100);
+            sys.run_until_cycles(100, SimDuration::us(3000)).expect("run");
+            (0..3).map(|i| sys.io_trace(SbId(i)).digest()).sum::<u64>()
+        })
+    });
+    c.bench_function("e1_bypass_run_100_cycles", |b| {
+        b.iter(|| {
+            let mut sys = build_e1_bypass(spec.clone(), 7, 100);
+            sys.run_until_cycles(100, SimDuration::us(3000)).expect("run");
+            (0..3).map(|i| sys.io_trace(SbId(i)).digest()).sum::<u64>()
+        })
+    });
+}
+
+criterion_group!(benches, bench_determinism);
+criterion_main!(benches);

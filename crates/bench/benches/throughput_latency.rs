@@ -1,0 +1,16 @@
+//! E4 bench: cost of one measured performance point for each discipline.
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::perf::{measure_stari, measure_synchro};
+use st_sim::time::SimDuration;
+
+fn bench_perf(c: &mut Criterion) {
+    c.bench_function("synchro_point_h4", |b| {
+        b.iter(|| measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 80))
+    });
+    c.bench_function("stari_point_h4", |b| {
+        b.iter(|| measure_stari(SimDuration::ns(10), SimDuration::ns(1), 4, 200))
+    });
+}
+
+criterion_group!(benches, bench_perf);
+criterion_main!(benches);

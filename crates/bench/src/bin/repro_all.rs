@@ -1,0 +1,26 @@
+//! Runs every reproduction binary's logic in sequence (smoke scale).
+use std::process::Command;
+
+fn main() {
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    let bins = [
+        ("repro_table1", vec![]),
+        ("repro_fig2", vec![]),
+        ("repro_perf", vec!["120".to_string()]),
+        ("repro_tradeoff", vec![]),
+        ("repro_determinism", vec!["300".to_string(), "60".to_string()]),
+        ("repro_deadlock", vec![]),
+        ("repro_debug", vec![]),
+        ("repro_scale", vec!["60".to_string()]),
+    ];
+    for (bin, args) in bins {
+        println!("\n=============== {bin} ===============");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+        assert!(status.success(), "{bin} failed");
+    }
+    println!("\nall reproductions completed");
+}

@@ -1,0 +1,55 @@
+//! E7 — the §4.2 debug and test features, exercised end to end.
+use st_sim::time::SimDuration;
+use st_testkit::{shmoo, TestAccess};
+use synchro_tokens::scenarios::{build_e1, e1_spec, MixerLogic};
+use synchro_tokens::spec::SbId;
+
+fn main() {
+    let mut sys = build_e1(e1_spec(), 0, 50);
+    sys.run_until_cycles(50, SimDuration::us(2000)).expect("warm up");
+
+    // Interlocked-mode breakpoint via the TAP.
+    let mut access = TestAccess::new(SbId(0), 0xC0DE_0001);
+    println!("IDCODE: {:#010x}", access.read_idcode());
+    let report = access
+        .breakpoint(&mut sys, SimDuration::us(100))
+        .expect("breakpoint");
+    println!("breakpoint: stopped {:?} at cycles {:?}", report.stopped, report.cycles);
+
+    // Scan out architectural state while stopped.
+    let (counter, acc) = sys.logic::<MixerLogic>(SbId(1)).state();
+    let read = access.scan_state_word(counter);
+    println!("scanned beta state: counter={read} (acc={acc:#x})");
+
+    // Single-step a few cycles at a time.
+    for step in 0..3 {
+        let r = access
+            .single_step(&mut sys, 4, SimDuration::us(200))
+            .expect("step");
+        println!("single-step {step}: cycles now {:?}", r.cycles);
+    }
+    access.resume(&mut sys);
+
+    // Frequency shmoo against an injected 6 ns critical path in beta.
+    let mut spec = e1_spec();
+    spec.sbs[1].logic_delay = SimDuration::ns(6);
+    let periods: Vec<SimDuration> = [4u64, 5, 6, 7, 8, 10, 12]
+        .iter()
+        .map(|n| SimDuration::ns(*n))
+        .collect();
+    let result = shmoo(&spec, SbId(1), &periods, 60, &|s, seed| build_e1(s, seed, 60));
+    println!("\nshmoo of beta (injected critical path 6 ns):");
+    for p in &result.points {
+        println!(
+            "  period {:>5}  {}  ({} setup violations)",
+            p.period.to_string(),
+            if p.pass { "PASS" } else { "FAIL" },
+            p.violations
+        );
+    }
+    println!(
+        "critical path located between {} (fail) and {} (pass)",
+        result.max_failing_period().unwrap(),
+        result.min_passing_period().unwrap()
+    );
+}

@@ -1,0 +1,75 @@
+//! E1 — the §5 determinism campaign.
+//!
+//! Usage: `repro_determinism [runs] [bypass_runs]` — defaults to the
+//! paper-scale 16,200 synchro-tokens runs and 400 bypass runs; pass
+//! smaller numbers for a smoke test.
+use st_bench::pausible_baseline::{run_pausible_link, PausibleLinkSpec};
+use st_sim::time::SimDuration;
+use synchro_tokens::determinism::{run_campaign, CampaignConfig};
+use synchro_tokens::scenarios::{build_e1, build_e1_bypass, e1_spec};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16_200);
+    let bypass_runs: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let spec = e1_spec();
+    println!("{}", spec.describe());
+
+    println!("synchro-tokens campaign: {runs} delay configurations, 100 local cycles compared");
+    let cfg = CampaignConfig {
+        runs,
+        ..CampaignConfig::default()
+    };
+    let started = std::time::Instant::now();
+    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1(s, seed, 100));
+    println!("  {result}  [{:.1}s]", started.elapsed().as_secs_f32());
+    assert!(
+        result.all_match(),
+        "synchro-tokens must match nominal in every run"
+    );
+    println!("  -> all data sequences match exactly (paper: 'in all simulations - over");
+    println!("     16,000 of them - all data sequences were found to match exactly')");
+
+    println!("\nbypass campaign: {bypass_runs} configurations with wrapper control defeated");
+    let cfg = CampaignConfig {
+        runs: bypass_runs,
+        bypass: true,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1_bypass(s, seed, 100));
+    println!("  {result}");
+    assert!(
+        !result.mismatches.is_empty(),
+        "bypass mode must be observably nondeterministic"
+    );
+    println!("  -> sequences diverge (paper: 'the data sequences were observed to be");
+    println!("     nondeterministic')");
+
+    // Second baseline: mainstream pausible clocking (paper refs [9][10]).
+    println!("\npausible-clocking baseline (Yun/Dooply-style link):");
+    let nominal = run_pausible_link(PausibleLinkSpec::default(), 1);
+    let mut diverged = 0;
+    let corners = [50u64, 75, 150, 200];
+    for pct in corners {
+        let spec = PausibleLinkSpec {
+            stage_delay: SimDuration::ns(1).percent(pct),
+            transfer_delay: SimDuration::ns(2).percent(pct),
+            ..PausibleLinkSpec::default()
+        };
+        if run_pausible_link(spec, 1) != nominal {
+            diverged += 1;
+        }
+    }
+    println!(
+        "  {} of {} delay corners shifted the consumption schedule",
+        diverged,
+        corners.len()
+    );
+    println!("  -> pausible clocking moves data safely but at delay-dependent local");
+    println!("     cycles; synchro-tokens is the only deterministic one of the three.");
+}

@@ -1,0 +1,22 @@
+//! E3 — regenerates Figure 2 (node state-machine waveforms).
+//!
+//! Prints the annotated ASCII waveform and writes `fig2.vcd` next to the
+//! working directory for GTKWave.
+use st_bench::fig2::{reproduce_fig2, FIG2_LEGEND};
+
+fn main() {
+    let out = reproduce_fig2();
+    println!("{FIG2_LEGEND}");
+    println!("{}", out.spec.describe());
+    println!("waveform (one column = 5 ns):\n");
+    println!("{}", out.ascii);
+    println!("clock stop/restart events (J -> L):");
+    for (down, up) in &out.stop_events {
+        println!("  stopped at {down}, restarted at {up} (parked {})", up.since(*down));
+    }
+    if let Err(e) = std::fs::write("fig2.vcd", &out.vcd) {
+        eprintln!("could not write fig2.vcd: {e}");
+    } else {
+        println!("\nwrote fig2.vcd ({} bytes)", out.vcd.len());
+    }
+}

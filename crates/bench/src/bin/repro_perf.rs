@@ -1,0 +1,39 @@
+//! E4 — regenerates the §5 performance comparison (Eq. 1 / Eq. 2 and
+//! the throughput bound) by measuring both synchro-tokens and STARI.
+use st_bench::chart::{render, Series};
+use st_bench::perf::{render_table, sweep_hold};
+use st_sim::time::SimDuration;
+
+fn main() {
+    let words: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    for (t_ns, f_ns) in [(10u64, 1u64), (10, 2), (20, 1)] {
+        let rows = sweep_hold(
+            SimDuration::ns(t_ns),
+            SimDuration::ns(f_ns),
+            &[2, 4, 8, 16],
+            words,
+        );
+        println!("{}", render_table(&rows));
+    }
+    // Figure-style view: latency vs H for both disciplines (T=10, F=1).
+    let rows = sweep_hold(SimDuration::ns(10), SimDuration::ns(1), &[2, 4, 8, 16], words);
+    let syn = Series::new(
+        "synchro-tokens",
+        rows.iter()
+            .map(|(s, _)| (f64::from(s.hold), s.latency.as_ns_f64()))
+            .collect(),
+    );
+    let stari = Series::new(
+        "STARI",
+        rows.iter()
+            .map(|(_, t)| (f64::from(t.hold), t.latency.as_ns_f64()))
+            .collect(),
+    );
+    println!("{}", render("measured latency [ns] vs H (T=10ns, F=1ns)", &[syn, stari], 56, 14));
+
+    println!("shape checks: STARI throughput ~1 word/cycle; synchro ~H/(H+R);");
+    println!("synchro latency above STARI latency, both linear in H (Eqs. 1-2).");
+}

@@ -1,0 +1,13 @@
+//! E8 (extension) — scalability of the fabric and the harness.
+use st_bench::scale::{render_table, sweep};
+
+fn main() {
+    let cycles: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(150);
+    let points = sweep(&[2, 4, 8, 16, 32], cycles);
+    println!("{}", render_table(&points));
+    println!("determinism digests are stable per N across reruns; wall time grows");
+    println!("roughly linearly with N x cycles (single-threaded event kernel).");
+}

@@ -1,0 +1,4 @@
+//! E2 — regenerates Table 1 (component area models).
+fn main() {
+    println!("{}", st_bench::area_report());
+}

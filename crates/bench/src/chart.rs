@@ -1,0 +1,113 @@
+//! Minimal ASCII chart rendering for the figure-style outputs of the
+//! experiment binaries (no plotting dependencies by design).
+
+/// A labelled series of `(x, y)` points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label; its first character is the plot marker.
+    pub label: String,
+    /// Data points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    pub fn new(label: &str, points: Vec<(f64, f64)>) -> Self {
+        Series {
+            label: label.to_owned(),
+            points,
+        }
+    }
+}
+
+/// Renders series on a `width`×`height` character grid with linear axes.
+///
+/// # Panics
+///
+/// Panics if no series has any points or the grid is degenerate.
+pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    assert!(width >= 8 && height >= 4, "grid too small");
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    assert!(!all.is_empty(), "nothing to plot");
+    let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
+    for (x, y) in &all {
+        x0 = x0.min(*x);
+        x1 = x1.max(*x);
+        y0 = y0.min(*y);
+        y1 = y1.max(*y);
+    }
+    if (x1 - x0).abs() < f64::EPSILON {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < f64::EPSILON {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for s in series {
+        let marker = s.label.chars().next().unwrap_or('*');
+        for (x, y) in &s.points {
+            let cx = (((x - x0) / (x1 - x0)) * (width - 1) as f64).round() as usize;
+            let cy = (((y - y0) / (y1 - y0)) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            let col = cx.min(width - 1);
+            grid[row][col] = if grid[row][col] == ' ' { marker } else { '#' };
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (i, row) in grid.iter().enumerate() {
+        let y_here = y1 - (y1 - y0) * i as f64 / (height - 1) as f64;
+        out.push_str(&format!("{y_here:>9.2} |"));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
+    out.push_str(&format!(
+        "{:>11}{:<width$.2}{:.2}\n",
+        "", x0, x1,
+        width = width.saturating_sub(4)
+    ));
+    for s in series {
+        out.push_str(&format!(
+            "{:>11}{} = {}\n",
+            "",
+            s.label.chars().next().unwrap_or('*'),
+            s.label
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_two_series_with_legend() {
+        let a = Series::new("synchro", vec![(2.0, 30.0), (4.0, 50.0), (8.0, 90.0)]);
+        let b = Series::new("tari", vec![(2.0, 12.5), (4.0, 22.5), (8.0, 42.5)]);
+        let chart = render("latency vs H", &[a, b], 40, 12);
+        assert!(chart.contains("latency vs H"));
+        assert!(chart.contains("s = synchro"));
+        assert!(chart.contains("t = tari"));
+        assert!(chart.contains('s'));
+        assert!(chart.contains('t'));
+        assert_eq!(chart.lines().count(), 1 + 12 + 2 + 2);
+    }
+
+    #[test]
+    fn overlapping_points_marked_as_hash() {
+        let a = Series::new("a", vec![(1.0, 1.0)]);
+        let b = Series::new("b", vec![(1.0, 1.0)]);
+        let chart = render("overlap", &[a, b], 10, 5);
+        assert!(chart.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to plot")]
+    fn empty_series_rejected() {
+        let _ = render("empty", &[Series::new("x", vec![])], 20, 10);
+    }
+}

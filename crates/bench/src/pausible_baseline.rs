@@ -1,0 +1,244 @@
+//! A pausible-clocking GALS baseline (paper refs \[9\] Yun & Dooply, \[10\]
+//! Muttersbach et al.) — the mainstream *nondeterministic* alternative
+//! the paper positions synchro-tokens against.
+//!
+//! A producer pushes words into a self-timed FIFO from its own free
+//! clock domain. The consumer's input port, on seeing new data, requests
+//! a pause of the consumer's **pausible clock**, transfers the word
+//! safely, and releases. The transfer is glitch-free — but the *local
+//! cycle index* at which each word becomes visible to the consumer logic
+//! depends on where the asynchronous arrival falls relative to the clock
+//! edge (and on metastable arbitration when it falls close). Sweeping
+//! physical delays therefore changes the consumption schedule: exactly
+//! the nondeterminism synchro-tokens eliminates.
+
+use st_channel::{FifoPorts, SelfTimedFifo};
+use st_clocking::{PausibleClock, PausibleClockSpec};
+use st_sim::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// `(consumer local cycle, word)` pairs in consumption order.
+pub type ConsumptionLog = Vec<(u64, u64)>;
+
+#[derive(Debug)]
+struct Producer {
+    clk: BitSignal,
+    ports: FifoPorts,
+    prev: Bit,
+    next: u64,
+    parity: bool,
+    limit: u64,
+}
+
+impl Component for Producer {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        if let Wake::Signal(_) = cause {
+            let v = ctx.bit(self.clk);
+            let rising = !self.prev.is_one() && v.is_one();
+            self.prev = v;
+            if !rising || self.next >= self.limit || ctx.bit(self.ports.full).is_one() {
+                return;
+            }
+            ctx.drive_word(self.ports.put_data, self.next, SimDuration::ZERO);
+            self.next += 1;
+            self.parity = !self.parity;
+            ctx.drive_bit(self.ports.put_req, self.parity, SimDuration::fs(1));
+        }
+    }
+}
+
+/// Timer tags for the consumer port.
+const TAG_TRANSFER: u64 = 1;
+
+#[derive(Debug)]
+struct Consumer {
+    clk: BitSignal,
+    pause_req: BitSignal,
+    ports: FifoPorts,
+    prev_clk: Bit,
+    prev_valid: Bit,
+    ack_parity: bool,
+    cycle: u64,
+    pending: Option<u64>,
+    transfer_delay: SimDuration,
+    log: Rc<RefCell<ConsumptionLog>>,
+}
+
+impl Component for Consumer {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.pause_req, Bit::Zero, SimDuration::ZERO);
+            }
+            Wake::Signal(sig) if sig == self.clk.id() => {
+                let v = ctx.bit(self.clk);
+                let rising = !self.prev_clk.is_one() && v.is_one();
+                self.prev_clk = v;
+                if !rising {
+                    return;
+                }
+                self.cycle += 1;
+                if let Some(w) = self.pending.take() {
+                    self.log.borrow_mut().push((self.cycle, w));
+                }
+            }
+            Wake::Signal(sig) if sig == self.ports.head_valid.id() => {
+                let v = ctx.bit(self.ports.head_valid);
+                let rose = !self.prev_valid.is_one() && v.is_one();
+                self.prev_valid = v;
+                if rose && self.pending.is_none() {
+                    // New data: request a safe (paused) transfer window.
+                    ctx.drive_bit(self.pause_req, Bit::One, SimDuration::ZERO);
+                    ctx.set_timer(self.transfer_delay, TAG_TRANSFER);
+                }
+            }
+            Wake::Timer(TAG_TRANSFER) => {
+                if ctx.bit(self.ports.head_valid).is_one() {
+                    let w = ctx.word(self.ports.head_data).expect("valid head");
+                    self.pending = Some(w);
+                    self.ack_parity = !self.ack_parity;
+                    ctx.drive_bit(self.ports.get_ack, self.ack_parity, SimDuration::fs(1));
+                }
+                ctx.drive_bit(self.pause_req, Bit::Zero, SimDuration::ZERO);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Parameters of the pausible link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PausibleLinkSpec {
+    /// Producer clock period.
+    pub t_producer: SimDuration,
+    /// Consumer clock period.
+    pub t_consumer: SimDuration,
+    /// FIFO stage delay.
+    pub stage_delay: SimDuration,
+    /// Port transfer time while the clock is held off.
+    pub transfer_delay: SimDuration,
+    /// Words to transfer.
+    pub words: u64,
+}
+
+impl Default for PausibleLinkSpec {
+    fn default() -> Self {
+        PausibleLinkSpec {
+            t_producer: SimDuration::ns(10),
+            t_consumer: SimDuration::ns(13),
+            stage_delay: SimDuration::ns(1),
+            transfer_delay: SimDuration::ns(2),
+            words: 40,
+        }
+    }
+}
+
+/// Runs the pausible link and returns the consumer's consumption log.
+///
+/// # Panics
+///
+/// Panics if the run fails or no words arrive.
+pub fn run_pausible_link(spec: PausibleLinkSpec, seed: u64) -> ConsumptionLog {
+    let mut b = SimBuilder::new().with_seed(seed);
+    let p_clk = b.add_bit_signal("p.clk");
+    let c_clk = b.add_bit_signal("c.clk");
+    let pause = b.add_bit_signal_init("c.pause", Bit::Zero);
+    let ports = FifoPorts::declare(&mut b, "link");
+    let _fifo = SelfTimedFifo::new(ports, 4, spec.stage_delay).install(&mut b, "link");
+
+    // Producer clock free-runs; the consumer's is pausible.
+    let p_pause = b.add_bit_signal_init("p.pause", Bit::Zero);
+    let pc = b.add_component(
+        "p.clock",
+        PausibleClock::new(PausibleClockSpec::from_period(spec.t_producer), p_clk, p_pause),
+    );
+    b.watch(pc.id(), p_pause.id());
+    let cc = b.add_component(
+        "c.clock",
+        PausibleClock::new(PausibleClockSpec::from_period(spec.t_consumer), c_clk, pause),
+    );
+    b.watch(cc.id(), pause.id());
+
+    let prod = b.add_component(
+        "producer",
+        Producer {
+            clk: p_clk,
+            ports,
+            prev: Bit::X,
+            next: 0,
+            parity: false,
+            limit: spec.words,
+        },
+    );
+    b.watch(prod.id(), p_clk.id());
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let cons = b.add_component(
+        "consumer",
+        Consumer {
+            clk: c_clk,
+            pause_req: pause,
+            ports,
+            prev_clk: Bit::X,
+            prev_valid: Bit::X,
+            ack_parity: false,
+            cycle: 0,
+            pending: None,
+            transfer_delay: spec.transfer_delay,
+            log: Rc::clone(&log),
+        },
+    );
+    b.watch(cons.id(), c_clk.id());
+    b.watch(cons.id(), ports.head_valid.id());
+
+    let mut sim = b.build();
+    sim.run_for(spec.t_consumer * (spec.words * 4 + 100))
+        .expect("pausible run");
+    let out = log.borrow().clone();
+    assert!(!out.is_empty(), "no words consumed");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_flow_in_order_without_loss() {
+        let log = run_pausible_link(PausibleLinkSpec::default(), 1);
+        let words: Vec<u64> = log.iter().map(|(_, w)| *w).collect();
+        let expect: Vec<u64> = (0..words.len() as u64).collect();
+        assert_eq!(words, expect, "pausible clocking is safe, just not deterministic");
+    }
+
+    #[test]
+    fn same_configuration_is_reproducible() {
+        let a = run_pausible_link(PausibleLinkSpec::default(), 7);
+        let b = run_pausible_link(PausibleLinkSpec::default(), 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn consumption_schedule_depends_on_physical_delays() {
+        // The defining contrast with synchro-tokens: scale a delay the
+        // paper's sweep scales and the *cycle indices* at which words are
+        // consumed change.
+        let nominal = run_pausible_link(PausibleLinkSpec::default(), 1);
+        let mut distinct = 0;
+        for pct in [50u64, 75, 150, 200] {
+            let spec = PausibleLinkSpec {
+                stage_delay: SimDuration::ns(1).percent(pct),
+                transfer_delay: SimDuration::ns(2).percent(pct),
+                ..PausibleLinkSpec::default()
+            };
+            let log = run_pausible_link(spec, 1);
+            if log != nominal {
+                distinct += 1;
+            }
+        }
+        assert!(
+            distinct >= 2,
+            "pausible clocking should be schedule-sensitive to delays"
+        );
+    }
+}

@@ -1,0 +1,294 @@
+//! E4 — the §5 performance comparison: synchro-tokens vs STARI.
+//!
+//! The paper's claims:
+//!
+//! * STARI throughput is 1 word/cycle; synchro-tokens is at most
+//!   `H/(H+R)`.
+//! * `L_STARI = F·H/2 + T·H/2` (Eq. 1).
+//! * `L_SYNCHRO = T·(R+H+1)/2 + F·H + T·(H+1)/2` (Eq. 2).
+//!
+//! Both systems are *measured* here (full event simulation) and compared
+//! with the closed forms.
+
+use st_channel::{build_stari_link, stari_latency_model, StariSpec};
+use st_sim::prelude::*;
+use synchro_tokens::prelude::*;
+use synchro_tokens::rules::{synchro_latency_model, synchro_throughput_bound};
+use synchro_tokens::scenarios::matched_ring_recycles;
+
+/// One measured configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfPoint {
+    /// Hold register / FIFO depth `H`.
+    pub hold: u32,
+    /// Recycle register `R` actually used.
+    pub recycle: u32,
+    /// Clock period `T`.
+    pub period: SimDuration,
+    /// Stage delay `F`.
+    pub stage_delay: SimDuration,
+    /// Measured steady-state throughput, words per receiver cycle.
+    pub throughput: f64,
+    /// Measured mean transmit-to-delivery latency.
+    pub latency: SimDuration,
+    /// The paper's model throughput (`1` for STARI, `H/(H+R)` here).
+    pub model_throughput: f64,
+    /// The paper's model latency (Eq. 1 or Eq. 2).
+    pub model_latency: SimDuration,
+}
+
+/// Measures a synchro-tokens channel: a producer/consumer pair whose
+/// ring uses hold `h`, the minimal product-matched recycle, FIFO depth
+/// `h` (as in the paper's comparison, "the FIFO depth equals the hold
+/// register value"), and a ring delay approximately equal to the FIFO
+/// delay.
+pub fn measure_synchro(
+    period: SimDuration,
+    stage_delay: SimDuration,
+    hold: u32,
+    words: usize,
+) -> PerfPoint {
+    let depth = hold as usize;
+    let mut spec = SystemSpec::default();
+    let tx = spec.add_sb("tx", period);
+    let rx = spec.add_sb("rx", period);
+    // "the token delay (which is approximately equal to the FIFO delay)"
+    let ring_delay = stage_delay * u64::from(hold);
+    let ring = spec.add_ring(tx, rx, NodeParams::new(hold, 1), ring_delay);
+    spec.add_channel(tx, rx, ring, 16, depth, stage_delay);
+    matched_ring_recycles(&mut spec, 0);
+    let recycle = spec.rings[0].holder_node.recycle;
+
+    let mut sys = SystemBuilder::new(spec)
+        .expect("valid perf spec")
+        .with_logic(tx, SequenceSource::new(0, 1))
+        .with_logic(rx, SinkCollect::new())
+        .with_trace_limit(0)
+        .build();
+    let budget_cycles = (words as u64 + 32)
+        * u64::from(hold + recycle).div_ceil(u64::from(hold))
+        + 256;
+    let out = sys
+        .run_until_cycles(budget_cycles, SimDuration::us(100_000))
+        .expect("perf run");
+    assert!(
+        matches!(out, RunOutcome::Reached),
+        "perf run did not finish: {out:?}"
+    );
+
+    let (throughput, latency) = extract_link_metrics(&sys, tx, rx, words);
+    PerfPoint {
+        hold,
+        recycle,
+        period,
+        stage_delay,
+        throughput,
+        latency,
+        model_throughput: synchro_throughput_bound(hold, recycle),
+        model_latency: synchro_latency_model(period, stage_delay, hold, recycle),
+    }
+}
+
+/// Extracts steady-state throughput and mean transmit→delivery latency
+/// for the single channel of a producer/consumer pair.
+fn extract_link_metrics(
+    sys: &synchro_tokens::System,
+    tx: SbId,
+    rx: SbId,
+    words: usize,
+) -> (f64, SimDuration) {
+    let tx_rows = sys.io_trace(tx);
+    let rx_rows = sys.io_trace(rx);
+    let tx_times = sys.edge_times(tx);
+    let rx_times = sys.edge_times(rx);
+    // Cycles at which words were transmitted/delivered, in word order.
+    let sent: Vec<u64> = tx_rows
+        .rows()
+        .iter()
+        .filter(|r| r.writes.first().copied().flatten().is_some())
+        .map(|r| r.cycle)
+        .collect();
+    let recv: Vec<u64> = rx_rows
+        .rows()
+        .iter()
+        .filter(|r| r.reads.first().copied().flatten().is_some())
+        .map(|r| r.cycle)
+        .collect();
+    let n = sent.len().min(recv.len()).min(words);
+    assert!(n >= 8, "need enough words for a steady-state estimate");
+    // Throughput over the received span, skipping warm-up.
+    let skip = n / 5;
+    let span_words = (n - 1 - skip) as f64;
+    let span_cycles = (recv[n - 1] - recv[skip]) as f64;
+    let throughput = span_words / span_cycles;
+    // Latency: transmit edge to delivery edge, averaged.
+    let mut sum = 0u128;
+    let mut count = 0u128;
+    for k in skip..n {
+        let t_tx = tx_times[usize::try_from(sent[k]).expect("cycle fits")];
+        let t_rx = rx_times[usize::try_from(recv[k]).expect("cycle fits")];
+        sum += u128::from(t_rx.since(t_tx).as_fs());
+        count += 1;
+    }
+    let latency = SimDuration::fs(u64::try_from(sum / count).expect("latency fits"));
+    (throughput, latency)
+}
+
+/// Measures the STARI baseline at the same `T`, `F`, depth `H`.
+pub fn measure_stari(
+    period: SimDuration,
+    stage_delay: SimDuration,
+    hold: u32,
+    words: u64,
+) -> PerfPoint {
+    let depth = hold as usize;
+    let mut b = SimBuilder::new();
+    let spec = StariSpec::new(period, stage_delay, depth);
+    let link = build_stari_link(&mut b, spec, words);
+    let mut sim = b.build();
+    sim.run_for(period * (words + 64)).expect("stari run");
+    let stats = link.stats.borrow();
+    let skip = (words / 5) as usize;
+    let throughput = {
+        let pops = &stats.pops;
+        assert!(pops.len() >= 8, "STARI delivered too few words");
+        let n = pops.len();
+        let span_words = (n - 1 - skip) as f64;
+        let span_time = pops[n - 1].1.since(pops[skip].1);
+        // words per receiver cycle = words / (time / T).
+        span_words / (span_time.as_fs() as f64 / period.as_fs() as f64)
+    };
+    let latency = stats.mean_latency(skip).expect("latency");
+    PerfPoint {
+        hold,
+        recycle: 0,
+        period,
+        stage_delay,
+        throughput,
+        latency,
+        model_throughput: 1.0,
+        model_latency: stari_latency_model(period, stage_delay, depth),
+    }
+}
+
+/// The E4 sweep: for each `H`, measure both disciplines.
+pub fn sweep_hold(
+    period: SimDuration,
+    stage_delay: SimDuration,
+    holds: &[u32],
+    words: usize,
+) -> Vec<(PerfPoint, PerfPoint)> {
+    holds
+        .iter()
+        .map(|&h| {
+            (
+                measure_synchro(period, stage_delay, h, words),
+                measure_stari(period, stage_delay, h, words as u64),
+            )
+        })
+        .collect()
+}
+
+/// Renders the sweep as the paper-style comparison table.
+pub fn render_table(rows: &[(PerfPoint, PerfPoint)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "§5 performance: synchro-tokens vs STARI (T={}, F={})",
+        rows.first().map(|(s, _)| s.period).unwrap_or(SimDuration::ZERO),
+        rows.first()
+            .map(|(s, _)| s.stage_delay)
+            .unwrap_or(SimDuration::ZERO),
+    );
+    let _ = writeln!(
+        out,
+        "{:>3} {:>3} | {:>9} {:>9} {:>10} {:>10} | {:>9} {:>10} {:>10}",
+        "H", "R", "tp_meas", "tp_model", "lat_meas", "lat_model", "stari_tp", "stari_lat", "eq1_lat"
+    );
+    for (syn, stari) in rows {
+        let _ = writeln!(
+            out,
+            "{:>3} {:>3} | {:>9.3} {:>9.3} {:>10} {:>10} | {:>9.3} {:>10} {:>10}",
+            syn.hold,
+            syn.recycle,
+            syn.throughput,
+            syn.model_throughput,
+            syn.latency,
+            syn.model_latency,
+            stari.throughput,
+            stari.latency,
+            stari.model_latency,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synchro_throughput_tracks_h_over_h_plus_r() {
+        let p = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 120);
+        let rel = (p.throughput - p.model_throughput).abs() / p.model_throughput;
+        assert!(
+            rel < 0.15,
+            "throughput {} vs model {} ({:.1} % off)",
+            p.throughput,
+            p.model_throughput,
+            rel * 100.0
+        );
+    }
+
+    #[test]
+    fn stari_throughput_is_one_word_per_cycle() {
+        let p = measure_stari(SimDuration::ns(10), SimDuration::ns(1), 8, 400);
+        assert!(p.throughput > 0.95, "throughput {}", p.throughput);
+    }
+
+    #[test]
+    fn stari_latency_matches_equation_one_in_shape() {
+        let p = measure_stari(SimDuration::ns(10), SimDuration::ns(2), 8, 400);
+        let (m, model) = (p.latency.as_fs() as f64, p.model_latency.as_fs() as f64);
+        assert!(m / model < 2.0 && model / m < 2.0, "{m} vs {model}");
+    }
+
+    #[test]
+    fn synchro_loses_throughput_but_factor_matches() {
+        // The headline §5 comparison: STARI wins throughput by (H+R)/H.
+        let t = SimDuration::ns(10);
+        let f = SimDuration::ns(1);
+        let syn = measure_synchro(t, f, 4, 120);
+        let stari = measure_stari(t, f, 4, 300);
+        let measured_factor = stari.throughput / syn.throughput;
+        let model_factor = f64::from(syn.hold + syn.recycle) / f64::from(syn.hold);
+        let rel = (measured_factor - model_factor).abs() / model_factor;
+        assert!(
+            rel < 0.25,
+            "factor {measured_factor:.2} vs model {model_factor:.2}"
+        );
+    }
+
+    #[test]
+    fn synchro_latency_exceeds_stari_latency() {
+        let t = SimDuration::ns(10);
+        let f = SimDuration::ns(1);
+        let syn = measure_synchro(t, f, 4, 120);
+        let stari = measure_stari(t, f, 4, 300);
+        assert!(
+            syn.latency > stari.latency,
+            "synchro {} should exceed stari {}",
+            syn.latency,
+            stari.latency
+        );
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let rows = sweep_hold(SimDuration::ns(10), SimDuration::ns(1), &[2, 4], 80);
+        let table = render_table(&rows);
+        assert!(table.contains("stari_tp"));
+        assert_eq!(table.lines().count(), 2 + rows.len());
+    }
+}

@@ -1,0 +1,109 @@
+//! E8 (extension) — the paper's future work: "the implementation of a
+//! larger system for further performance studies."
+//!
+//! Scales the synchro-tokens fabric to pipelines of N blocks and
+//! measures (a) that determinism survives, (b) end-to-end pipeline
+//! latency and per-stage throughput, and (c) simulator cost, so the
+//! harness's own limits are documented.
+
+use st_sim::time::SimDuration;
+use synchro_tokens::prelude::*;
+use synchro_tokens::scenarios::{build_e1, chain_spec};
+
+/// One scalability measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalePoint {
+    /// Pipeline stages.
+    pub n: usize,
+    /// Local cycles run per stage.
+    pub cycles: u64,
+    /// Wall-clock seconds for build + run.
+    pub wall_seconds: f64,
+    /// Words delivered at the pipeline tail.
+    pub tail_words: u64,
+    /// Sum of per-SB I/O digests (the determinism witness).
+    pub digest: u64,
+    /// Simulated time consumed.
+    pub simulated: SimDuration,
+}
+
+/// Runs a chain of `n` stages for `cycles` local cycles per stage.
+pub fn measure_chain(n: usize, cycles: u64) -> ScalePoint {
+    let spec = chain_spec(n);
+    let started = std::time::Instant::now();
+    let mut sys = build_e1(spec, 0, cycles as usize);
+    let out = sys
+        .run_until_cycles(cycles, SimDuration::us(200_000))
+        .expect("chain run");
+    assert_eq!(out, RunOutcome::Reached, "chain of {n} did not finish");
+    let wall_seconds = started.elapsed().as_secs_f64();
+    let tail = ChannelId(n - 2); // last channel feeds the final stage
+    let (_, tail_words, over, under) = sys.fifo_stats(tail);
+    assert_eq!(over, 0);
+    assert_eq!(under, 0);
+    let digest = (0..n)
+        .map(|i| sys.io_trace(SbId(i)).digest())
+        .fold(0u64, |a, d| a.wrapping_add(d.rotate_left(7)));
+    ScalePoint {
+        n,
+        cycles,
+        wall_seconds,
+        tail_words,
+        digest,
+        simulated: sys.now().since(st_sim::time::SimTime::ZERO),
+    }
+}
+
+/// The sweep used by `repro_scale`.
+pub fn sweep(sizes: &[usize], cycles: u64) -> Vec<ScalePoint> {
+    sizes.iter().map(|&n| measure_chain(n, cycles)).collect()
+}
+
+/// Formats the sweep.
+pub fn render_table(points: &[ScalePoint]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "scalability: pipelines of N synchro-tokens stages");
+    let _ = writeln!(
+        out,
+        "{:>4} {:>8} {:>12} {:>11} {:>12} {:>18}",
+        "N", "cycles", "tail words", "sim time", "wall (s)", "digest"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>8} {:>12} {:>11} {:>12.3} {:>#18x}",
+            p.n, p.cycles, p.tail_words, p.simulated, p.wall_seconds, p.digest
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chains_scale_and_deliver() {
+        for n in [2usize, 4, 8] {
+            let p = measure_chain(n, 60);
+            assert!(p.tail_words > 0, "N={n}: tail starved");
+        }
+    }
+
+    #[test]
+    fn chain_runs_are_reproducible_at_scale() {
+        let a = measure_chain(6, 60);
+        let b = measure_chain(6, 60);
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.tail_words, b.tail_words);
+        assert_eq!(a.simulated, b.simulated);
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = render_table(&sweep(&[2, 3], 40));
+        assert!(t.contains("scalability"));
+        assert_eq!(t.lines().count(), 4);
+    }
+}

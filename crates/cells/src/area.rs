@@ -1,0 +1,149 @@
+//! Area models and the Table 1 report.
+//!
+//! The paper models the SB interface and FIFO stage as affine functions
+//! of the data width and the node as a constant. [`LinearModel::fit`]
+//! recovers the coefficients from any netlist generator and checks that
+//! the generator really is affine.
+
+use crate::netlist::Netlist;
+use crate::wrappers;
+use std::fmt;
+
+/// An affine area model `area(bits) = base + per_bit · bits` in gate
+/// equivalents.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearModel {
+    /// Fixed (control) area.
+    pub base: f64,
+    /// Incremental area per data bit.
+    pub per_bit: f64,
+}
+
+impl LinearModel {
+    /// Fits the model from a netlist generator by evaluating it at widths
+    /// 1 and 2, then validating affinity at several more widths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the generator is not affine in `bits` (a model bug).
+    pub fn fit(generator: impl Fn(u64) -> Netlist) -> Self {
+        let a1 = generator(1).area_ge();
+        let a2 = generator(2).area_ge();
+        let per_bit = a2 - a1;
+        let base = a1 - per_bit;
+        let model = LinearModel { base, per_bit };
+        for bits in [4u64, 8, 16, 32, 64] {
+            let actual = generator(bits).area_ge();
+            assert!(
+                (actual - model.eval(bits)).abs() < 1e-6,
+                "generator is not affine at {bits} bits: {actual} vs {}",
+                model.eval(bits)
+            );
+        }
+        model
+    }
+
+    /// Evaluates the model at a data width.
+    pub fn eval(&self, bits: u64) -> f64 {
+        self.base + self.per_bit * bits as f64
+    }
+}
+
+impl fmt::Display for LinearModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.1} + {:.2}·bits", self.base, self.per_bit)
+    }
+}
+
+/// The reproduction of Table 1: per-component area models in units of the
+/// average 2-input gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    /// SB interface model (affine in data bits).
+    pub interface: LinearModel,
+    /// FIFO stage model (affine in data bits).
+    pub stage: LinearModel,
+    /// Node area (constant).
+    pub node: f64,
+}
+
+impl Table1 {
+    /// Computes the table from the wrapper netlist generators.
+    pub fn compute() -> Self {
+        Table1 {
+            interface: LinearModel::fit(wrappers::interface_netlist),
+            stage: LinearModel::fit(wrappers::fifo_stage_netlist),
+            node: wrappers::node_netlist().area_ge(),
+        }
+    }
+
+    /// The paper's reported node area, for comparison.
+    pub const PAPER_NODE_GE: f64 = 145.0;
+}
+
+impl Default for Table1 {
+    fn default() -> Self {
+        Self::compute()
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1. Synchro-tokens component area models.")?;
+        writeln!(f, "{:<14} {:<30}", "Component", "Area (2-input gates)")?;
+        writeln!(f, "{:<14} {}", "SB interface", self.interface)?;
+        writeln!(f, "{:<14} {}", "FIFO stage", self.stage)?;
+        writeln!(
+            f,
+            "{:<14} {:.0}   (paper: {:.0})",
+            "Node",
+            self.node,
+            Self::PAPER_NODE_GE
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_exact_coefficients() {
+        let m = LinearModel::fit(wrappers::fifo_stage_netlist);
+        let direct1 = wrappers::fifo_stage_netlist(1).area_ge();
+        assert!((m.eval(1) - direct1).abs() < 1e-9);
+        let direct40 = wrappers::fifo_stage_netlist(40).area_ge();
+        assert!((m.eval(40) - direct40).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_one_node_close_to_paper() {
+        let t = Table1::compute();
+        assert!((t.node - Table1::PAPER_NODE_GE).abs() < 5.0);
+    }
+
+    #[test]
+    fn table_one_display_has_all_rows() {
+        let s = Table1::compute().to_string();
+        assert!(s.contains("SB interface"));
+        assert!(s.contains("FIFO stage"));
+        assert!(s.contains("Node"));
+        assert!(s.contains("145"));
+    }
+
+    #[test]
+    fn default_equals_compute() {
+        assert_eq!(Table1::default(), Table1::compute());
+    }
+
+    #[test]
+    #[should_panic(expected = "not affine")]
+    fn non_affine_generator_rejected() {
+        use crate::library::Cell;
+        let _ = LinearModel::fit(|bits| {
+            let mut n = Netlist::new("quadratic");
+            n.add(Cell::Inv, bits * bits);
+            n
+        });
+    }
+}

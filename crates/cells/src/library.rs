@@ -1,0 +1,189 @@
+//! The standard-cell library and its area model.
+//!
+//! Table 1 of the paper expresses area "using the average area of the
+//! library's 2-input gates as the unit of measurement", for a 0.25 µm
+//! cell library \[15\]. Absolute µm² therefore never matters — only cell
+//! areas *relative to the average 2-input gate*. We derive those ratios
+//! from static-CMOS transistor counts, which track layout area closely at
+//! a fixed drawn geometry and are library-independent.
+
+use std::fmt;
+
+/// A standard cell used by the wrapper netlists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[non_exhaustive]
+pub enum Cell {
+    /// Inverter.
+    Inv,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 2-input AND.
+    And2,
+    /// 2-input OR.
+    Or2,
+    /// 2-input XOR.
+    Xor2,
+    /// 2-input XNOR.
+    Xnor2,
+    /// 2:1 multiplexer.
+    Mux2,
+    /// AND-OR-invert (2-1).
+    Aoi21,
+    /// OR-AND-invert (2-1).
+    Oai21,
+    /// Transparent D latch.
+    DLatch,
+    /// D flip-flop.
+    Dff,
+    /// D flip-flop with asynchronous reset.
+    DffR,
+    /// D flip-flop with clock enable (flop + recirculating mux).
+    DffE,
+    /// Two-input Muller C-element.
+    CElement,
+    /// Mutual-exclusion element (NAND latch + metastability filter).
+    Mutex,
+    /// Tri-state buffer.
+    TriBuf,
+}
+
+impl Cell {
+    /// Every cell in the library, in declaration order.
+    pub const ALL: [Cell; 17] = [
+        Cell::Inv,
+        Cell::Nand2,
+        Cell::Nor2,
+        Cell::And2,
+        Cell::Or2,
+        Cell::Xor2,
+        Cell::Xnor2,
+        Cell::Mux2,
+        Cell::Aoi21,
+        Cell::Oai21,
+        Cell::DLatch,
+        Cell::Dff,
+        Cell::DffR,
+        Cell::DffE,
+        Cell::CElement,
+        Cell::Mutex,
+        Cell::TriBuf,
+    ];
+
+    /// Static-CMOS transistor count of the cell.
+    pub const fn transistors(self) -> u32 {
+        match self {
+            Cell::Inv => 2,
+            Cell::Nand2 | Cell::Nor2 => 4,
+            Cell::And2 | Cell::Or2 => 6,
+            Cell::Xor2 | Cell::Xnor2 => 10,
+            Cell::Mux2 => 12,
+            Cell::Aoi21 | Cell::Oai21 => 6,
+            Cell::DLatch => 16,
+            Cell::Dff => 24,
+            Cell::DffR => 28,
+            Cell::DffE => 32,
+            Cell::CElement => 8,
+            Cell::Mutex => 16,
+            Cell::TriBuf => 8,
+        }
+    }
+
+    /// True for the 2-input combinational gates that define the area unit.
+    pub const fn is_two_input_gate(self) -> bool {
+        matches!(
+            self,
+            Cell::Nand2 | Cell::Nor2 | Cell::And2 | Cell::Or2 | Cell::Xor2 | Cell::Xnor2
+        )
+    }
+
+    /// Area in gate equivalents (units of the average 2-input gate).
+    pub fn area_ge(self) -> f64 {
+        f64::from(self.transistors()) / average_two_input_transistors()
+    }
+
+    /// The cell's library name.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Cell::Inv => "INV",
+            Cell::Nand2 => "NAND2",
+            Cell::Nor2 => "NOR2",
+            Cell::And2 => "AND2",
+            Cell::Or2 => "OR2",
+            Cell::Xor2 => "XOR2",
+            Cell::Xnor2 => "XNOR2",
+            Cell::Mux2 => "MUX2",
+            Cell::Aoi21 => "AOI21",
+            Cell::Oai21 => "OAI21",
+            Cell::DLatch => "DLATCH",
+            Cell::Dff => "DFF",
+            Cell::DffR => "DFFR",
+            Cell::DffE => "DFFE",
+            Cell::CElement => "CELEM2",
+            Cell::Mutex => "MUTEX2",
+            Cell::TriBuf => "TBUF",
+        }
+    }
+}
+
+impl fmt::Display for Cell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Mean transistor count over the library's 2-input gates — the
+/// denominator of every gate-equivalent figure.
+pub fn average_two_input_transistors() -> f64 {
+    let (sum, n) = Cell::ALL
+        .iter()
+        .filter(|c| c.is_two_input_gate())
+        .fold((0u32, 0u32), |(s, n), c| (s + c.transistors(), n + 1));
+    f64::from(sum) / f64::from(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_is_average_of_two_input_gates() {
+        // (4+4+6+6+10+10)/6
+        let avg = average_two_input_transistors();
+        assert!((avg - 40.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nand2_is_smaller_than_one_unit() {
+        assert!(Cell::Nand2.area_ge() < 1.0);
+        assert!(Cell::Xor2.area_ge() > 1.0);
+    }
+
+    #[test]
+    fn flop_is_a_few_gate_equivalents() {
+        let dff = Cell::Dff.area_ge();
+        assert!(dff > 3.0 && dff < 4.0, "DFF = {dff}");
+    }
+
+    #[test]
+    fn all_cells_have_positive_area_and_unique_names() {
+        let mut names = std::collections::BTreeSet::new();
+        for c in Cell::ALL {
+            assert!(c.area_ge() > 0.0);
+            assert!(names.insert(c.name()), "duplicate name {c}");
+            assert_eq!(c.to_string(), c.name());
+        }
+    }
+
+    #[test]
+    fn average_gate_has_area_one_by_construction() {
+        let mean: f64 = Cell::ALL
+            .iter()
+            .filter(|c| c.is_two_input_gate())
+            .map(|c| c.area_ge())
+            .sum::<f64>()
+            / 6.0;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Gate-level netlists as cell inventories.
+//!
+//! For area modelling, a netlist is fully characterized by how many of
+//! each cell it instantiates — connectivity is irrelevant to Table 1, so
+//! this representation stays deliberately simple.
+
+use crate::library::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named inventory of standard cells.
+///
+/// # Examples
+///
+/// ```
+/// use st_cells::{Cell, Netlist};
+/// let mut n = Netlist::new("half_adder");
+/// n.add(Cell::Xor2, 1);
+/// n.add(Cell::And2, 1);
+/// assert_eq!(n.cell_count(), 2);
+/// assert!(n.area_ge() > 2.0); // XOR2 is bigger than one unit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    name: String,
+    counts: BTreeMap<Cell, u64>,
+}
+
+impl Netlist {
+    /// Creates an empty netlist.
+    pub fn new(name: &str) -> Self {
+        Netlist {
+            name: name.to_owned(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// The netlist's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds `n` instances of `cell`.
+    pub fn add(&mut self, cell: Cell, n: u64) -> &mut Self {
+        if n > 0 {
+            *self.counts.entry(cell).or_insert(0) += n;
+        }
+        self
+    }
+
+    /// Merges another netlist into this one (`n` copies).
+    pub fn add_netlist(&mut self, other: &Netlist, n: u64) -> &mut Self {
+        for (cell, count) in &other.counts {
+            self.add(*cell, count * n);
+        }
+        self
+    }
+
+    /// Instances of one cell type.
+    pub fn count(&self, cell: Cell) -> u64 {
+        self.counts.get(&cell).copied().unwrap_or(0)
+    }
+
+    /// Total cell instances.
+    pub fn cell_count(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Total transistors.
+    pub fn transistors(&self) -> u64 {
+        self.counts
+            .iter()
+            .map(|(c, n)| u64::from(c.transistors()) * n)
+            .sum()
+    }
+
+    /// Total area in gate equivalents (units of the average 2-input gate).
+    pub fn area_ge(&self) -> f64 {
+        self.counts
+            .iter()
+            .map(|(c, n)| c.area_ge() * (*n as f64))
+            .sum()
+    }
+
+    /// Iterates over `(cell, count)` pairs in cell order.
+    pub fn iter(&self) -> impl Iterator<Item = (Cell, u64)> + '_ {
+        self.counts.iter().map(|(c, n)| (*c, *n))
+    }
+}
+
+impl fmt::Display for Netlist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "netlist {} ({:.1} GE):", self.name, self.area_ge())?;
+        for (cell, n) in &self.counts {
+            writeln!(f, "  {n:>5} x {cell:<7} ({:.2} GE each)", cell.area_ge())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_counts() {
+        let mut n = Netlist::new("t");
+        n.add(Cell::Dff, 4).add(Cell::Dff, 4).add(Cell::Inv, 1);
+        assert_eq!(n.count(Cell::Dff), 8);
+        assert_eq!(n.count(Cell::Inv), 1);
+        assert_eq!(n.count(Cell::Mux2), 0);
+        assert_eq!(n.cell_count(), 9);
+    }
+
+    #[test]
+    fn zero_add_is_noop() {
+        let mut n = Netlist::new("t");
+        n.add(Cell::Inv, 0);
+        assert_eq!(n.cell_count(), 0);
+        assert_eq!(n.area_ge(), 0.0);
+    }
+
+    #[test]
+    fn merge_scales_counts() {
+        let mut bit = Netlist::new("bitcell");
+        bit.add(Cell::Dff, 1).add(Cell::Mux2, 1);
+        let mut word = Netlist::new("word");
+        word.add_netlist(&bit, 16);
+        assert_eq!(word.count(Cell::Dff), 16);
+        assert_eq!(word.count(Cell::Mux2), 16);
+        assert!((word.area_ge() - 16.0 * bit.area_ge()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transistors_and_area_agree() {
+        let mut n = Netlist::new("t");
+        n.add(Cell::Nand2, 10); // 40 transistors, 40/(40/6) = 6 GE
+        assert_eq!(n.transistors(), 40);
+        assert!((n.area_ge() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_lists_cells() {
+        let mut n = Netlist::new("demo");
+        n.add(Cell::CElement, 2);
+        let s = n.to_string();
+        assert!(s.contains("netlist demo"));
+        assert!(s.contains("CELEM2"));
+    }
+}

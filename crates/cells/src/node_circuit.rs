@@ -1,0 +1,290 @@
+//! A complete gate-level implementation of the token-ring node.
+//!
+//! This is the wired counterpart of the behavioural `NodeFsm` in the
+//! `synchro-tokens` crate: two parallel-loadable down-counters with zero
+//! detection, the three-phase controller, the token latch, and the
+//! `sbena`/`clken`/token-pass outputs — all built from the [`Cell`]
+//! library, so its [`Circuit::inventory`] is exactly the kind of
+//! gate-level model the paper used for Table 1.
+//!
+//! The asynchronous clock-restart path is folded into the synchronous
+//! abstraction as a combinational bypass: a token pulse observed while
+//! `Stopped` re-enables the node *within the same cycle* (`holding_eff`),
+//! mirroring how the real wrapper restarts the clock and immediately
+//! resumes its hold window. The lockstep equivalence test in the core
+//! crate checks this circuit cycle-for-cycle against `NodeFsm`.
+
+use crate::library::Cell;
+use crate::structural::{Circuit, Net};
+
+/// The built node circuit and its interface nets.
+#[derive(Debug, Clone)]
+pub struct NodeCircuit {
+    /// The underlying wired circuit.
+    pub circuit: Circuit,
+    /// Input: a synchronized token-arrival pulse for the current cycle.
+    pub token_pulse: Net,
+    /// Output: interfaces enabled this cycle (event C).
+    pub sbena: Net,
+    /// Output: clock enable (low = event I).
+    pub clken: Net,
+    /// Output: token departs at this cycle's edge (event F).
+    pub pass: Net,
+    /// Output: the node will enter `Stopped` at this edge (events I/J).
+    pub will_stop: Net,
+    /// Hold counter bits (LSB first), for waveform probes.
+    pub hold_bits: Vec<Net>,
+    /// Recycle counter bits (LSB first).
+    pub recycle_bits: Vec<Net>,
+}
+
+/// Builds the node. `start_holding` selects the holder/waiter reset
+/// phase; `initial_recycle` presets the waiter's first countdown.
+///
+/// # Panics
+///
+/// Panics if any register value does not fit in `width` bits or is zero.
+pub fn build_node_circuit(
+    width: u32,
+    hold_reg: u32,
+    recycle_reg: u32,
+    start_holding: bool,
+    initial_recycle: u32,
+) -> NodeCircuit {
+    let limit = 1u32 << width;
+    assert!(hold_reg >= 1 && hold_reg < limit, "hold register range");
+    assert!(recycle_reg >= 1 && recycle_reg < limit, "recycle register range");
+    assert!(
+        initial_recycle >= 1 && initial_recycle < limit,
+        "initial recycle range"
+    );
+    let mut c = Circuit::new("node");
+    let token_pulse = c.input("token_pulse");
+
+    // Phase flops: s1 s0 with 00 Holding, 01 Recycling, 10 Stopped.
+    let s1 = c.flop_placeholder(false);
+    let s0 = c.flop_placeholder(!start_holding);
+    // Token latch.
+    let has_token = c.flop_placeholder(false);
+
+    // Phase decodes.
+    let ns1 = c.gate(Cell::Inv, &[s1]);
+    let ns0 = c.gate(Cell::Inv, &[s0]);
+    let holding = c.gate(Cell::And2, &[ns1, ns0]);
+    let recycling = c.gate(Cell::And2, &[ns1, s0]);
+    let stopped = c.gate(Cell::And2, &[s1, ns0]);
+
+    // Asynchronous-restart bypass: a token pulse while stopped re-enables
+    // the hold window within this cycle.
+    let restart = c.gate(Cell::And2, &[stopped, token_pulse]);
+    let holding_eff = c.gate(Cell::Or2, &[holding, restart]);
+
+    // Counters.
+    // The `pass` condition needs hold_is_one, which needs the counter;
+    // the counter needs `load = pass`. Break the knot with a placeholder
+    // strategy: build counters with dec first, using a late-bound load
+    // net is not possible in a single-pass builder — instead compute
+    // `pass` from the counter's is_one *after* building it with
+    // `load = holding_eff & hold_is_one`, which we express by building
+    // the counter against a dedicated flopless wire we drive via gate
+    // order: counter bits are flops (already placeholders), so all
+    // combinational logic below may reference them freely.
+    let hold_state: Vec<Net> = (0..width)
+        .map(|i| c.flop_placeholder((hold_reg >> i) & 1 == 1))
+        .collect();
+    let recycle_init = if start_holding { recycle_reg } else { initial_recycle };
+    let recycle_state: Vec<Net> = (0..width)
+        .map(|i| c.flop_placeholder((recycle_init >> i) & 1 == 1))
+        .collect();
+
+    // is_one detectors.
+    let hold_is_one = {
+        let mut terms = vec![hold_state[0]];
+        for b in &hold_state[1..] {
+            terms.push(c.gate(Cell::Inv, &[*b]));
+        }
+        c.and_tree(&terms)
+    };
+    let recycle_is_one = {
+        let mut terms = vec![recycle_state[0]];
+        for b in &recycle_state[1..] {
+            terms.push(c.gate(Cell::Inv, &[*b]));
+        }
+        c.and_tree(&terms)
+    };
+
+    // Control strobes.
+    let pass = c.gate(Cell::And2, &[holding_eff, hold_is_one]);
+    let token_avail = c.gate(Cell::Or2, &[has_token, token_pulse]);
+    let recognize = c.gate(Cell::And2, &[recycling, recycle_is_one]);
+    let not_token_avail = c.gate(Cell::Inv, &[token_avail]);
+    let will_stop = c.gate(Cell::And2, &[recognize, not_token_avail]);
+
+    // Hold counter next-state: load on pass, decrement while holding.
+    {
+        let mut borrow = holding_eff;
+        for (i, bit) in hold_state.iter().enumerate() {
+            let dec_bit = c.gate(Cell::Xor2, &[*bit, borrow]);
+            let reload_bit = c.constant((hold_reg >> i) & 1 == 1);
+            let next = c.mux(pass, reload_bit, dec_bit);
+            c.bind_flop(*bit, next, None);
+            if i + 1 < hold_state.len() {
+                let nb = c.gate(Cell::Inv, &[*bit]);
+                borrow = c.gate(Cell::And2, &[borrow, nb]);
+            }
+        }
+    }
+    // Recycle counter: load on pass, decrement while recycling.
+    {
+        let mut borrow = recycling;
+        for (i, bit) in recycle_state.iter().enumerate() {
+            let dec_bit = c.gate(Cell::Xor2, &[*bit, borrow]);
+            let reload_bit = c.constant((recycle_reg >> i) & 1 == 1);
+            let next = c.mux(pass, reload_bit, dec_bit);
+            c.bind_flop(*bit, next, None);
+            if i + 1 < recycle_state.len() {
+                let nb = c.gate(Cell::Inv, &[*bit]);
+                borrow = c.gate(Cell::And2, &[borrow, nb]);
+            }
+        }
+    }
+
+    // Phase next-state.
+    // s0' = pass | (recycling & !recycle_is_one)
+    let n_rec_one = c.gate(Cell::Inv, &[recycle_is_one]);
+    let stay_recycling = c.gate(Cell::And2, &[recycling, n_rec_one]);
+    let s0_next = c.gate(Cell::Or2, &[pass, stay_recycling]);
+    // s1' = will_stop | (stopped & !token_pulse)
+    let n_pulse = c.gate(Cell::Inv, &[token_pulse]);
+    let stay_stopped = c.gate(Cell::And2, &[stopped, n_pulse]);
+    let s1_next = c.gate(Cell::Or2, &[will_stop, stay_stopped]);
+    c.bind_flop(s0, s0_next, None);
+    c.bind_flop(s1, s1_next, None);
+
+    // Token latch next-state: keep/latch unless consumed this edge.
+    // has_token' = token_avail & !recognize & !restart
+    let n_recognize = c.gate(Cell::Inv, &[recognize]);
+    let n_restart = c.gate(Cell::Inv, &[restart]);
+    let keep1 = c.gate(Cell::And2, &[token_avail, n_recognize]);
+    let has_token_next = c.gate(Cell::And2, &[keep1, n_restart]);
+    c.bind_flop(has_token, has_token_next, None);
+
+    // Outputs.
+    let clken = c.gate(Cell::Inv, &[stopped]);
+
+    NodeCircuit {
+        circuit: c,
+        token_pulse,
+        sbena: holding_eff,
+        clken,
+        pass,
+        will_stop,
+        hold_bits: hold_state,
+        recycle_bits: recycle_state,
+    }
+}
+
+impl NodeCircuit {
+    /// Reads a counter value from a state vector.
+    pub fn counter_value(&self, state: &[bool], bits: &[Net]) -> u32 {
+        bits.iter()
+            .enumerate()
+            .map(|(i, b)| u32::from(self.circuit.value(state, *b)) << i)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe(nc: &NodeCircuit, st: &[bool]) -> (bool, bool, bool, u32, u32) {
+        (
+            nc.circuit.value(st, nc.sbena),
+            nc.circuit.value(st, nc.pass),
+            nc.circuit.value(st, nc.clken),
+            nc.counter_value(st, &nc.hold_bits),
+            nc.counter_value(st, &nc.recycle_bits),
+        )
+    }
+
+    #[test]
+    fn holder_counts_down_passes_and_recycles() {
+        let nc = build_node_circuit(4, 3, 4, true, 4);
+        let mut st = nc.circuit.reset_state();
+        // Cycles 0..2: holding, hold counts 3,2,1; pass on the last.
+        for expect_hold in [3u32, 2, 1] {
+            let (sbena, pass, clken, hold, _) = probe(&nc, &st);
+            assert!(sbena);
+            assert!(clken);
+            assert_eq!(hold, expect_hold);
+            assert_eq!(pass, expect_hold == 1, "pass only at hold==1");
+            nc.circuit.clock_edge(&mut st);
+        }
+        // Now recycling with counter preset to 4 and hold reloaded.
+        let (sbena, _, _, hold, rec) = probe(&nc, &st);
+        assert!(!sbena);
+        assert_eq!(hold, 3);
+        assert_eq!(rec, 4);
+    }
+
+    #[test]
+    fn late_token_stops_then_restart_bypass_enables() {
+        let nc = build_node_circuit(4, 1, 1, true, 1);
+        let mut st = nc.circuit.reset_state();
+        nc.circuit.clock_edge(&mut st); // pass immediately
+        let (_, _, _, _, rec) = probe(&nc, &st);
+        assert_eq!(rec, 1);
+        nc.circuit.clock_edge(&mut st); // recycle expires, no token
+        let (sbena, _, clken, _, _) = probe(&nc, &st);
+        assert!(!sbena);
+        assert!(!clken, "stopped: clken low");
+        // Token pulse: the restart bypass re-enables within the cycle.
+        nc.circuit.set_input(&mut st, nc.token_pulse, true);
+        let (sbena, pass, _, _, _) = probe(&nc, &st);
+        assert!(sbena, "restart bypass");
+        assert!(pass, "hold register is 1, so it passes right away");
+        nc.circuit.clock_edge(&mut st);
+        nc.circuit.set_input(&mut st, nc.token_pulse, false);
+        let (_, _, clken, _, _) = probe(&nc, &st);
+        assert!(clken, "running again");
+    }
+
+    #[test]
+    fn early_token_latches_until_expiry() {
+        let nc = build_node_circuit(4, 2, 3, true, 3);
+        let mut st = nc.circuit.reset_state();
+        nc.circuit.clock_edge(&mut st); // hold 2->1
+        nc.circuit.clock_edge(&mut st); // pass
+        // Early token during the first recycle cycle.
+        nc.circuit.set_input(&mut st, nc.token_pulse, true);
+        nc.circuit.clock_edge(&mut st); // rec 3->2, token latched
+        nc.circuit.set_input(&mut st, nc.token_pulse, false);
+        let (sbena, _, _, _, rec) = probe(&nc, &st);
+        assert!(!sbena, "not recognized early");
+        assert_eq!(rec, 2);
+        nc.circuit.clock_edge(&mut st); // rec 2->1
+        nc.circuit.clock_edge(&mut st); // rec 1->0, token available -> holding
+        let (sbena, _, clken, _, _) = probe(&nc, &st);
+        assert!(sbena, "recognized exactly at expiry");
+        assert!(clken);
+    }
+
+    #[test]
+    fn inventory_is_close_to_the_table1_node_model() {
+        let nc = build_node_circuit(8, 4, 12, true, 12);
+        let area = nc.circuit.inventory().area_ge();
+        let model = crate::wrappers::node_netlist().area_ge();
+        let rel = (area - model).abs() / model;
+        assert!(
+            rel < 0.35,
+            "structural node {area:.0} GE vs inventory model {model:.0} GE"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "hold register range")]
+    fn zero_hold_register_rejected() {
+        let _ = build_node_circuit(4, 0, 3, true, 3);
+    }
+}

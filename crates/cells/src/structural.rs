@@ -1,0 +1,399 @@
+//! Structural gate-level netlists: connectivity plus cycle-accurate
+//! evaluation.
+//!
+//! [`Netlist`] counts cells for area; this module builds
+//! *wired* circuits and simulates them, so that the behavioural wrapper
+//! models in `synchro-tokens` can be checked against an actual gate-level
+//! implementation (the paper: "a gate-level model of the wrapper
+//! logic").
+//!
+//! The evaluator is deliberately simple: gates must be instantiated in
+//! topological order (inputs before use — enforced at build time), so
+//! combinational evaluation is a single pass; flip-flops sample on an
+//! explicit [`Circuit::clock_edge`].
+
+use crate::library::Cell;
+use crate::netlist::Netlist;
+use std::fmt;
+
+/// A net (single-bit wire) in a [`Circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Net(usize);
+
+impl fmt::Display for Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Gate {
+    kind: Cell,
+    inputs: Vec<Net>,
+    output: Net,
+}
+
+#[derive(Debug, Clone)]
+struct Flop {
+    d: Net,
+    q: Net,
+    reset: bool,
+    /// Optional clock-enable net (DFFE).
+    enable: Option<Net>,
+}
+
+/// A wired gate-level circuit with primary inputs, combinational gates
+/// in topological order, and D flip-flops.
+///
+/// # Examples
+///
+/// ```
+/// use st_cells::structural::Circuit;
+/// use st_cells::Cell;
+///
+/// let mut c = Circuit::new("toggle");
+/// let q_feedback = c.flop_placeholder(false);
+/// let not_q = c.gate(Cell::Inv, &[q_feedback]);
+/// c.bind_flop(q_feedback, not_q, None);
+/// let mut state = c.reset_state();
+/// assert!(!c.value(&state, q_feedback));
+/// c.clock_edge(&mut state);
+/// assert!(c.value(&state, q_feedback));
+/// c.clock_edge(&mut state);
+/// assert!(!c.value(&state, q_feedback));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    name: String,
+    net_names: Vec<String>,
+    inputs: Vec<Net>,
+    gates: Vec<Gate>,
+    flops: Vec<Flop>,
+    /// For each net: Some(gate index) if driven by a gate, None if a
+    /// primary input or flop output.
+    driven_by_gate: Vec<Option<usize>>,
+    /// Tie-off nets with fixed values (register straps, ROM bits).
+    constants: Vec<(Net, bool)>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new(name: &str) -> Self {
+        Circuit {
+            name: name.to_owned(),
+            ..Circuit::default()
+        }
+    }
+
+    /// The circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn new_net(&mut self, name: String) -> Net {
+        let id = Net(self.net_names.len());
+        self.net_names.push(name);
+        self.driven_by_gate.push(None);
+        id
+    }
+
+    /// Declares a primary input.
+    pub fn input(&mut self, name: &str) -> Net {
+        let n = self.new_net(name.to_owned());
+        self.inputs.push(n);
+        n
+    }
+
+    /// Declares a tie-off net with a fixed value (how the hold/recycle
+    /// registers' ROM/fuse bits appear to the logic).
+    pub fn constant(&mut self, value: bool) -> Net {
+        let n = self.new_net(format!("const_{}", u8::from(value)));
+        self.constants.push((n, value));
+        n
+    }
+
+    /// Declares a flip-flop output net whose D input will be bound later
+    /// with [`bind_flop`](Circuit::bind_flop) — this is how feedback
+    /// loops are closed while keeping gates topologically ordered.
+    pub fn flop_placeholder(&mut self, reset: bool) -> Net {
+        let q = self.new_net(format!("q{}", self.flops.len()));
+        self.flops.push(Flop {
+            d: q, // temporarily self-bound
+            q,
+            reset,
+            enable: None,
+        });
+        q
+    }
+
+    /// Binds a placeholder flop's D input (and optional enable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is not a flop output.
+    pub fn bind_flop(&mut self, q: Net, d: Net, enable: Option<Net>) {
+        let f = self
+            .flops
+            .iter_mut()
+            .find(|f| f.q == q)
+            .expect("net is not a flop output");
+        f.d = d;
+        f.enable = enable;
+    }
+
+    /// Instantiates a gate; returns its output net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input arity does not match the cell.
+    pub fn gate(&mut self, kind: Cell, inputs: &[Net]) -> Net {
+        let arity = match kind {
+            Cell::Inv | Cell::TriBuf => 1,
+            Cell::Nand2
+            | Cell::Nor2
+            | Cell::And2
+            | Cell::Or2
+            | Cell::Xor2
+            | Cell::Xnor2
+            | Cell::CElement
+            | Cell::DLatch => 2,
+            Cell::Mux2 | Cell::Aoi21 | Cell::Oai21 => 3,
+            other => panic!("{other} cannot be instantiated as a combinational gate"),
+        };
+        assert_eq!(inputs.len(), arity, "{kind} takes {arity} inputs");
+        let out = self.new_net(format!("{}#{}", kind, self.gates.len()));
+        let idx = self.gates.len();
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        self.driven_by_gate[out.0] = Some(idx);
+        out
+    }
+
+    /// Convenience: a 2:1 mux (`sel ? a : b`).
+    pub fn mux(&mut self, sel: Net, a: Net, b: Net) -> Net {
+        self.gate(Cell::Mux2, &[sel, a, b])
+    }
+
+    /// Convenience: AND of a slice via a balanced tree.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nets` is empty.
+    pub fn and_tree(&mut self, nets: &[Net]) -> Net {
+        assert!(!nets.is_empty(), "and tree needs inputs");
+        if nets.len() == 1 {
+            return nets[0];
+        }
+        let mid = nets.len() / 2;
+        let (l, r) = (nets[..mid].to_vec(), nets[mid..].to_vec());
+        let a = self.and_tree(&l);
+        let b = self.and_tree(&r);
+        self.gate(Cell::And2, &[a, b])
+    }
+
+    /// The circuit's cell inventory (for area accounting — this is what
+    /// ties the structural model back to Table 1).
+    pub fn inventory(&self) -> Netlist {
+        let mut n = Netlist::new(&self.name);
+        for g in &self.gates {
+            n.add(g.kind, 1);
+        }
+        for f in &self.flops {
+            n.add(if f.enable.is_some() { Cell::DffE } else { Cell::Dff }, 1);
+        }
+        n
+    }
+
+    /// Number of nets.
+    pub fn net_count(&self) -> usize {
+        self.net_names.len()
+    }
+
+    /// A state vector with all inputs low and flops at reset values,
+    /// with combinational logic settled.
+    pub fn reset_state(&self) -> Vec<bool> {
+        let mut state = vec![false; self.net_names.len()];
+        for (n, v) in &self.constants {
+            state[n.0] = *v;
+        }
+        for f in &self.flops {
+            state[f.q.0] = f.reset;
+        }
+        self.settle(&mut state);
+        state
+    }
+
+    /// Reads a net.
+    pub fn value(&self, state: &[bool], net: Net) -> bool {
+        state[net.0]
+    }
+
+    /// Drives a primary input and re-settles the combinational logic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn set_input(&self, state: &mut [bool], net: Net, value: bool) {
+        assert!(self.inputs.contains(&net), "{net} is not a primary input");
+        state[net.0] = value;
+        self.settle(state);
+    }
+
+    /// Evaluates all gates once, in construction (topological) order.
+    fn settle(&self, state: &mut [bool]) {
+        for g in &self.gates {
+            let v = |n: Net| state[n.0];
+            let out = match g.kind {
+                Cell::Inv => !v(g.inputs[0]),
+                Cell::TriBuf => v(g.inputs[0]),
+                Cell::Nand2 => !(v(g.inputs[0]) && v(g.inputs[1])),
+                Cell::Nor2 => !(v(g.inputs[0]) || v(g.inputs[1])),
+                Cell::And2 => v(g.inputs[0]) && v(g.inputs[1]),
+                Cell::Or2 => v(g.inputs[0]) || v(g.inputs[1]),
+                Cell::Xor2 => v(g.inputs[0]) ^ v(g.inputs[1]),
+                Cell::Xnor2 => !(v(g.inputs[0]) ^ v(g.inputs[1])),
+                // C-element with state on its own output net.
+                Cell::CElement => {
+                    let (a, b) = (v(g.inputs[0]), v(g.inputs[1]));
+                    if a == b {
+                        a
+                    } else {
+                        state[g.output.0]
+                    }
+                }
+                // Transparent latch: inputs are (enable, d); holds its
+                // own output while opaque.
+                Cell::DLatch => {
+                    if v(g.inputs[0]) {
+                        v(g.inputs[1])
+                    } else {
+                        state[g.output.0]
+                    }
+                }
+                Cell::Mux2 => {
+                    if v(g.inputs[0]) {
+                        v(g.inputs[1])
+                    } else {
+                        v(g.inputs[2])
+                    }
+                }
+                Cell::Aoi21 => !((v(g.inputs[0]) && v(g.inputs[1])) || v(g.inputs[2])),
+                Cell::Oai21 => !((v(g.inputs[0]) || v(g.inputs[1])) && v(g.inputs[2])),
+                other => unreachable!("{other} rejected at construction"),
+            };
+            state[g.output.0] = out;
+        }
+    }
+
+    /// One rising clock edge: every (enabled) flop samples its D, then
+    /// the combinational logic settles.
+    pub fn clock_edge(&self, state: &mut [bool]) {
+        let sampled: Vec<(usize, bool)> = self
+            .flops
+            .iter()
+            .filter(|f| f.enable.is_none_or(|e| state[e.0]))
+            .map(|f| (f.q.0, state[f.d.0]))
+            .collect();
+        for (q, v) in sampled {
+            state[q] = v;
+        }
+        self.settle(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinational_gates_evaluate() {
+        let mut c = Circuit::new("comb");
+        let a = c.input("a");
+        let b = c.input("b");
+        let nand = c.gate(Cell::Nand2, &[a, b]);
+        let xor = c.gate(Cell::Xor2, &[a, b]);
+        let mut st = c.reset_state();
+        for (va, vb) in [(false, false), (false, true), (true, false), (true, true)] {
+            c.set_input(&mut st, a, va);
+            c.set_input(&mut st, b, vb);
+            assert_eq!(c.value(&st, nand), !(va && vb));
+            assert_eq!(c.value(&st, xor), va ^ vb);
+        }
+    }
+
+    #[test]
+    fn flop_with_enable_holds() {
+        let mut c = Circuit::new("dffe");
+        let d = c.input("d");
+        let en = c.input("en");
+        let q = c.flop_placeholder(false);
+        c.bind_flop(q, d, Some(en));
+        let mut st = c.reset_state();
+        c.set_input(&mut st, d, true);
+        c.clock_edge(&mut st);
+        assert!(!c.value(&st, q), "disabled flop holds");
+        c.set_input(&mut st, en, true);
+        c.clock_edge(&mut st);
+        assert!(c.value(&st, q));
+        c.set_input(&mut st, d, false);
+        c.set_input(&mut st, en, false);
+        c.clock_edge(&mut st);
+        assert!(c.value(&st, q), "hold again");
+    }
+
+    #[test]
+    fn c_element_is_hysteretic() {
+        let mut c = Circuit::new("celem");
+        let a = c.input("a");
+        let b = c.input("b");
+        let y = c.gate(Cell::CElement, &[a, b]);
+        let mut st = c.reset_state();
+        assert!(!c.value(&st, y));
+        c.set_input(&mut st, a, true);
+        assert!(!c.value(&st, y), "holds at mismatch");
+        c.set_input(&mut st, b, true);
+        assert!(c.value(&st, y), "sets when both high");
+        c.set_input(&mut st, a, false);
+        assert!(c.value(&st, y), "holds at mismatch");
+        c.set_input(&mut st, b, false);
+        assert!(!c.value(&st, y), "clears when both low");
+    }
+
+    #[test]
+    fn and_tree_matches_reduction() {
+        let mut c = Circuit::new("tree");
+        let ins: Vec<Net> = (0..7).map(|i| c.input(&format!("i{i}"))).collect();
+        let y = c.and_tree(&ins);
+        let mut st = c.reset_state();
+        for i in &ins {
+            c.set_input(&mut st, *i, true);
+        }
+        assert!(c.value(&st, y));
+        c.set_input(&mut st, ins[3], false);
+        assert!(!c.value(&st, y));
+    }
+
+    #[test]
+    fn inventory_counts_instances() {
+        let mut c = Circuit::new("inv");
+        let a = c.input("a");
+        let x = c.gate(Cell::Inv, &[a]);
+        let _ = c.gate(Cell::Inv, &[x]);
+        let q = c.flop_placeholder(false);
+        c.bind_flop(q, x, None);
+        let inv = c.inventory();
+        assert_eq!(inv.count(Cell::Inv), 2);
+        assert_eq!(inv.count(Cell::Dff), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "takes 2 inputs")]
+    fn arity_checked() {
+        let mut c = Circuit::new("bad");
+        let a = c.input("a");
+        let _ = c.gate(Cell::Nand2, &[a]);
+    }
+}

@@ -1,0 +1,258 @@
+//! Wired gate-level implementations of the remaining Table 1 components:
+//! the SB interface bit-slice array and the self-timed FIFO stage.
+//!
+//! Together with [`crate::node_circuit`], every row of Table 1 now has a
+//! *structural* counterpart whose cell inventory is checked against the
+//! counting generators in [`crate::wrappers`] — the area model and the
+//! simulated behaviour cannot silently drift apart.
+
+use crate::library::Cell;
+use crate::structural::{Circuit, Net};
+
+/// A wired SB interface: handshake control plus one enabled capture flop
+/// per data bit.
+#[derive(Debug, Clone)]
+pub struct InterfaceCircuit {
+    /// The underlying circuit.
+    pub circuit: Circuit,
+    /// Input: interface enable (`sbena` from the node).
+    pub enable: Net,
+    /// Input: request/valid from the channel side.
+    pub req_in: Net,
+    /// Inputs: the bundled data bits.
+    pub data_in: Vec<Net>,
+    /// Outputs: the captured data bits.
+    pub data_out: Vec<Net>,
+    /// Output: acknowledge/parity back to the channel.
+    pub ack_out: Net,
+    /// Output: "FIFO empty" status toward the SB.
+    pub empty: Net,
+}
+
+/// Builds a `bits`-wide interface.
+///
+/// Control structure (mirrors [`crate::wrappers::interface_netlist`]):
+/// an acknowledge-parity flop, a status flop, a request transition
+/// detector (XOR against a request-history flop is folded into the two
+/// control flops), and enable gating; data path of one enabled capture
+/// flop per bit.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 64.
+pub fn build_interface_circuit(bits: u32) -> InterfaceCircuit {
+    assert!((1..=64).contains(&bits), "interface width 1-64");
+    let mut c = Circuit::new("interface");
+    let enable = c.input("enable");
+    let req_in = c.input("req_in");
+    let data_in: Vec<Net> = (0..bits).map(|i| c.input(&format!("d{i}"))).collect();
+
+    // Control: request-history flop + transition detect.
+    let req_hist = c.flop_placeholder(false);
+    let req_edge = c.gate(Cell::Xor2, &[req_in, req_hist]);
+    let fire = c.gate(Cell::And2, &[enable, req_edge]);
+    c.bind_flop(req_hist, req_in, Some(enable));
+
+    // Acknowledge parity flop toggles on every accepted transfer.
+    let ack = c.flop_placeholder(false);
+    let n_ack = c.gate(Cell::Inv, &[ack]);
+    let ack_next = c.mux(fire, n_ack, ack);
+    c.bind_flop(ack, ack_next, None);
+
+    // Status: "empty" = no unconsumed request seen while enabled.
+    let n_fire = c.gate(Cell::Inv, &[fire]);
+    let empty = c.gate(Cell::And2, &[enable, n_fire]);
+
+    // Data path: one enabled capture flop per bit.
+    let data_out: Vec<Net> = data_in
+        .iter()
+        .map(|d| {
+            let q = c.flop_placeholder(false);
+            c.bind_flop(q, *d, Some(fire));
+            q
+        })
+        .collect();
+
+    InterfaceCircuit {
+        circuit: c,
+        enable,
+        req_in,
+        data_in,
+        data_out,
+        ack_out: ack,
+        empty,
+    }
+}
+
+/// A wired self-timed FIFO stage: C-element handshake control plus one
+/// transparent latch per data bit (modelled with its enable as the latch
+/// transparency control).
+#[derive(Debug, Clone)]
+pub struct FifoStageCircuit {
+    /// The underlying circuit.
+    pub circuit: Circuit,
+    /// Input: request from the upstream stage.
+    pub req_in: Net,
+    /// Input: acknowledge from the downstream stage.
+    pub ack_in: Net,
+    /// Inputs: data bits from upstream.
+    pub data_in: Vec<Net>,
+    /// Output: request to downstream (the stage's occupancy).
+    pub req_out: Net,
+    /// Outputs: latched data bits.
+    pub data_out: Vec<Net>,
+}
+
+/// Builds a `bits`-wide Muller-pipeline stage: `req_out` is a C-element
+/// of the upstream request and the *inverted* downstream acknowledge —
+/// the canonical control of Sutherland's micropipelines.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 64.
+pub fn build_fifo_stage_circuit(bits: u32) -> FifoStageCircuit {
+    assert!((1..=64).contains(&bits), "stage width 1-64");
+    let mut c = Circuit::new("fifo_stage");
+    let req_in = c.input("req_in");
+    let ack_in = c.input("ack_in");
+    let data_in: Vec<Net> = (0..bits).map(|i| c.input(&format!("d{i}"))).collect();
+
+    let n_ack = c.gate(Cell::Inv, &[ack_in]);
+    let req_out = c.gate(Cell::CElement, &[req_in, n_ack]);
+    // Latch transparency: open while the stage is empty (req_out low).
+    let open = c.gate(Cell::Inv, &[req_out]);
+    // One transparent latch per data bit, opaque while occupied.
+    let data_out: Vec<Net> = data_in
+        .iter()
+        .map(|d| c.gate(Cell::DLatch, &[open, *d]))
+        .collect();
+
+    FifoStageCircuit {
+        circuit: c,
+        req_in,
+        ack_in,
+        data_in,
+        req_out,
+        data_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set_word(c: &Circuit, st: &mut [bool], nets: &[Net], w: u64) {
+        for (i, n) in nets.iter().enumerate() {
+            c.set_input(st, *n, (w >> i) & 1 == 1);
+        }
+    }
+
+    fn read_word(c: &Circuit, st: &[bool], nets: &[Net]) -> u64 {
+        nets.iter()
+            .enumerate()
+            .map(|(i, n)| u64::from(c.value(st, *n)) << i)
+            .sum()
+    }
+
+    #[test]
+    fn interface_captures_only_when_enabled() {
+        let ic = build_interface_circuit(8);
+        let c = &ic.circuit;
+        let mut st = c.reset_state();
+        set_word(c, &mut st, &ic.data_in, 0xA5);
+        // Request toggles while disabled: no capture, no ack.
+        c.set_input(&mut st, ic.req_in, true);
+        c.clock_edge(&mut st);
+        assert_eq!(read_word(c, &st, &ic.data_out), 0);
+        assert!(!c.value(&st, ic.ack_out));
+        // Enable: the pending request edge is seen and captured.
+        c.set_input(&mut st, ic.enable, true);
+        c.clock_edge(&mut st);
+        assert_eq!(read_word(c, &st, &ic.data_out), 0xA5);
+        assert!(c.value(&st, ic.ack_out), "ack parity flipped");
+    }
+
+    #[test]
+    fn interface_consumes_each_request_once() {
+        let ic = build_interface_circuit(4);
+        let c = &ic.circuit;
+        let mut st = c.reset_state();
+        c.set_input(&mut st, ic.enable, true);
+        set_word(c, &mut st, &ic.data_in, 0x3);
+        c.set_input(&mut st, ic.req_in, true);
+        c.clock_edge(&mut st); // captures
+        let ack_after_first = c.value(&st, ic.ack_out);
+        set_word(c, &mut st, &ic.data_in, 0xF);
+        c.clock_edge(&mut st); // same request level: no new capture
+        assert_eq!(read_word(c, &st, &ic.data_out), 0x3, "held");
+        assert_eq!(c.value(&st, ic.ack_out), ack_after_first);
+        // New toggle -> new capture.
+        c.set_input(&mut st, ic.req_in, false);
+        c.clock_edge(&mut st);
+        assert_eq!(read_word(c, &st, &ic.data_out), 0xF);
+    }
+
+    #[test]
+    fn interface_empty_status_tracks_requests() {
+        let ic = build_interface_circuit(2);
+        let c = &ic.circuit;
+        let mut st = c.reset_state();
+        c.set_input(&mut st, ic.enable, true);
+        assert!(c.value(&st, ic.empty), "idle and enabled: empty");
+        c.set_input(&mut st, ic.req_in, true);
+        assert!(!c.value(&st, ic.empty), "pending transfer: not empty");
+    }
+
+    #[test]
+    fn stage_control_follows_the_muller_protocol() {
+        let sc = build_fifo_stage_circuit(4);
+        let c = &sc.circuit;
+        let mut st = c.reset_state();
+        assert!(!c.value(&st, sc.req_out), "starts empty");
+        // Empty stage is transparent.
+        set_word(c, &mut st, &sc.data_in, 0x9);
+        assert_eq!(read_word(c, &st, &sc.data_out), 0x9);
+        // Upstream raises req: stage fills and the latch goes opaque.
+        c.set_input(&mut st, sc.req_in, true);
+        assert!(c.value(&st, sc.req_out), "occupied");
+        set_word(c, &mut st, &sc.data_in, 0x0);
+        assert_eq!(read_word(c, &st, &sc.data_out), 0x9, "opaque holds");
+        // Downstream acks: C-element holds until req_in also drops.
+        c.set_input(&mut st, sc.ack_in, true);
+        assert!(c.value(&st, sc.req_out), "C-element holds at mismatch");
+        c.set_input(&mut st, sc.req_in, false);
+        assert!(!c.value(&st, sc.req_out), "drains");
+        // Open again: transparent to new data.
+        c.set_input(&mut st, sc.ack_in, false);
+        set_word(c, &mut st, &sc.data_in, 0x6);
+        assert_eq!(read_word(c, &st, &sc.data_out), 0x6);
+    }
+
+    #[test]
+    fn inventories_track_the_table1_generators() {
+        // Structural circuits and counting generators must agree on the
+        // *slope* (per-bit cost) and roughly on the base.
+        for bits in [4u32, 16, 48] {
+            let interface_model = crate::wrappers::interface_netlist(u64::from(bits)).area_ge();
+            let interface_built = build_interface_circuit(bits).circuit.inventory().area_ge();
+            let rel = (interface_built - interface_model).abs() / interface_model;
+            assert!(
+                rel < 0.25,
+                "interface {bits} bits: built {interface_built:.1} vs model {interface_model:.1}"
+            );
+            let stage_model = crate::wrappers::fifo_stage_netlist(u64::from(bits)).area_ge();
+            let stage_built = build_fifo_stage_circuit(bits).circuit.inventory().area_ge();
+            let rel = (stage_built - stage_model).abs() / stage_model;
+            assert!(
+                rel < 0.25,
+                "stage {bits} bits: built {stage_built:.1} vs model {stage_model:.1}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width 1-64")]
+    fn zero_width_interface_rejected() {
+        let _ = build_interface_circuit(0);
+    }
+}

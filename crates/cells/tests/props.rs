@@ -1,0 +1,74 @@
+//! Property-based tests of the netlist algebra and area models.
+
+use proptest::prelude::*;
+use st_cells::{
+    down_counter_netlist, fifo_netlist, fifo_stage_netlist, interface_netlist,
+    node_netlist_with_counter_bits, Cell, LinearModel, Netlist,
+};
+
+fn arb_cell() -> impl Strategy<Value = Cell> {
+    prop::sample::select(Cell::ALL.to_vec())
+}
+
+proptest! {
+    /// Netlist merging is linear: area(a + k·b) = area(a) + k·area(b).
+    #[test]
+    fn merge_linearity(
+        cells_a in proptest::collection::vec((arb_cell(), 1u64..20), 0..10),
+        cells_b in proptest::collection::vec((arb_cell(), 1u64..20), 0..10),
+        k in 1u64..9,
+    ) {
+        let mut a = Netlist::new("a");
+        for (c, n) in &cells_a { a.add(*c, *n); }
+        let mut b = Netlist::new("b");
+        for (c, n) in &cells_b { b.add(*c, *n); }
+        let mut merged = Netlist::new("m");
+        merged.add_netlist(&a, 1).add_netlist(&b, k);
+        let expect = a.area_ge() + k as f64 * b.area_ge();
+        prop_assert!((merged.area_ge() - expect).abs() < 1e-6);
+        prop_assert_eq!(merged.transistors(), a.transistors() + k * b.transistors());
+    }
+
+    /// Area and transistor counts are strictly monotone in instance
+    /// counts.
+    #[test]
+    fn monotone_in_counts(c in arb_cell(), n in 1u64..1000) {
+        let mut small = Netlist::new("s");
+        small.add(c, n);
+        let mut big = Netlist::new("b");
+        big.add(c, n + 1);
+        prop_assert!(big.area_ge() > small.area_ge());
+        prop_assert!(big.transistors() > small.transistors());
+    }
+
+    /// The generators really are affine in bit width — the structural
+    /// fact Table 1's models rely on.
+    #[test]
+    fn generators_affine(bits_a in 1u64..64, bits_b in 1u64..64) {
+        for gen in [interface_netlist as fn(u64) -> Netlist, fifo_stage_netlist] {
+            let m = LinearModel::fit(gen);
+            prop_assert!((gen(bits_a).area_ge() - m.eval(bits_a)).abs() < 1e-6);
+            prop_assert!((gen(bits_b).area_ge() - m.eval(bits_b)).abs() < 1e-6);
+        }
+    }
+
+    /// FIFO area factors exactly: area(bits, depth) = depth · stage(bits).
+    #[test]
+    fn fifo_area_factors(bits in 1u64..64, depth in 1u64..32) {
+        let whole = fifo_netlist(bits, depth).area_ge();
+        let stage = fifo_stage_netlist(bits).area_ge();
+        prop_assert!((whole - depth as f64 * stage).abs() < 1e-6);
+    }
+
+    /// Counter and node areas are monotone in counter width.
+    #[test]
+    fn node_area_monotone_in_counter_width(w in 1u64..30) {
+        prop_assert!(
+            node_netlist_with_counter_bits(w + 1).area_ge()
+                > node_netlist_with_counter_bits(w).area_ge()
+        );
+        prop_assert!(
+            down_counter_netlist(w + 1).transistors() > down_counter_netlist(w).transistors()
+        );
+    }
+}

@@ -1,0 +1,279 @@
+//! Mutual-exclusion element (mutex / arbiter).
+//!
+//! "The principal sources of nondeterminism are mutual exclusion elements
+//! and their close cousins arbiters and synchronizers" (§1). This model
+//! grants one of two four-phase requesters at a time; requests arriving
+//! within the decision window of each other are resolved by the seeded
+//! RNG, with an extra metastability resolution delay — the behavioural
+//! signature of a real NAND-latch MUTEX.
+
+use st_sim::prelude::*;
+
+/// Static parameters of a [`Mutex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutexSpec {
+    /// Requests closer together than this are arbitrated randomly.
+    pub window: SimDuration,
+    /// Grant propagation delay in the uncontended case.
+    pub grant_delay: SimDuration,
+    /// Additional settling delay when the element goes metastable.
+    pub resolution_delay: SimDuration,
+}
+
+impl Default for MutexSpec {
+    fn default() -> Self {
+        MutexSpec {
+            window: SimDuration::ps(100),
+            grant_delay: SimDuration::ps(200),
+            resolution_delay: SimDuration::ns(1),
+        }
+    }
+}
+
+/// Which side of the mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// Requester A.
+    A,
+    /// Requester B.
+    B,
+}
+
+/// A two-input mutual exclusion element with four-phase requests.
+///
+/// Raise `req_a`/`req_b` to request; the matching grant rises when owned;
+/// drop the request to release. Watch both request signals.
+#[derive(Debug)]
+pub struct Mutex {
+    spec: MutexSpec,
+    req_a: BitSignal,
+    req_b: BitSignal,
+    grant_a: BitSignal,
+    grant_b: BitSignal,
+    owner: Option<Side>,
+    last_req_a: SimTime,
+    last_req_b: SimTime,
+    prev_a: Bit,
+    prev_b: Bit,
+    grants: u64,
+    metastable_decisions: u64,
+}
+
+impl Mutex {
+    /// Creates the element.
+    pub fn new(
+        spec: MutexSpec,
+        req_a: BitSignal,
+        req_b: BitSignal,
+        grant_a: BitSignal,
+        grant_b: BitSignal,
+    ) -> Self {
+        Mutex {
+            spec,
+            req_a,
+            req_b,
+            grant_a,
+            grant_b,
+            owner: None,
+            last_req_a: SimTime::ZERO,
+            last_req_b: SimTime::ZERO,
+            prev_a: Bit::X,
+            prev_b: Bit::X,
+            grants: 0,
+            metastable_decisions: 0,
+        }
+    }
+
+    /// Registers the component and its sensitivities.
+    pub fn install(self, b: &mut SimBuilder, name: &str) -> Handle<Mutex> {
+        let (ra, rb) = (self.req_a, self.req_b);
+        let h = b.add_component(name, self);
+        b.watch(h.id(), ra.id());
+        b.watch(h.id(), rb.id());
+        h
+    }
+
+    /// Total grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Decisions that fell inside the metastability window.
+    pub fn metastable_decisions(&self) -> u64 {
+        self.metastable_decisions
+    }
+
+    /// Current owner, if any.
+    pub fn owner(&self) -> Option<Side> {
+        self.owner
+    }
+
+    fn grant_sig(&self, side: Side) -> BitSignal {
+        match side {
+            Side::A => self.grant_a,
+            Side::B => self.grant_b,
+        }
+    }
+
+    fn req_high(&self, ctx: &Ctx<'_>, side: Side) -> bool {
+        let sig = match side {
+            Side::A => self.req_a,
+            Side::B => self.req_b,
+        };
+        ctx.bit(sig).is_one()
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, side: Side, extra: SimDuration) {
+        self.owner = Some(side);
+        self.grants += 1;
+        ctx.drive_bit(self.grant_sig(side), Bit::One, self.spec.grant_delay + extra);
+    }
+
+    fn arbitrate(&mut self, ctx: &mut Ctx<'_>) {
+        if self.owner.is_some() {
+            return;
+        }
+        let a = self.req_high(ctx, Side::A);
+        let b = self.req_high(ctx, Side::B);
+        match (a, b) {
+            (false, false) => {}
+            (true, false) => self.issue(ctx, Side::A, SimDuration::ZERO),
+            (false, true) => self.issue(ctx, Side::B, SimDuration::ZERO),
+            (true, true) => {
+                let gap = if self.last_req_a > self.last_req_b {
+                    self.last_req_a.since(self.last_req_b)
+                } else {
+                    self.last_req_b.since(self.last_req_a)
+                };
+                if gap < self.spec.window {
+                    self.metastable_decisions += 1;
+                    use rand::Rng;
+                    let side = if ctx.rng().gen::<bool>() {
+                        Side::A
+                    } else {
+                        Side::B
+                    };
+                    self.issue(ctx, side, self.spec.resolution_delay);
+                } else if self.last_req_a < self.last_req_b {
+                    self.issue(ctx, Side::A, SimDuration::ZERO);
+                } else {
+                    self.issue(ctx, Side::B, SimDuration::ZERO);
+                }
+            }
+        }
+    }
+}
+
+impl Component for Mutex {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.grant_a, Bit::Zero, SimDuration::ZERO);
+                ctx.drive_bit(self.grant_b, Bit::Zero, SimDuration::ZERO);
+            }
+            Wake::Signal(_) => {
+                // Both requests may have changed in the same delta batch;
+                // detect changes by value so that coincident assertions
+                // carry coincident timestamps regardless of wake order.
+                let a = ctx.bit(self.req_a);
+                if a != self.prev_a {
+                    self.prev_a = a;
+                    self.last_req_a = ctx.now();
+                }
+                let b = ctx.bit(self.req_b);
+                if b != self.prev_b {
+                    self.prev_b = b;
+                    self.last_req_b = ctx.now();
+                }
+                // Release?
+                if let Some(owner) = self.owner {
+                    if !self.req_high(ctx, owner) {
+                        ctx.drive_bit(self.grant_sig(owner), Bit::Zero, self.spec.grant_delay);
+                        self.owner = None;
+                    }
+                }
+                self.arbitrate(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness(seed: u64) -> (Simulator, [BitSignal; 4], Handle<Mutex>) {
+        let mut b = SimBuilder::new().with_seed(seed);
+        let ra = b.add_bit_signal_init("ra", Bit::Zero);
+        let rb = b.add_bit_signal_init("rb", Bit::Zero);
+        let ga = b.add_bit_signal("ga");
+        let gb = b.add_bit_signal("gb");
+        let m = Mutex::new(MutexSpec::default(), ra, rb, ga, gb).install(&mut b, "mutex");
+        (b.build(), [ra, rb, ga, gb], m)
+    }
+
+    #[test]
+    fn grants_sole_requester() {
+        let (mut sim, [ra, _, ga, _], m) = harness(0);
+        sim.drive(ra.id(), Value::from(true), SimDuration::ns(1));
+        sim.run_for(SimDuration::ns(5)).unwrap();
+        assert_eq!(sim.bit(ga), Bit::One);
+        assert_eq!(sim.get(m).owner(), Some(Side::A));
+        sim.drive(ra.id(), Value::from(false), SimDuration::ZERO);
+        sim.run_for(SimDuration::ns(5)).unwrap();
+        assert_eq!(sim.bit(ga), Bit::Zero);
+        assert_eq!(sim.get(m).owner(), None);
+    }
+
+    #[test]
+    fn second_requester_waits_for_release() {
+        let (mut sim, [ra, rb, ga, gb], _) = harness(0);
+        sim.drive(ra.id(), Value::from(true), SimDuration::ns(1));
+        sim.drive(rb.id(), Value::from(true), SimDuration::ns(10));
+        sim.run_for(SimDuration::ns(15)).unwrap();
+        assert_eq!(sim.bit(ga), Bit::One);
+        assert_eq!(sim.bit(gb), Bit::Zero, "B must wait");
+        sim.drive(ra.id(), Value::from(false), SimDuration::ZERO);
+        sim.run_for(SimDuration::ns(5)).unwrap();
+        assert_eq!(sim.bit(gb), Bit::One, "B granted after release");
+    }
+
+    #[test]
+    fn clearly_ordered_contention_favours_first() {
+        // B arrives 1ns after A: outside the 100ps window.
+        let (mut sim, [ra, rb, ga, _], m) = harness(99);
+        sim.drive(ra.id(), Value::from(true), SimDuration::ns(5));
+        sim.drive(rb.id(), Value::from(true), SimDuration::ns(6));
+        sim.run_for(SimDuration::ns(10)).unwrap();
+        assert_eq!(sim.bit(ga), Bit::One);
+        assert_eq!(sim.get(m).metastable_decisions(), 0);
+    }
+
+    #[test]
+    fn coincident_requests_resolve_randomly() {
+        let outcome = |seed: u64| {
+            let (mut sim, [ra, rb, ga, _], m) = harness(seed);
+            sim.drive(ra.id(), Value::from(true), SimDuration::ns(5));
+            sim.drive(rb.id(), Value::from(true), SimDuration::ns(5));
+            sim.run_for(SimDuration::ns(10)).unwrap();
+            (sim.get(m).metastable_decisions(), sim.bit(ga).is_one())
+        };
+        let results: Vec<(u64, bool)> = (0..32).map(outcome).collect();
+        assert!(results.iter().all(|(md, _)| *md == 1));
+        let winners: std::collections::BTreeSet<bool> =
+            results.iter().map(|(_, a)| *a).collect();
+        assert_eq!(winners.len(), 2, "either side must be able to win");
+    }
+
+    #[test]
+    fn release_then_regrant_counts_each_grant() {
+        let (mut sim, [ra, _, _, _], m) = harness(0);
+        for i in 0..5u64 {
+            sim.drive(ra.id(), Value::from(true), SimDuration::ns(10 * i + 1));
+            sim.drive(ra.id(), Value::from(false), SimDuration::ns(10 * i + 6));
+        }
+        sim.run_for(SimDuration::ns(100)).unwrap();
+        assert_eq!(sim.get(m).grants(), 5);
+    }
+}

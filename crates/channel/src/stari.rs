@@ -1,0 +1,338 @@
+//! STARI baseline (Greenstreet \[13\]).
+//!
+//! STARI (Self-Timed At Receiver's Input) avoids synchronizers in steady
+//! state by inserting a self-timed FIFO between two *frequency-matched*
+//! clocks: the FIFO is initialized roughly half full, the transmitter adds
+//! one word per cycle and the receiver removes one word per cycle; clock
+//! skew is absorbed by the occupancy slack. The paper uses STARI as the
+//! performance yardstick for synchro-tokens (§5):
+//!
+//! * throughput: 1 word/cycle (vs `H/(H+R)`),
+//! * latency: `L_STARI = F·H/2 + T·H/2` (Eq. 1).
+//!
+//! This module builds an instrumented STARI link and measures both.
+
+use crate::fifo::{FifoPorts, SelfTimedFifo};
+use st_sim::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of a STARI link experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StariSpec {
+    /// Common clock period `T` of both ends.
+    pub period: SimDuration,
+    /// Per-stage forward latency `F`.
+    pub stage_delay: SimDuration,
+    /// FIFO depth `H` (number of stages).
+    pub depth: usize,
+    /// Receiver start-up delay in transmitter cycles; the link reaches
+    /// steady state with about this many words in flight (the "roughly
+    /// half full" initialization). Use `depth / 2`.
+    pub warmup_cycles: u64,
+    /// Relative phase of the receiver clock (skew absorbed by the FIFO).
+    pub skew: SimDuration,
+}
+
+impl StariSpec {
+    /// A conventional configuration: warm-up of `depth / 2` cycles and a
+    /// quarter-period skew.
+    pub fn new(period: SimDuration, stage_delay: SimDuration, depth: usize) -> Self {
+        StariSpec {
+            period,
+            stage_delay,
+            depth,
+            warmup_cycles: (depth / 2) as u64,
+            skew: period / 4,
+        }
+    }
+}
+
+/// Measurements collected by [`build_stari_link`].
+#[derive(Debug, Default, Clone)]
+pub struct StariStats {
+    /// Push time of each word, indexed by sequence number.
+    pub push_times: Vec<SimTime>,
+    /// `(sequence, pop time)` in arrival order at the receiver.
+    pub pops: Vec<(u64, SimTime)>,
+    /// Transmitter cycles during which `full` blocked a push.
+    pub tx_stalls: u64,
+    /// Receiver cycles (after warm-up) that found the head empty.
+    pub rx_misses: u64,
+}
+
+impl StariStats {
+    /// Mean push-to-pop latency over the steady-state words (the first
+    /// `skip` words are ignored as warm-up).
+    pub fn mean_latency(&self, skip: usize) -> Option<SimDuration> {
+        let mut sum = 0u128;
+        let mut n = 0u128;
+        for (seq, t_pop) in self.pops.iter().skip(skip) {
+            let t_push = self.push_times.get(*seq as usize)?;
+            sum += u128::from(t_pop.since(*t_push).as_fs());
+            n += 1;
+        }
+        sum.checked_div(n)
+            .map(|mean| SimDuration::fs(u64::try_from(mean).expect("latency fits u64")))
+    }
+
+    /// Words delivered per receiver cycle over the measured span.
+    pub fn throughput(&self, rx_cycles: u64) -> f64 {
+        if rx_cycles == 0 {
+            return 0.0;
+        }
+        self.pops.len() as f64 / rx_cycles as f64
+    }
+
+    /// True if every word arrived exactly once, in order.
+    pub fn in_order(&self) -> bool {
+        self.pops.iter().enumerate().all(|(i, (seq, _))| *seq == i as u64)
+    }
+}
+
+#[derive(Debug)]
+struct StariTx {
+    clk: BitSignal,
+    ports: FifoPorts,
+    prev_clk: Bit,
+    next_seq: u64,
+    req_parity: bool,
+    stats: Rc<RefCell<StariStats>>,
+    limit: u64,
+}
+
+impl Component for StariTx {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        if let Wake::Signal(_) = cause {
+            let v = ctx.bit(self.clk);
+            let rising = !self.prev_clk.is_one() && v.is_one();
+            self.prev_clk = v;
+            if !rising || self.next_seq >= self.limit {
+                return;
+            }
+            if ctx.bit(self.ports.full).is_one() {
+                self.stats.borrow_mut().tx_stalls += 1;
+                return;
+            }
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.stats.borrow_mut().push_times.push(ctx.now());
+            ctx.drive_word(self.ports.put_data, seq, SimDuration::ZERO);
+            self.req_parity = !self.req_parity;
+            // The request follows the data by a bundling margin.
+            ctx.drive_bit(self.ports.put_req, self.req_parity, SimDuration::fs(1));
+        }
+    }
+}
+
+#[derive(Debug)]
+struct StariRx {
+    clk: BitSignal,
+    ports: FifoPorts,
+    prev_clk: Bit,
+    ack_parity: bool,
+    warmup_left: u64,
+    cycles: u64,
+    stats: Rc<RefCell<StariStats>>,
+}
+
+impl StariRx {
+    fn cycles(&self) -> u64 {
+        self.cycles
+    }
+}
+
+impl Component for StariRx {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        if let Wake::Signal(_) = cause {
+            let v = ctx.bit(self.clk);
+            let rising = !self.prev_clk.is_one() && v.is_one();
+            self.prev_clk = v;
+            if !rising {
+                return;
+            }
+            if self.warmup_left > 0 {
+                self.warmup_left -= 1;
+                return;
+            }
+            self.cycles += 1;
+            if ctx.bit(self.ports.head_valid).is_one() {
+                let seq = ctx.word(self.ports.head_data).expect("head data valid");
+                self.stats.borrow_mut().pops.push((seq, ctx.now()));
+                self.ack_parity = !self.ack_parity;
+                ctx.drive_bit(self.ports.get_ack, self.ack_parity, SimDuration::fs(1));
+            } else {
+                self.stats.borrow_mut().rx_misses += 1;
+            }
+        }
+    }
+}
+
+/// Handles returned by [`build_stari_link`] for post-run inspection.
+#[derive(Debug)]
+pub struct StariLink {
+    /// Shared measurement record.
+    pub stats: Rc<RefCell<StariStats>>,
+    /// The underlying FIFO (for occupancy checks).
+    pub fifo: Handle<SelfTimedFifo>,
+    rx: Handle<StariRx>,
+}
+
+impl StariLink {
+    /// Receiver cycles counted after warm-up (denominator for throughput).
+    pub fn rx_cycles(&self, sim: &Simulator) -> u64 {
+        sim.get(self.rx).cycles()
+    }
+}
+
+/// Assembles a complete STARI link (two matched clocks, FIFO, instrumented
+/// endpoints) into `b`, transferring `words` sequence-numbered words.
+pub fn build_stari_link(b: &mut SimBuilder, spec: StariSpec, words: u64) -> StariLink {
+    let clk_t = b.add_bit_signal("stari.clk_t");
+    let clk_r = b.add_bit_signal("stari.clk_r");
+    let ports = FifoPorts::declare(b, "stari.fifo");
+    let fifo = SelfTimedFifo::new(ports, spec.depth, spec.stage_delay).install(b, "stari.fifo");
+
+    // Matched-frequency clocks ("derived from a common source"); the skew
+    // is absorbed inside the FIFO.
+    let tx_clk = crate::stari::clock(clk_t, spec.period, SimDuration::ZERO);
+    let rx_clk = crate::stari::clock(clk_r, spec.period, spec.skew);
+    b.add_component("stari.clk_t", tx_clk);
+    b.add_component("stari.clk_r", rx_clk);
+
+    let stats = Rc::new(RefCell::new(StariStats::default()));
+    let tx = b.add_component(
+        "stari.tx",
+        StariTx {
+            clk: clk_t,
+            ports,
+            prev_clk: Bit::X,
+            next_seq: 0,
+            req_parity: false,
+            stats: Rc::clone(&stats),
+            limit: words,
+        },
+    );
+    b.watch(tx.id(), clk_t.id());
+    let rx = b.add_component(
+        "stari.rx",
+        StariRx {
+            clk: clk_r,
+            ports,
+            prev_clk: Bit::X,
+            ack_parity: false,
+            warmup_left: spec.warmup_cycles,
+            cycles: 0,
+            stats: Rc::clone(&stats),
+        },
+    );
+    b.watch(rx.id(), clk_r.id());
+    StariLink { stats, fifo, rx }
+}
+
+/// A minimal fixed clock used by the link (kept local to avoid a
+/// dependency cycle with `st-clocking`).
+#[derive(Debug)]
+struct LinkClock {
+    clk: BitSignal,
+    half: SimDuration,
+    phase: SimDuration,
+}
+
+fn clock(clk: BitSignal, period: SimDuration, phase: SimDuration) -> LinkClock {
+    LinkClock {
+        clk,
+        half: period / 2,
+        phase,
+    }
+}
+
+impl Component for LinkClock {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                ctx.set_timer(self.phase + self.half, 0);
+            }
+            Wake::Timer(_) => {
+                ctx.toggle_bit(self.clk, SimDuration::ZERO);
+                ctx.set_timer(self.half, 0);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Closed-form Eq. (1): `L_STARI = F·H/2 + T·H/2`.
+pub fn stari_latency_model(period: SimDuration, stage_delay: SimDuration, depth: usize) -> SimDuration {
+    let h = depth as u64;
+    stage_delay * h / 2 + period * h / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(depth: usize, t_ns: u64, f_ns: u64, words: u64) -> (Simulator, StariLink) {
+        let mut b = SimBuilder::new();
+        let spec = StariSpec::new(
+            SimDuration::ns(t_ns),
+            SimDuration::ns(f_ns),
+            depth,
+        );
+        let link = build_stari_link(&mut b, spec, words);
+        let mut sim = b.build();
+        sim.run_for(SimDuration::ns(t_ns * (words + 50)))
+            .unwrap();
+        (sim, link)
+    }
+
+    #[test]
+    fn delivers_every_word_in_order() {
+        let (sim, link) = run(8, 10, 2, 200);
+        let stats = link.stats.borrow();
+        assert_eq!(stats.pops.len(), 200);
+        assert!(stats.in_order());
+        drop(stats);
+        assert_eq!(sim.get(link.fifo).overruns(), 0);
+        assert_eq!(sim.get(link.fifo).underruns(), 0);
+    }
+
+    #[test]
+    fn steady_state_throughput_is_one_word_per_cycle() {
+        let (sim, link) = run(8, 10, 2, 500);
+        let stats = link.stats.borrow();
+        // In steady state every rx cycle pops a word until the source
+        // runs dry: misses only at the tail end.
+        let cycles = link.rx_cycles(&sim);
+        let tp = stats.throughput(cycles.min(500));
+        assert!(tp > 0.95, "throughput {tp} should be ~1 word/cycle");
+    }
+
+    #[test]
+    fn measured_latency_tracks_equation_one() {
+        let (_, link) = run(8, 10, 2, 500);
+        let stats = link.stats.borrow();
+        let measured = stats.mean_latency(50).expect("latency");
+        let model = stari_latency_model(SimDuration::ns(10), SimDuration::ns(2), 8);
+        // Shape check: within 2x either way (the model idealizes the
+        // half-full occupancy).
+        let (m, p) = (measured.as_fs() as f64, model.as_fs() as f64);
+        assert!(m / p < 2.0 && p / m < 2.0, "measured {measured} vs model {model}");
+    }
+
+    #[test]
+    fn skew_is_absorbed_without_loss() {
+        for skew_ns in [0u64, 2, 4, 7] {
+            let mut b = SimBuilder::new();
+            let mut spec = StariSpec::new(SimDuration::ns(10), SimDuration::ns(2), 8);
+            spec.skew = SimDuration::ns(skew_ns);
+            let link = build_stari_link(&mut b, spec, 100);
+            let mut sim = b.build();
+            sim.run_for(SimDuration::us(3)).unwrap();
+            let stats = link.stats.borrow();
+            assert_eq!(stats.pops.len(), 100, "skew {skew_ns}ns lost words");
+            assert!(stats.in_order());
+        }
+    }
+}

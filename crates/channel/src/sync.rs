@@ -1,0 +1,214 @@
+//! Two-flop synchronizer — the canonical *nondeterministic* GALS input
+//! circuit.
+//!
+//! A synchronizer samples an asynchronous level with the local clock. When
+//! the input transitions within the setup/hold window of a sampling edge,
+//! the first flop goes metastable and may resolve to either value — here
+//! modelled with the kernel's seeded RNG. The *local cycle at which the
+//! synchronized level is first seen* therefore depends on clock phase and
+//! delay variation: exactly the nondeterminism synchro-tokens eliminates.
+//! This component is used by the bypass-mode baseline of experiment E1.
+
+use st_sim::prelude::*;
+
+/// Static parameters of a [`TwoFlopSynchronizer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynchronizerSpec {
+    /// Setup/hold window around the sampling edge within which a data
+    /// transition makes the sample metastable.
+    pub window: SimDuration,
+}
+
+impl Default for SynchronizerSpec {
+    fn default() -> Self {
+        SynchronizerSpec {
+            window: SimDuration::ps(100),
+        }
+    }
+}
+
+/// A two-flop brute-force synchronizer.
+///
+/// Watches `clk` (rising edges) and the asynchronous input `d`; drives `q`
+/// with the value of `d` as seen two edges ago. Samples taken while `d`
+/// changed within [`SynchronizerSpec::window`] of the edge resolve to a
+/// *random* value (seeded RNG), and are counted in
+/// [`metastable_samples`](TwoFlopSynchronizer::metastable_samples).
+#[derive(Debug)]
+pub struct TwoFlopSynchronizer {
+    spec: SynchronizerSpec,
+    clk: BitSignal,
+    d: BitSignal,
+    q: BitSignal,
+    prev_clk: Bit,
+    /// Value and last-change time of the async input, tracked locally so
+    /// the window test does not depend on kernel internals.
+    last_d_change: SimTime,
+    stage1: Bit,
+    stage2: Bit,
+    metastable_samples: u64,
+    samples: u64,
+}
+
+impl TwoFlopSynchronizer {
+    /// Creates a synchronizer; watch both `clk` and `d`.
+    pub fn new(spec: SynchronizerSpec, clk: BitSignal, d: BitSignal, q: BitSignal) -> Self {
+        TwoFlopSynchronizer {
+            spec,
+            clk,
+            d,
+            q,
+            prev_clk: Bit::X,
+            last_d_change: SimTime::ZERO,
+            stage1: Bit::Zero,
+            stage2: Bit::Zero,
+            metastable_samples: 0,
+            samples: 0,
+        }
+    }
+
+    /// Registers the component and its sensitivities.
+    pub fn install(self, b: &mut SimBuilder, name: &str) -> Handle<TwoFlopSynchronizer> {
+        let clk = self.clk;
+        let d = self.d;
+        let h = b.add_component(name, self);
+        b.watch(h.id(), clk.id());
+        b.watch(h.id(), d.id());
+        h
+    }
+
+    /// Samples taken inside the metastability window so far.
+    pub fn metastable_samples(&self) -> u64 {
+        self.metastable_samples
+    }
+
+    /// Total samples taken (one per rising clock edge).
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+impl Component for TwoFlopSynchronizer {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.q, Bit::Zero, SimDuration::ZERO);
+            }
+            Wake::Signal(sig) if sig == self.d.id() => {
+                self.last_d_change = ctx.now();
+            }
+            Wake::Signal(sig) if sig == self.clk.id() => {
+                let v = ctx.bit(self.clk);
+                let rising = !self.prev_clk.is_one() && v.is_one();
+                self.prev_clk = v;
+                if !rising {
+                    return;
+                }
+                self.samples += 1;
+                let in_window =
+                    ctx.now().saturating_since(self.last_d_change) < self.spec.window;
+                let sampled = if in_window {
+                    self.metastable_samples += 1;
+                    use rand::Rng;
+                    Bit::from(ctx.rng().gen::<bool>())
+                } else {
+                    match ctx.bit(self.d) {
+                        Bit::X => Bit::Zero,
+                        b => b,
+                    }
+                };
+                self.stage2 = self.stage1;
+                self.stage1 = sampled;
+                ctx.drive_bit(self.q, self.stage2, SimDuration::ZERO);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_clocking_shim::FreeClockShim;
+
+    /// Minimal local clock to avoid a circular dev-dependency on
+    /// `st-clocking`.
+    mod st_clocking_shim {
+        use st_sim::prelude::*;
+
+        #[derive(Debug)]
+        pub struct FreeClockShim {
+            pub clk: BitSignal,
+            pub half: SimDuration,
+        }
+
+        impl Component for FreeClockShim {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                match cause {
+                    Wake::Start => {
+                        ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                        ctx.set_timer(self.half, 0);
+                    }
+                    Wake::Timer(_) => {
+                        ctx.toggle_bit(self.clk, SimDuration::ZERO);
+                        ctx.set_timer(self.half, 0);
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    fn harness(seed: u64) -> (Simulator, BitSignal, BitSignal, Handle<TwoFlopSynchronizer>) {
+        let mut b = SimBuilder::new().with_seed(seed);
+        let clk = b.add_bit_signal("clk");
+        let d = b.add_bit_signal_init("d", Bit::Zero);
+        let q = b.add_bit_signal("q");
+        let osc = b.add_component(
+            "clk",
+            FreeClockShim {
+                clk,
+                half: SimDuration::ns(5),
+            },
+        );
+        let _ = osc;
+        let s = TwoFlopSynchronizer::new(SynchronizerSpec::default(), clk, d, q).install(&mut b, "sync");
+        (b.build(), d, q, s)
+    }
+
+    #[test]
+    fn clean_input_appears_after_two_edges() {
+        let (mut sim, d, q, s) = harness(0);
+        // Rising edges at 5, 15, 25, ... ; set d well clear of the window.
+        sim.drive(d.id(), Value::from(true), SimDuration::ns(7));
+        sim.run_until(SimTime::ZERO + SimDuration::ns(14)).unwrap();
+        assert_eq!(sim.bit(q), Bit::Zero, "not yet sampled through 2 flops");
+        sim.run_until(SimTime::ZERO + SimDuration::ns(26)).unwrap();
+        assert_eq!(sim.bit(q), Bit::One, "visible after the edge at 25ns");
+        assert_eq!(sim.get(s).metastable_samples(), 0);
+    }
+
+    #[test]
+    fn window_hit_is_counted_and_seed_dependent() {
+        let outcome = |seed: u64| {
+            let (mut sim, d, q, s) = harness(seed);
+            // Change d exactly on the sampling edge at 15 ns.
+            sim.drive(d.id(), Value::from(true), SimDuration::ns(15));
+            sim.run_until(SimTime::ZERO + SimDuration::ns(26)).unwrap();
+            (sim.get(s).metastable_samples(), sim.bit(q))
+        };
+        let results: Vec<(u64, Bit)> = (0..32).map(outcome).collect();
+        assert!(results.iter().all(|(m, _)| *m == 1));
+        let qs: std::collections::BTreeSet<_> =
+            results.iter().map(|(_, q)| format!("{q}")).collect();
+        assert_eq!(qs.len(), 2, "metastable sample must be able to go both ways");
+    }
+
+    #[test]
+    fn sample_count_tracks_edges() {
+        let (mut sim, _, _, s) = harness(0);
+        sim.run_until(SimTime::ZERO + SimDuration::ns(100)).unwrap();
+        // Edges at 5, 15, ..., 95 -> 10 samples.
+        assert_eq!(sim.get(s).samples(), 10);
+    }
+}

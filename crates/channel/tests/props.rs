@@ -1,0 +1,115 @@
+//! Property-based tests: the self-timed FIFO against a reference queue,
+//! and STARI invariants.
+
+use proptest::prelude::*;
+use st_channel::{build_stari_link, FifoPorts, SelfTimedFifo, StariSpec};
+use st_sim::prelude::*;
+use std::collections::VecDeque;
+
+/// Drives a FIFO with an arbitrary well-behaved push/pop schedule and
+/// checks it against `VecDeque` semantics.
+fn run_schedule(depth: usize, f_ns: u64, ops: &[(bool, u64)]) -> (Vec<u64>, u64, u64) {
+    let mut b = SimBuilder::new();
+    let ports = FifoPorts::declare(&mut b, "f");
+    let fifo = SelfTimedFifo::new(ports, depth, SimDuration::ns(f_ns)).install(&mut b, "f");
+    let mut sim = b.build();
+
+    // Schedule ops far enough apart that each settles; track a
+    // reference model against *observed* state between ops.
+    let mut reference: VecDeque<u64> = VecDeque::new();
+    let mut popped = Vec::new();
+    let mut req = false;
+    let mut ack = false;
+    let mut t_ns = 0u64;
+    let gap = f_ns * (depth as u64 + 2);
+    for (push, word) in ops {
+        t_ns += gap;
+        sim.run_until(SimTime::ZERO + SimDuration::ns(t_ns))
+            .unwrap();
+        if *push {
+            if reference.len() < depth {
+                reference.push_back(*word);
+                sim.drive(ports.put_data.id(), Value::Word(*word), SimDuration::ZERO);
+                req = !req;
+                sim.drive(ports.put_req.id(), Value::from(req), SimDuration::fs(1));
+            }
+        } else if let Some(expect) = reference.pop_front() {
+            // The head must show exactly the reference front.
+            assert_eq!(sim.word(ports.head_data), Some(expect));
+            popped.push(expect);
+            ack = !ack;
+            sim.drive(ports.get_ack.id(), Value::from(ack), SimDuration::fs(1));
+        }
+    }
+    sim.run_for(SimDuration::ns(gap)).unwrap();
+    let f = sim.get(fifo);
+    (popped, f.overruns(), f.underruns())
+}
+
+proptest! {
+    /// FIFO order, no loss, no duplication, no overruns/underruns for
+    /// any schedule the reference model allows.
+    #[test]
+    fn fifo_matches_reference_queue(
+        depth in 1usize..6,
+        f_ns in 1u64..5,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..60),
+    ) {
+        let (_popped, over, under) = run_schedule(depth, f_ns, &ops);
+        prop_assert_eq!(over, 0);
+        prop_assert_eq!(under, 0);
+    }
+
+    /// Occupancy accounting: pushes - pops == final occupancy.
+    #[test]
+    fn fifo_conserves_words(
+        depth in 1usize..6,
+        ops in proptest::collection::vec((any::<bool>(), 0u64..1000), 1..60),
+    ) {
+        let mut b = SimBuilder::new();
+        let ports = FifoPorts::declare(&mut b, "f");
+        let fifo = SelfTimedFifo::new(ports, depth, SimDuration::ns(2)).install(&mut b, "f");
+        let mut sim = b.build();
+        let mut req = false;
+        let mut ack = false;
+        let mut occupancy_model = 0usize;
+        let mut t = 0u64;
+        for (push, word) in &ops {
+            t += 20;
+            sim.run_until(SimTime::ZERO + SimDuration::ns(t)).unwrap();
+            if *push && occupancy_model < depth {
+                occupancy_model += 1;
+                sim.drive(ports.put_data.id(), Value::Word(*word), SimDuration::ZERO);
+                req = !req;
+                sim.drive(ports.put_req.id(), Value::from(req), SimDuration::fs(1));
+            } else if !*push && occupancy_model > 0 {
+                occupancy_model -= 1;
+                ack = !ack;
+                sim.drive(ports.get_ack.id(), Value::from(ack), SimDuration::fs(1));
+            }
+        }
+        sim.run_for(SimDuration::ns(40)).unwrap();
+        let f = sim.get(fifo);
+        prop_assert_eq!(f.occupancy(), occupancy_model);
+        prop_assert_eq!(f.pushes() - f.pops(), occupancy_model as u64);
+    }
+
+    /// STARI delivers every word exactly once, in order, for any
+    /// skew within a period and any reasonable depth.
+    #[test]
+    fn stari_lossless_across_skew_and_depth(
+        depth in 4usize..12,
+        skew_ps in 0u64..10_000,
+        words in 20u64..80,
+    ) {
+        let mut b = SimBuilder::new();
+        let mut spec = StariSpec::new(SimDuration::ns(10), SimDuration::ns(1), depth);
+        spec.skew = SimDuration::ps(skew_ps);
+        let link = build_stari_link(&mut b, spec, words);
+        let mut sim = b.build();
+        sim.run_for(SimDuration::ns(10 * (words + 60))).unwrap();
+        let stats = link.stats.borrow();
+        prop_assert_eq!(stats.pops.len() as u64, words);
+        prop_assert!(stats.in_order());
+    }
+}

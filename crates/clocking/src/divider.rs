@@ -1,0 +1,102 @@
+//! A synchronous clock divider.
+//!
+//! The paper's stoppable clock is "a ring oscillator whose frequency can
+//! be digitally controlled with either variable delay inverters or a clock
+//! divider circuit on its output"; [`StoppableClock`](crate::StoppableClock)
+//! models the former, this component the latter.
+
+use st_sim::prelude::*;
+
+/// Divides a clock's frequency by `2 * ratio` (toggle-counter divider).
+///
+/// The output toggles on every `ratio`-th rising edge of the input, so a
+/// `ratio` of 1 halves the frequency.
+#[derive(Debug)]
+pub struct ClockDivider {
+    clk_in: BitSignal,
+    clk_out: BitSignal,
+    ratio: u32,
+    prev: Bit,
+    pending: u32,
+}
+
+impl ClockDivider {
+    /// Creates a divider (remember to `watch` `clk_in`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero.
+    pub fn new(clk_in: BitSignal, clk_out: BitSignal, ratio: u32) -> Self {
+        assert!(ratio > 0, "division ratio must be non-zero");
+        ClockDivider {
+            clk_in,
+            clk_out,
+            ratio,
+            prev: Bit::X,
+            pending: 0,
+        }
+    }
+}
+
+impl Component for ClockDivider {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.clk_out, Bit::Zero, SimDuration::ZERO);
+            }
+            Wake::Signal(_) => {
+                let v = ctx.bit(self.clk_in);
+                if !self.prev.is_one() && v.is_one() {
+                    self.pending += 1;
+                    if self.pending == self.ratio {
+                        self.pending = 0;
+                        ctx.toggle_bit(self.clk_out, SimDuration::ZERO);
+                    }
+                }
+                self.prev = v;
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::free::{CycleCounter, FreeClock};
+
+    fn count_divided(ratio: u32, span_ns: u64) -> u64 {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let div = b.add_bit_signal("div");
+        b.add_component("clk", FreeClock::new(clk, SimDuration::ns(10)));
+        let d = b.add_component("div", ClockDivider::new(clk, div, ratio));
+        b.watch(d.id(), clk.id());
+        let ctr = b.add_component("ctr", CycleCounter::new(div));
+        b.watch(ctr.id(), div.id());
+        let mut sim = b.build();
+        sim.run_for(SimDuration::ns(span_ns)).unwrap();
+        sim.get(ctr).count()
+    }
+
+    #[test]
+    fn divide_by_two() {
+        // 100 input edges, output toggles each edge -> 50 rising edges.
+        assert_eq!(count_divided(1, 1000), 50);
+    }
+
+    #[test]
+    fn divide_by_eight() {
+        // 100 input edges -> 25 output toggles -> 13 rising edges.
+        assert_eq!(count_divided(4, 1000), 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_ratio_rejected() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let div = b.add_bit_signal("div");
+        let _ = ClockDivider::new(clk, div, 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Free-running clock and utility clocked components.
+
+use st_sim::prelude::*;
+
+/// A free-running clock generator (never pauses).
+///
+/// Used for the nondeterministic *bypass* baseline (where wrapper control
+/// is defeated and clocks always run) and as a tester clock (TCK) source.
+#[derive(Debug)]
+pub struct FreeClock {
+    clk: BitSignal,
+    half_period: SimDuration,
+    /// Initial phase offset before the first rising edge.
+    phase: SimDuration,
+    edges: u64,
+}
+
+impl FreeClock {
+    /// A clock with the given full `period`, first rising edge at
+    /// `period / 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn new(clk: BitSignal, period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "clock period must be non-zero");
+        FreeClock {
+            clk,
+            half_period: period / 2,
+            phase: SimDuration::ZERO,
+            edges: 0,
+        }
+    }
+
+    /// Offsets the first rising edge by an extra `phase`.
+    pub fn with_phase(mut self, phase: SimDuration) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Rising edges produced so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+}
+
+impl Component for FreeClock {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                ctx.set_timer(self.phase + self.half_period, 0);
+            }
+            Wake::Timer(_) => {
+                let rising = !ctx.bit(self.clk).is_one();
+                if rising {
+                    self.edges += 1;
+                }
+                ctx.toggle_bit(self.clk, SimDuration::ZERO);
+                ctx.set_timer(self.half_period, 0);
+            }
+            Wake::Signal(_) => {}
+        }
+    }
+}
+
+/// Counts rising edges of a clock signal; readable after the run.
+///
+/// # Examples
+///
+/// ```
+/// use st_sim::prelude::*;
+/// use st_clocking::{CycleCounter, FreeClock};
+///
+/// # fn main() -> Result<(), st_sim::SimError> {
+/// let mut b = SimBuilder::new();
+/// let clk = b.add_bit_signal("clk");
+/// b.add_component("clk", FreeClock::new(clk, SimDuration::ns(10)));
+/// let ctr = b.add_component("ctr", CycleCounter::new(clk));
+/// b.watch(ctr.id(), clk.id());
+/// let mut sim = b.build();
+/// sim.run_for(SimDuration::ns(100))?;
+/// assert_eq!(sim.get(ctr).count(), 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CycleCounter {
+    clk: BitSignal,
+    prev: Bit,
+    count: u64,
+}
+
+impl CycleCounter {
+    /// Creates a counter watching `clk` (remember to `watch` it).
+    pub fn new(clk: BitSignal) -> Self {
+        CycleCounter {
+            clk,
+            prev: Bit::X,
+            count: 0,
+        }
+    }
+
+    /// Rising edges observed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+impl Component for CycleCounter {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        if let Wake::Signal(_) = cause {
+            let v = ctx.bit(self.clk);
+            if !self.prev.is_one() && v.is_one() {
+                self.count += 1;
+            }
+            self.prev = v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_offsets_first_edge() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        b.trace(clk.id());
+        b.add_component(
+            "clk",
+            FreeClock::new(clk, SimDuration::ns(10)).with_phase(SimDuration::ns(3)),
+        );
+        let mut sim = b.build();
+        sim.run_for(SimDuration::ns(50)).unwrap();
+        let first_rise = sim
+            .trace()
+            .changes(clk.id())
+            .find(|(_, v)| *v == Value::from(true))
+            .unwrap()
+            .0;
+        assert_eq!(first_rise, SimTime::ZERO + SimDuration::ns(8));
+    }
+
+    #[test]
+    fn two_clocks_with_different_periods_drift() {
+        let mut b = SimBuilder::new();
+        let a = b.add_bit_signal("a");
+        let c = b.add_bit_signal("c");
+        let fa = b.add_component("a", FreeClock::new(a, SimDuration::ns(10)));
+        let fc = b.add_component("c", FreeClock::new(c, SimDuration::ns(7)));
+        let mut sim = b.build();
+        sim.run_for(SimDuration::us(1)).unwrap();
+        assert_eq!(sim.get(fa).edges(), 100);
+        assert_eq!(sim.get(fc).edges(), 1000 / 7 + 1); // edges at 3.5 + 7k
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let _ = FreeClock::new(clk, SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,237 @@
+//! Pausible clocking (Yun & Dooply \[9\], Muttersbach et al. \[10\]).
+//!
+//! An arbiter sits *inside* the ring oscillator and mutually excludes the
+//! next rising clock edge against a pending asynchronous request. This is
+//! the classic **nondeterministic** GALS clock: when the request arrives
+//! close to the decision point, which side wins depends on analog detail —
+//! modelled here as a seeded coin flip inside a metastability window. It
+//! serves as a baseline against which synchro-tokens' determinism is
+//! demonstrated.
+
+use st_sim::prelude::*;
+
+/// Timer tags.
+const TAG_PHASE: u64 = 0;
+const TAG_RETRY: u64 = 1;
+
+/// A pausible ring-oscillator clock generator.
+///
+/// While `pause_req` is high at a would-be rising edge, the edge is
+/// delayed until the request is released. Requests arriving within
+/// [`PausibleClockSpec::metastability_window`] of the decision instant are
+/// arbitrated by the kernel RNG, and the loser additionally pays
+/// [`PausibleClockSpec::resolution_delay`] — the modelled cost of a
+/// metastable arbiter settling.
+#[derive(Debug)]
+pub struct PausibleClock {
+    spec: PausibleClockSpec,
+    clk: BitSignal,
+    pause_req: BitSignal,
+    /// Wall-clock instant of the most recent `pause_req` change; used to
+    /// detect arrivals inside the metastability window.
+    last_req_change: SimTime,
+    paused: bool,
+    edges: u64,
+    pauses: u64,
+    metastable_events: u64,
+}
+
+/// Static parameters of a [`PausibleClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PausibleClockSpec {
+    /// Half of the nominal clock period.
+    pub half_period: SimDuration,
+    /// Width of the window around the decision instant within which
+    /// arbitration is modelled as random.
+    pub metastability_window: SimDuration,
+    /// Extra settling delay paid when the arbiter goes metastable.
+    pub resolution_delay: SimDuration,
+}
+
+impl PausibleClockSpec {
+    /// A spec from the full clock period with a window of 1 % of the half
+    /// period and a resolution delay of 10 %.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    pub fn from_period(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "clock period must be non-zero");
+        let half = period / 2;
+        PausibleClockSpec {
+            half_period: half,
+            metastability_window: (half / 100).max(SimDuration::fs(1)),
+            resolution_delay: half / 10,
+        }
+    }
+}
+
+impl PausibleClock {
+    /// Creates the clock; `pause_req` high requests a pause before the
+    /// next rising edge.
+    pub fn new(spec: PausibleClockSpec, clk: BitSignal, pause_req: BitSignal) -> Self {
+        PausibleClock {
+            spec,
+            clk,
+            pause_req,
+            last_req_change: SimTime::ZERO,
+            paused: false,
+            edges: 0,
+            pauses: 0,
+            metastable_events: 0,
+        }
+    }
+
+    /// Rising edges produced so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Pauses taken so far.
+    pub fn pauses(&self) -> u64 {
+        self.pauses
+    }
+
+    /// Number of decisions that fell inside the metastability window.
+    pub fn metastable_events(&self) -> u64 {
+        self.metastable_events
+    }
+
+    fn rise(&mut self, ctx: &mut Ctx<'_>, extra: SimDuration) {
+        ctx.drive_bit(self.clk, Bit::One, extra);
+        self.edges += 1;
+        ctx.set_timer(extra + self.spec.half_period, TAG_PHASE);
+    }
+
+    fn decide(&mut self, ctx: &mut Ctx<'_>) {
+        let req = ctx.bit(self.pause_req).is_one();
+        let near = ctx.now().saturating_since(self.last_req_change) < self.spec.metastability_window;
+        let grant_pause = if near {
+            // Metastable arbitration: the coin decides, and the resolution
+            // delay is paid either way.
+            self.metastable_events += 1;
+            use rand::Rng;
+            ctx.rng().gen::<bool>()
+        } else {
+            req
+        };
+        let extra = if near {
+            self.spec.resolution_delay
+        } else {
+            SimDuration::ZERO
+        };
+        if grant_pause {
+            self.paused = true;
+            self.pauses += 1;
+        } else {
+            self.rise(ctx, extra);
+        }
+    }
+}
+
+impl Component for PausibleClock {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                ctx.set_timer(self.spec.half_period, TAG_PHASE);
+            }
+            Wake::Timer(TAG_PHASE) => {
+                if self.paused {
+                    return;
+                }
+                if ctx.bit(self.clk).is_one() {
+                    ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                    ctx.set_timer(self.spec.half_period, TAG_PHASE);
+                } else {
+                    self.decide(ctx);
+                }
+            }
+            Wake::Timer(TAG_RETRY)
+                if self.paused && !ctx.bit(self.pause_req).is_one() => {
+                    self.paused = false;
+                    self.rise(ctx, SimDuration::ZERO);
+                }
+            Wake::Signal(sig) if sig == self.pause_req.id() => {
+                self.last_req_change = ctx.now();
+                if self.paused && ctx.bit(self.pause_req).is_zero() {
+                    // Release: resume after the arbiter hand-back delay.
+                    ctx.set_timer(self.spec.resolution_delay, TAG_RETRY);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness(seed: u64) -> (Simulator, BitSignal, BitSignal, Handle<PausibleClock>) {
+        let mut b = SimBuilder::new().with_seed(seed);
+        let clk = b.add_bit_signal("clk");
+        let req = b.add_bit_signal_init("pause", Bit::Zero);
+        let spec = PausibleClockSpec::from_period(SimDuration::ns(10));
+        let h = b.add_component("pclk", PausibleClock::new(spec, clk, req));
+        b.watch(h.id(), req.id());
+        (b.build(), clk, req, h)
+    }
+
+    #[test]
+    fn free_runs_without_requests() {
+        let (mut sim, _, _, h) = harness(1);
+        sim.run_for(SimDuration::ns(100)).unwrap();
+        assert_eq!(sim.get(h).edges(), 10);
+        assert_eq!(sim.get(h).pauses(), 0);
+    }
+
+    #[test]
+    fn pauses_while_request_held() {
+        let (mut sim, _, req, h) = harness(1);
+        // Request well before the edge at 15ns, release at 40ns.
+        sim.drive(req.id(), Value::from(true), SimDuration::ns(11));
+        sim.drive(req.id(), Value::from(false), SimDuration::ns(40));
+        sim.run_for(SimDuration::ns(100)).unwrap();
+        let c = sim.get(h);
+        assert_eq!(c.pauses(), 1);
+        assert_eq!(c.metastable_events(), 0);
+        // Edge at 5 happened; 15/25/35 suppressed; resume at ~40.5.
+        assert!(c.edges() >= 6 && c.edges() <= 8, "edges = {}", c.edges());
+    }
+
+    #[test]
+    fn near_coincident_request_is_arbitrated_by_seed() {
+        // Drive the request to land exactly at a decision instant (t=15ns)
+        // and check that different seeds can produce different outcomes.
+        let outcome = |seed: u64| {
+            let (mut sim, _, req, h) = harness(seed);
+            sim.drive(req.id(), Value::from(true), SimDuration::ns(15));
+            sim.drive(req.id(), Value::from(false), SimDuration::ns(30));
+            sim.run_for(SimDuration::ns(60)).unwrap();
+            (sim.get(h).metastable_events(), sim.get(h).edges())
+        };
+        let results: Vec<(u64, u64)> = (0..16).map(outcome).collect();
+        assert!(results.iter().all(|(m, _)| *m >= 1), "window must trigger");
+        let edge_counts: std::collections::BTreeSet<u64> =
+            results.iter().map(|(_, e)| *e).collect();
+        assert!(
+            edge_counts.len() > 1,
+            "metastable arbitration should depend on the seed: {results:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_is_reproducible() {
+        let run = |seed| {
+            let (mut sim, clk, req, _) = harness(seed);
+            let mut b_trace = Vec::new();
+            sim.drive(req.id(), Value::from(true), SimDuration::ns(15));
+            sim.drive(req.id(), Value::from(false), SimDuration::ns(22));
+            sim.run_for(SimDuration::ns(200)).unwrap();
+            b_trace.push(sim.bit(clk));
+            b_trace
+        };
+        assert_eq!(run(7), run(7));
+    }
+}

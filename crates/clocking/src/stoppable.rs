@@ -1,0 +1,308 @@
+//! The escapement-style stoppable clock (Chapiro \[11\]).
+//!
+//! A ring oscillator whose enable interrupts the ring instead of gating its
+//! output: when `clken` is low at the instant a rising edge would be
+//! produced, the oscillator parks with the clock low (a *synchronous* stop
+//! — the final cycle completes cleanly). A rising `clken` restarts the
+//! oscillator *asynchronously* after a small restart delay, producing a
+//! full high phase with no runt pulses. This is the clock at the heart of
+//! every synchro-tokens wrapper.
+
+use st_sim::prelude::*;
+
+/// Timer tag used for oscillator phase boundaries.
+const TAG_PHASE: u64 = 0;
+
+/// A stoppable ring-oscillator clock generator.
+///
+/// # Protocol
+///
+/// * The clock starts **low** and produces its first rising edge one half
+///   period after time zero (if enabled).
+/// * Falling edges always complete; `clken` is sampled only at would-be
+///   rising edges (synchronous stop).
+/// * While parked, a `0 → 1` transition of `clken` produces a rising edge
+///   after [`StoppableClockSpec::restart_delay`] (asynchronous restart).
+/// * The half period is multiplied by `divider + 1` where `divider` is the
+///   current value of the optional frequency-control word (the paper's
+///   "digitally controlled" ring oscillator); the control is sampled at
+///   each phase boundary, so frequency changes are glitch-free.
+///
+/// # Examples
+///
+/// See the crate-level documentation for a complete example.
+#[derive(Debug)]
+pub struct StoppableClock {
+    spec: StoppableClockSpec,
+    clk: BitSignal,
+    clken: BitSignal,
+    freq_ctl: Option<WordSignal>,
+    parked: bool,
+    /// Statistics: rising edges produced.
+    edges: u64,
+    /// Statistics: number of synchronous stops taken.
+    stops: u64,
+}
+
+/// Static parameters of a [`StoppableClock`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoppableClockSpec {
+    /// Half of the nominal clock period (the ring's one-way delay).
+    pub half_period: SimDuration,
+    /// Delay from an asynchronous restart (`clken` rising while parked) to
+    /// the produced rising edge.
+    pub restart_delay: SimDuration,
+}
+
+impl StoppableClockSpec {
+    /// A spec with the given full period and a restart delay of one tenth
+    /// of the half period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero or not divisible by 2 femtoseconds.
+    pub fn from_period(period: SimDuration) -> Self {
+        assert!(!period.is_zero(), "clock period must be non-zero");
+        let half = period / 2;
+        assert!(!half.is_zero(), "clock period too small");
+        StoppableClockSpec {
+            half_period: half,
+            restart_delay: half / 10,
+        }
+    }
+}
+
+impl StoppableClock {
+    /// Creates the clock. `clken` high (or `X`, treated as enabled before
+    /// reset completes) lets it free-run; `freq_ctl`, when given, scales
+    /// the half period by `value + 1`.
+    pub fn new(spec: StoppableClockSpec, clk: BitSignal, clken: BitSignal) -> Self {
+        StoppableClock {
+            spec,
+            clk,
+            clken,
+            freq_ctl: None,
+            parked: false,
+            edges: 0,
+            stops: 0,
+        }
+    }
+
+    /// Adds a digital frequency-control input (clock-divider semantics).
+    pub fn with_freq_ctl(mut self, ctl: WordSignal) -> Self {
+        self.freq_ctl = Some(ctl);
+        self
+    }
+
+    /// The clock output signal.
+    pub fn clk(&self) -> BitSignal {
+        self.clk
+    }
+
+    /// Rising edges produced so far.
+    pub fn edges(&self) -> u64 {
+        self.edges
+    }
+
+    /// Synchronous stops taken so far.
+    pub fn stops(&self) -> u64 {
+        self.stops
+    }
+
+    /// True if the oscillator is currently parked (stopped).
+    pub fn is_parked(&self) -> bool {
+        self.parked
+    }
+
+    fn half(&self, ctx: &Ctx<'_>) -> SimDuration {
+        let mult = self
+            .freq_ctl
+            .and_then(|c| ctx.word(c))
+            .map_or(1, |v| v + 1);
+        self.spec.half_period * mult
+    }
+
+    fn enabled(&self, ctx: &Ctx<'_>) -> bool {
+        // X is treated as enabled so that a design without explicit reset
+        // logic starts clocking; the wrapper drives clken from Start.
+        !ctx.bit(self.clken).is_zero()
+    }
+}
+
+impl Component for StoppableClock {
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+        match cause {
+            Wake::Start => {
+                ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                let half = self.half(ctx);
+                ctx.set_timer(half, TAG_PHASE);
+            }
+            Wake::Timer(TAG_PHASE) => {
+                if self.parked {
+                    // A stale phase timer can fire if the clock was parked
+                    // after the timer was set; restarting re-arms timers.
+                    return;
+                }
+                let high = ctx.bit(self.clk).is_one();
+                if high {
+                    // Falling edges always complete.
+                    ctx.drive_bit(self.clk, Bit::Zero, SimDuration::ZERO);
+                    let half = self.half(ctx);
+                    ctx.set_timer(half, TAG_PHASE);
+                } else if self.enabled(ctx) {
+                    ctx.drive_bit(self.clk, Bit::One, SimDuration::ZERO);
+                    self.edges += 1;
+                    let half = self.half(ctx);
+                    ctx.set_timer(half, TAG_PHASE);
+                } else {
+                    // Synchronous stop: park with the clock low.
+                    self.parked = true;
+                    self.stops += 1;
+                }
+            }
+            Wake::Signal(sig) if sig == self.clken.id()
+                && self.parked && ctx.bit(self.clken).is_one() => {
+                    // Asynchronous restart: full high phase, no runt pulse.
+                    self.parked = false;
+                    ctx.drive_bit(self.clk, Bit::One, self.spec.restart_delay);
+                    self.edges += 1;
+                    let half = self.half(ctx);
+                    ctx.set_timer(self.spec.restart_delay + half, TAG_PHASE);
+                }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Harness {
+        sim: Simulator,
+        clk: BitSignal,
+        clken: BitSignal,
+        clock: Handle<StoppableClock>,
+    }
+
+    fn build(period_ns: u64) -> Harness {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let clken = b.add_bit_signal_init("clken", Bit::One);
+        b.trace(clk.id());
+        let spec = StoppableClockSpec::from_period(SimDuration::ns(period_ns));
+        let clock = b.add_component("clock", StoppableClock::new(spec, clk, clken));
+        b.watch(clock.id(), clken.id());
+        Harness {
+            sim: b.build(),
+            clk,
+            clken,
+            clock,
+        }
+    }
+
+    #[test]
+    fn free_runs_when_enabled() {
+        let mut h = build(10);
+        h.sim.run_for(SimDuration::ns(101)).unwrap();
+        // Rising edges at 5, 15, ..., 95 -> 10 edges.
+        assert_eq!(h.sim.get(h.clock).edges(), 10);
+        assert_eq!(h.sim.get(h.clock).stops(), 0);
+    }
+
+    #[test]
+    fn stops_synchronously_when_disabled() {
+        let mut h = build(10);
+        // Disable just after the second rising edge (t=15ns).
+        h.sim.drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
+        h.sim.run_for(SimDuration::ns(200)).unwrap();
+        // Edges at 5, 15; the would-be edge at 25 is suppressed.
+        assert_eq!(h.sim.get(h.clock).edges(), 2);
+        assert_eq!(h.sim.get(h.clock).stops(), 1);
+        assert!(h.sim.get(h.clock).is_parked());
+        assert_eq!(h.sim.bit(h.clk), Bit::Zero, "parks low");
+    }
+
+    #[test]
+    fn restarts_asynchronously() {
+        let mut h = build(10);
+        h.sim.drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
+        h.sim.drive(h.clken.id(), Value::from(true), SimDuration::ns(103));
+        h.sim.run_for(SimDuration::ns(200)).unwrap();
+        let clock = h.sim.get(h.clock);
+        assert!(!clock.is_parked());
+        // Restart edge at 103 + 0.5 = 103.5ns, then every 10ns.
+        let edges: Vec<SimTime> = h
+            .sim
+            .trace()
+            .changes(h.clk.id())
+            .filter(|(_, v)| *v == Value::from(true))
+            .map(|(t, _)| t)
+            .collect();
+        assert_eq!(edges[0], SimTime::ZERO + SimDuration::ns(5));
+        assert_eq!(edges[1], SimTime::ZERO + SimDuration::ns(15));
+        assert_eq!(
+            edges[2],
+            SimTime::ZERO + SimDuration::ns(103) + SimDuration::ps(500)
+        );
+        // Full high phase after restart: falling edge half a period later.
+        let first_fall_after_restart = h
+            .sim
+            .trace()
+            .changes(h.clk.id())
+            .find(|(t, v)| *t > edges[2] && *v == Value::from(false))
+            .unwrap()
+            .0;
+        assert_eq!(first_fall_after_restart, edges[2] + SimDuration::ns(5));
+    }
+
+    #[test]
+    fn no_runt_pulses_anywhere() {
+        let mut h = build(10);
+        // Abuse clken with rapid toggling.
+        for i in 0..20 {
+            let v = i % 2 == 0;
+            h.sim
+                .drive(h.clken.id(), Value::from(v), SimDuration::ns(7 * i + 3));
+        }
+        h.sim.run_for(SimDuration::ns(400)).unwrap();
+        // Every high phase must last exactly one half period (5ns).
+        let changes: Vec<(SimTime, Value)> = h.sim.trace().changes(h.clk.id()).collect();
+        let mut rise_at = None;
+        for (t, v) in changes {
+            match v {
+                Value::Bit(Bit::One) => rise_at = Some(t),
+                Value::Bit(Bit::Zero) => {
+                    if let Some(r) = rise_at.take() {
+                        assert_eq!(t.since(r), SimDuration::ns(5), "high phase must be full");
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_control_scales_period() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let clken = b.add_bit_signal_init("clken", Bit::One);
+        let ctl = b.add_word_signal_init("freq", 1); // divide by 2
+        let spec = StoppableClockSpec::from_period(SimDuration::ns(10));
+        let clock = b.add_component(
+            "clock",
+            StoppableClock::new(spec, clk, clken).with_freq_ctl(ctl),
+        );
+        b.watch(clock.id(), clken.id());
+        let mut sim = b.build();
+        sim.run_for(SimDuration::ns(101)).unwrap();
+        // Effective period 20ns: rising edges at 10, 30, 50, 70, 90.
+        assert_eq!(sim.get(clock).edges(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_period_rejected() {
+        let _ = StoppableClockSpec::from_period(SimDuration::ZERO);
+    }
+}

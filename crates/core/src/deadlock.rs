@@ -1,0 +1,228 @@
+//! Deadlock analysis and the prevention design rule.
+//!
+//! §5: "A synchro-tokens system may deadlock if there is a cyclic
+//! dependency among a set of SBs in which each has stopped its clock to
+//! wait for a late token. Whether or not deadlock occurs is
+//! deterministic; thus, no detection or recovery methodology is needed.
+//! A set of deadlock-preventing design rules which govern the choice of
+//! hold and recycle register values for a given system topology has been
+//! formally derived. The details are beyond the scope of this paper."
+//!
+//! The omitted rules are reconstructed here from first principles:
+//!
+//! * An SB stopped on ring `r` waits for `r`'s (unique) token. That token
+//!   is either in flight (it will arrive and restart the clock) or frozen
+//!   inside a peer whose *own* clock is stopped — necessarily by a
+//!   *different* ring. Deadlock therefore requires a cycle of SBs
+//!   connected by **distinct stall-capable rings**.
+//! * A ring cannot stall if its recycle registers satisfy the worst-case
+//!   round-trip bound ([`crate::rules::min_recycle_estimate`]).
+//! * Hence the prevention rule: the multigraph over SBs whose edges are
+//!   the *stall-capable* rings must be acyclic (every connected component
+//!   a tree). Making any one ring per cycle stall-free breaks the cycle.
+
+use crate::rules::{min_recycle_estimate, ScaleRange};
+use crate::spec::{RingId, SystemSpec};
+use std::fmt;
+
+/// Analysis verdict for one system/scale-range combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeadlockAnalysis {
+    /// Rings that may stall a clock somewhere in the scale range.
+    pub stall_capable: Vec<RingId>,
+    /// True when the stall-capable multigraph is acyclic (deadlock
+    /// impossible under the reconstruction above).
+    pub deadlock_free: bool,
+    /// One ring per independent cycle whose recycle registers, if raised
+    /// to the stall-free bound, would restore deadlock freedom.
+    pub suggested_fixes: Vec<RingId>,
+}
+
+impl fmt::Display for DeadlockAnalysis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.deadlock_free {
+            write!(
+                f,
+                "deadlock-free ({} stall-capable ring(s), no cycle)",
+                self.stall_capable.len()
+            )
+        } else {
+            write!(
+                f,
+                "deadlock POSSIBLE: stall-capable cycle; raise recycle on {:?}",
+                self.suggested_fixes
+            )
+        }
+    }
+}
+
+/// True when `ring` can stall a clock somewhere in `scales`: one of its
+/// recycle registers is below the worst-case round-trip bound.
+pub fn ring_may_stall(spec: &SystemSpec, ring: RingId, scales: ScaleRange) -> bool {
+    let r = &spec.rings[ring.0];
+    let need_holder = min_recycle_estimate(spec, ring, r.holder, scales);
+    let need_peer = min_recycle_estimate(spec, ring, r.peer, scales);
+    r.holder_node.recycle < need_holder || r.peer_node.recycle < need_peer
+}
+
+/// Union-find over SB indices.
+struct Dsu(Vec<usize>);
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Dsu((0..n).collect())
+    }
+    fn find(&mut self, x: usize) -> usize {
+        if self.0[x] != x {
+            let root = self.find(self.0[x]);
+            self.0[x] = root;
+        }
+        self.0[x]
+    }
+    /// Returns false if `a` and `b` were already connected (cycle edge).
+    fn union(&mut self, a: usize, b: usize) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.0[ra] = rb;
+        true
+    }
+}
+
+/// Analyzes the spec for deadlock potential across `scales`.
+pub fn analyze(spec: &SystemSpec, scales: ScaleRange) -> DeadlockAnalysis {
+    let stall_capable: Vec<RingId> = (0..spec.rings.len())
+        .map(RingId)
+        .filter(|r| ring_may_stall(spec, *r, scales))
+        .collect();
+    // Cycle detection in the stall-capable multigraph: an edge whose
+    // endpoints are already connected closes a cycle.
+    let mut dsu = Dsu::new(spec.sbs.len());
+    let mut cycle_edges = Vec::new();
+    for rid in &stall_capable {
+        let r = &spec.rings[rid.0];
+        if !dsu.union(r.holder.0, r.peer.0) {
+            cycle_edges.push(*rid);
+        }
+    }
+    DeadlockAnalysis {
+        deadlock_free: cycle_edges.is_empty(),
+        suggested_fixes: cycle_edges,
+        stall_capable,
+    }
+}
+
+/// Applies the prevention rule: raises the recycle registers of every
+/// suggested ring to the stall-free bound, returning the fixed spec.
+pub fn apply_prevention_rule(mut spec: SystemSpec, scales: ScaleRange) -> SystemSpec {
+    loop {
+        let analysis = analyze(&spec, scales);
+        if analysis.deadlock_free {
+            return spec;
+        }
+        for rid in analysis.suggested_fixes {
+            let (holder, peer) = {
+                let r = &spec.rings[rid.0];
+                (r.holder, r.peer)
+            };
+            spec.rings[rid.0].holder_node.recycle =
+                min_recycle_estimate(&spec, rid, holder, scales);
+            spec.rings[rid.0].peer_node.recycle = min_recycle_estimate(&spec, rid, peer, scales);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{build_e1, e1_spec, starved_triangle_spec as starved_triangle};
+    use crate::spec::{NodeParams, SbId, SystemSpec};
+    use crate::system::RunOutcome;
+    use st_sim::time::SimDuration;
+
+    #[test]
+    fn starved_triangle_flagged_and_deadlocks_in_simulation() {
+        let spec = starved_triangle();
+        let analysis = analyze(&spec, ScaleRange::NOMINAL);
+        assert!(!analysis.deadlock_free, "{analysis}");
+        assert_eq!(analysis.stall_capable.len(), 3);
+        assert!(!analysis.suggested_fixes.is_empty());
+        // And the simulator agrees.
+        let mut sys = build_e1(spec, 0, 10);
+        let out = sys.run_until_cycles(500, SimDuration::us(500)).unwrap();
+        assert!(
+            matches!(out, RunOutcome::Deadlock { .. }),
+            "expected deadlock, got {out:?}"
+        );
+    }
+
+    #[test]
+    fn deadlock_is_deterministic() {
+        // "Whether or not deadlock occurs is deterministic": the stall
+        // pattern (which SBs, at which local cycle) repeats exactly.
+        let observe = || {
+            let mut sys = build_e1(starved_triangle(), 0, 10);
+            let out = sys.run_until_cycles(500, SimDuration::us(500)).unwrap();
+            let stopped = match out {
+                RunOutcome::Deadlock { stopped } => stopped,
+                other => panic!("expected deadlock, got {other:?}"),
+            };
+            let cycles: Vec<u64> = (0..3).map(|i| sys.cycles(SbId(i))).collect();
+            (stopped, cycles)
+        };
+        assert_eq!(observe(), observe());
+    }
+
+    #[test]
+    fn prevention_rule_fixes_the_triangle() {
+        let fixed = apply_prevention_rule(starved_triangle(), ScaleRange::NOMINAL);
+        let analysis = analyze(&fixed, ScaleRange::NOMINAL);
+        assert!(analysis.deadlock_free, "{analysis}");
+        // Simulation completes.
+        let mut sys = build_e1(fixed, 0, 10);
+        let out = sys.run_until_cycles(300, SimDuration::us(2000)).unwrap();
+        assert_eq!(out, RunOutcome::Reached);
+    }
+
+    #[test]
+    fn calibrated_e1_platform_is_deadlock_free_at_nominal() {
+        let analysis = analyze(&e1_spec(), ScaleRange::NOMINAL);
+        assert!(
+            analysis.deadlock_free,
+            "calibrated platform must not deadlock: {analysis}"
+        );
+    }
+
+    #[test]
+    fn single_stalling_ring_is_never_deadlock() {
+        let mut s = SystemSpec::default();
+        let a = s.add_sb("a", SimDuration::ns(10));
+        let b = s.add_sb("b", SimDuration::ns(10));
+        let r = s.add_ring(a, b, NodeParams::new(2, 1), SimDuration::us(1));
+        s.add_channel(a, b, r, 8, 2, SimDuration::ps(200));
+        let analysis = analyze(&s, ScaleRange::NOMINAL);
+        assert_eq!(analysis.stall_capable.len(), 1);
+        assert!(analysis.deadlock_free, "a tree cannot deadlock");
+        // The system stalls (slowly) but always makes progress.
+        let mut sys = build_e1(s, 0, 10);
+        let out = sys.run_until_cycles(20, SimDuration::us(500)).unwrap();
+        assert_eq!(out, RunOutcome::Reached);
+    }
+
+    #[test]
+    fn display_formats() {
+        let free = DeadlockAnalysis {
+            stall_capable: vec![],
+            deadlock_free: true,
+            suggested_fixes: vec![],
+        };
+        assert!(free.to_string().contains("deadlock-free"));
+        let bad = DeadlockAnalysis {
+            stall_capable: vec![RingId(0)],
+            deadlock_free: false,
+            suggested_fixes: vec![RingId(0)],
+        };
+        assert!(bad.to_string().contains("POSSIBLE"));
+    }
+}

@@ -1,0 +1,392 @@
+//! The E1 determinism campaign harness.
+//!
+//! Reproduces the paper's §5 validation: "Scenarios in which one or more
+//! of the delays could change to 50 %, 75 %, 150 %, or 200 % of their
+//! nominal values were simulated. The data sequences on each SB's I/Os
+//! were monitored for the first 100 local clock cycles and compared with
+//! the data sequences associated with the nominal delay settings. In all
+//! simulations — over 16,000 of them — all data sequences were found to
+//! match exactly. However, when the synchro-tokens control logic was
+//! bypassed …, the data sequences were observed to be nondeterministic."
+//!
+//! A [`DelayConfig`] assigns a percentage to every delay knob in a
+//! [`SystemSpec`] (per-SB clock period, per-ring per-direction wire
+//! delay, per-channel FIFO stage delay). The campaign enumerates
+//! one-factor-at-a-time corners exhaustively and fills the remaining
+//! budget with seeded random multi-factor configurations, comparing each
+//! run's per-SB I/O digests against the nominal run.
+
+use crate::spec::{SbId, SystemSpec};
+use crate::system::{RunOutcome, System};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_sim::time::SimDuration;
+use std::fmt;
+
+/// The paper's delay multipliers, in percent.
+pub const PAPER_SCALES: [u64; 5] = [50, 75, 100, 150, 200];
+
+/// A complete assignment of delay scalings to a system's knobs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DelayConfig {
+    /// Percentage per SB clock period.
+    pub clock_pct: Vec<u64>,
+    /// Percentage per ring: `(forward, back)` wire delays.
+    pub ring_pct: Vec<(u64, u64)>,
+    /// Percentage per channel FIFO stage delay.
+    pub fifo_pct: Vec<u64>,
+}
+
+impl DelayConfig {
+    /// The all-nominal configuration for `spec`.
+    pub fn nominal(spec: &SystemSpec) -> Self {
+        DelayConfig {
+            clock_pct: vec![100; spec.sbs.len()],
+            ring_pct: vec![(100, 100); spec.rings.len()],
+            fifo_pct: vec![100; spec.channels.len()],
+        }
+    }
+
+    /// Number of independently scalable delay knobs.
+    pub fn knobs(&self) -> usize {
+        self.clock_pct.len() + 2 * self.ring_pct.len() + self.fifo_pct.len()
+    }
+
+    /// Sets knob `k` (in the order clocks, ring-fwd/back pairs, FIFOs).
+    pub fn set_knob(&mut self, k: usize, pct: u64) {
+        let nc = self.clock_pct.len();
+        let nr = self.ring_pct.len();
+        if k < nc {
+            self.clock_pct[k] = pct;
+        } else if k < nc + 2 * nr {
+            let r = (k - nc) / 2;
+            if (k - nc).is_multiple_of(2) {
+                self.ring_pct[r].0 = pct;
+            } else {
+                self.ring_pct[r].1 = pct;
+            }
+        } else {
+            self.fifo_pct[k - nc - 2 * nr] = pct;
+        }
+    }
+
+    /// Applies the scalings to a copy of `spec`.
+    pub fn apply(&self, spec: &SystemSpec) -> SystemSpec {
+        let mut s = spec.clone();
+        for (sb, pct) in s.sbs.iter_mut().zip(&self.clock_pct) {
+            sb.period = sb.period.percent(*pct);
+        }
+        for (ring, (fwd, back)) in s.rings.iter_mut().zip(&self.ring_pct) {
+            ring.delay_fwd = ring.delay_fwd.percent(*fwd);
+            ring.delay_back = ring.delay_back.percent(*back);
+        }
+        for (ch, pct) in s.channels.iter_mut().zip(&self.fifo_pct) {
+            ch.stage_delay = ch.stage_delay.percent(*pct);
+        }
+        s
+    }
+
+    /// A deterministic 64-bit fingerprint (used to seed bypass-mode
+    /// metastability per configuration, mirroring how real silicon's
+    /// resolution depends on its analog operating point).
+    pub fn fingerprint(&self) -> u64 {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Multipliers to draw from (default: the paper's five).
+    pub scales: Vec<u64>,
+    /// Local cycles to compare per SB (paper: 100).
+    pub compare_cycles: u64,
+    /// Total number of non-nominal runs (paper: > 16,000).
+    pub runs: usize,
+    /// Seed for the random configuration sampler.
+    pub seed: u64,
+    /// Build the bypassed (nondeterministic baseline) system instead.
+    pub bypass: bool,
+    /// Simulated-time budget per run.
+    pub max_time: SimDuration,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            scales: PAPER_SCALES.to_vec(),
+            compare_cycles: 100,
+            runs: 200,
+            seed: 0xE1,
+            bypass: false,
+            max_time: SimDuration::us(3000),
+        }
+    }
+}
+
+/// One run's comparison against nominal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunComparison {
+    /// The configuration exercised.
+    pub config: DelayConfig,
+    /// Whether every SB's first `compare_cycles` I/O rows matched nominal.
+    pub matched: bool,
+    /// First divergent cycle per SB (`None` = no divergence).
+    pub divergences: Vec<Option<u64>>,
+    /// Whether the run completed (`false` = deadlock/timeout).
+    pub completed: bool,
+}
+
+/// Aggregate campaign outcome.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignResult {
+    /// Total non-nominal runs executed.
+    pub total: usize,
+    /// Runs whose sequences matched nominal exactly.
+    pub matches: usize,
+    /// Details of every mismatching run (kept small on a passing
+    /// campaign).
+    pub mismatches: Vec<RunComparison>,
+    /// Runs that failed to complete.
+    pub incomplete: usize,
+}
+
+impl CampaignResult {
+    /// True when every completed run matched.
+    pub fn all_match(&self) -> bool {
+        self.mismatches.is_empty() && self.incomplete == 0
+    }
+
+    /// Fraction of runs that matched nominal.
+    pub fn match_rate(&self) -> f64 {
+        if self.total == 0 {
+            return 1.0;
+        }
+        self.matches as f64 / self.total as f64
+    }
+}
+
+impl fmt::Display for CampaignResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs: {} matched nominal ({:.2} %), {} mismatched, {} incomplete",
+            self.total,
+            self.matches,
+            100.0 * self.match_rate(),
+            self.mismatches.len(),
+            self.incomplete
+        )
+    }
+}
+
+/// A function that builds a ready-to-run system from a (scaled) spec and
+/// a seed. See [`crate::scenarios::build_e1`] / `build_e1_bypass`.
+pub type BuildFn<'a> = dyn Fn(SystemSpec, u64) -> System + 'a;
+
+/// Runs one configuration and returns its per-SB traces' comparison with
+/// the supplied nominal digests.
+fn run_one(
+    base: &SystemSpec,
+    config: &DelayConfig,
+    cfg: &CampaignConfig,
+    build: &BuildFn<'_>,
+    nominal: &[crate::iotrace::SbIoTrace],
+) -> RunComparison {
+    let spec = config.apply(base);
+    let seed = if cfg.bypass { config.fingerprint() } else { 0 };
+    let mut sys = build(spec, seed);
+    let outcome = sys.run_until_cycles(cfg.compare_cycles, cfg.max_time);
+    let completed = matches!(outcome, Ok(RunOutcome::Reached));
+    let mut divergences = Vec::with_capacity(base.sbs.len());
+    let mut matched = completed;
+    for (i, reference) in nominal.iter().enumerate() {
+        let trace = sys.io_trace(SbId(i));
+        let d = reference.first_divergence(trace);
+        if d.is_some() || !trace.matches_for(reference, cfg.compare_cycles as usize) {
+            matched = false;
+        }
+        divergences.push(d);
+    }
+    RunComparison {
+        config: config.clone(),
+        matched,
+        divergences,
+        completed,
+    }
+}
+
+/// Runs the full campaign: nominal reference, exhaustive one-factor
+/// corners, then seeded random multi-factor configurations up to
+/// `cfg.runs`.
+pub fn run_campaign(base: &SystemSpec, cfg: &CampaignConfig, build: &BuildFn<'_>) -> CampaignResult {
+    // Reference run.
+    let nominal_cfg = DelayConfig::nominal(base);
+    let seed = if cfg.bypass {
+        nominal_cfg.fingerprint()
+    } else {
+        0
+    };
+    let mut nominal_sys = build(nominal_cfg.apply(base), seed);
+    let outcome = nominal_sys.run_until_cycles(cfg.compare_cycles, cfg.max_time);
+    assert!(
+        matches!(outcome, Ok(RunOutcome::Reached)),
+        "nominal run failed: {outcome:?}"
+    );
+    let nominal: Vec<_> = (0..base.sbs.len())
+        .map(|i| nominal_sys.io_trace(SbId(i)).clone())
+        .collect();
+
+    let mut result = CampaignResult::default();
+    let record = |cmp: RunComparison, result: &mut CampaignResult| {
+        result.total += 1;
+        if !cmp.completed {
+            result.incomplete += 1;
+        }
+        if cmp.matched {
+            result.matches += 1;
+        } else {
+            result.mismatches.push(cmp);
+        }
+    };
+
+    // Exhaustive one-factor-at-a-time corners.
+    let knobs = nominal_cfg.knobs();
+    'outer: for k in 0..knobs {
+        for &pct in &cfg.scales {
+            if pct == 100 {
+                continue;
+            }
+            if result.total >= cfg.runs {
+                break 'outer;
+            }
+            let mut c = DelayConfig::nominal(base);
+            c.set_knob(k, pct);
+            let cmp = run_one(base, &c, cfg, build, &nominal);
+            record(cmp, &mut result);
+        }
+    }
+
+    // Random multi-factor configurations.
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    while result.total < cfg.runs {
+        let mut c = DelayConfig::nominal(base);
+        for k in 0..knobs {
+            let pct = cfg.scales[rng.gen_range(0..cfg.scales.len())];
+            c.set_knob(k, pct);
+        }
+        let cmp = run_one(base, &c, cfg, build, &nominal);
+        record(cmp, &mut result);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::{build_e1, build_e1_bypass, e1_spec, producer_consumer_spec};
+    use crate::logic::{SequenceSource, SinkCollect};
+    use crate::spec::SbId;
+    use crate::system::SystemBuilder;
+
+    #[test]
+    fn knob_indexing_covers_every_field() {
+        let spec = e1_spec();
+        let mut c = DelayConfig::nominal(&spec);
+        assert_eq!(c.knobs(), 3 + 6 + 6);
+        for k in 0..c.knobs() {
+            c.set_knob(k, 50);
+        }
+        assert!(c.clock_pct.iter().all(|p| *p == 50));
+        assert!(c.ring_pct.iter().all(|p| *p == (50, 50)));
+        assert!(c.fifo_pct.iter().all(|p| *p == 50));
+        let scaled = c.apply(&spec);
+        assert_eq!(scaled.sbs[0].period, spec.sbs[0].period.percent(50));
+        assert_eq!(scaled.rings[1].delay_back, spec.rings[1].delay_back.percent(50));
+        assert_eq!(
+            scaled.channels[5].stage_delay,
+            spec.channels[5].stage_delay.percent(50)
+        );
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let spec = e1_spec();
+        let a = DelayConfig::nominal(&spec);
+        let mut b = DelayConfig::nominal(&spec);
+        b.set_knob(0, 150);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), DelayConfig::nominal(&spec).fingerprint());
+    }
+
+    #[test]
+    fn small_synchro_campaign_matches_everywhere() {
+        let spec = e1_spec();
+        let cfg = CampaignConfig {
+            runs: 40,
+            compare_cycles: 60,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&spec, &cfg, &|s, seed| build_e1(s, seed, 60));
+        assert_eq!(result.total, 40);
+        assert!(
+            result.all_match(),
+            "synchro-tokens must be deterministic: {result}"
+        );
+    }
+
+    #[test]
+    fn small_bypass_campaign_diverges() {
+        let spec = e1_spec();
+        let cfg = CampaignConfig {
+            runs: 30,
+            compare_cycles: 60,
+            bypass: true,
+            ..CampaignConfig::default()
+        };
+        let result = run_campaign(&spec, &cfg, &|s, seed| build_e1_bypass(s, seed, 60));
+        assert!(
+            !result.mismatches.is_empty(),
+            "bypass mode should be nondeterministic: {result}"
+        );
+    }
+
+    #[test]
+    fn pair_campaign_with_custom_logic() {
+        // The harness works for any topology/logic combination.
+        let spec = producer_consumer_spec();
+        let cfg = CampaignConfig {
+            runs: 12,
+            compare_cycles: 80,
+            ..CampaignConfig::default()
+        };
+        let build = |s: SystemSpec, _seed: u64| {
+            SystemBuilder::new(s)
+                .unwrap()
+                .with_logic(SbId(0), SequenceSource::new(1, 1))
+                .with_logic(SbId(1), SinkCollect::new())
+                .with_trace_limit(80)
+                .build()
+        };
+        let result = run_campaign(&spec, &cfg, &build);
+        assert!(result.all_match(), "{result}");
+    }
+
+    #[test]
+    fn result_display_reports_rates() {
+        let r = CampaignResult {
+            total: 10,
+            matches: 9,
+            mismatches: vec![],
+            incomplete: 1,
+        };
+        let s = r.to_string();
+        assert!(s.contains("10 runs"));
+        assert!(s.contains("90.00 %"));
+        assert!(!r.all_match());
+    }
+}

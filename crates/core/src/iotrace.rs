@@ -1,0 +1,284 @@
+//! Per-SB I/O sequence capture — the observable whose invariance defines
+//! determinism.
+//!
+//! The paper's §5 experiment monitors "the data sequences on each SB's
+//! I/Os … for the first 100 local clock cycles" and compares them across
+//! delay configurations. [`SbIoTrace`] is that record: one row per local
+//! cycle, carrying what every input presented and what every output
+//! transmitted. Two runs are *deterministically equivalent* when the
+//! traces of every SB match exactly.
+
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// One local clock cycle's I/O, in channel order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TraceRow {
+    /// 0-based local cycle index (never counts stopped-clock time).
+    pub cycle: u64,
+    /// Word presented by each input channel this cycle (`None` = nothing).
+    pub reads: Vec<Option<u64>>,
+    /// Word transmitted on each output channel this cycle.
+    pub writes: Vec<Option<u64>>,
+}
+
+/// The captured I/O sequence of one synchronous block.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SbIoTrace {
+    rows: Vec<TraceRow>,
+    limit: usize,
+}
+
+impl SbIoTrace {
+    /// A trace that records at most `limit` cycles (0 = unlimited).
+    pub fn with_limit(limit: usize) -> Self {
+        SbIoTrace {
+            rows: Vec::new(),
+            limit,
+        }
+    }
+
+    /// Appends a row if the limit allows.
+    pub fn record(&mut self, row: TraceRow) {
+        if self.limit == 0 || self.rows.len() < self.limit {
+            self.rows.push(row);
+        }
+    }
+
+    /// The recorded rows.
+    pub fn rows(&self) -> &[TraceRow] {
+        &self.rows
+    }
+
+    /// Number of recorded cycles.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// A stable 64-bit digest of the whole sequence (for campaign-scale
+    /// comparison without keeping every trace in memory).
+    pub fn digest(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        for row in &self.rows {
+            row.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// First cycle index at which the traces differ, comparing the common
+    /// prefix; `None` if the compared prefix matches (length differences
+    /// over `min_len` are ignored).
+    pub fn first_divergence(&self, other: &SbIoTrace) -> Option<u64> {
+        self.rows
+            .iter()
+            .zip(&other.rows)
+            .find(|(a, b)| a != b)
+            .map(|(a, _)| a.cycle)
+    }
+
+    /// True when both traces recorded at least `cycles` rows and agree on
+    /// all of the first `cycles`.
+    pub fn matches_for(&self, other: &SbIoTrace, cycles: usize) -> bool {
+        self.rows.len() >= cycles
+            && other.rows.len() >= cycles
+            && self.rows[..cycles] == other.rows[..cycles]
+    }
+
+    /// All words delivered on input `idx`, in cycle order.
+    pub fn input_words(&self, idx: usize) -> Vec<u64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.reads.get(idx).copied().flatten())
+            .collect()
+    }
+
+    /// All words transmitted on output `idx`, in cycle order.
+    pub fn output_words(&self, idx: usize) -> Vec<u64> {
+        self.rows
+            .iter()
+            .filter_map(|r| r.writes.get(idx).copied().flatten())
+            .collect()
+    }
+
+    /// A human-readable report of the first divergence against a
+    /// reference trace, with `context` rows either side — what a debug
+    /// engineer wants from a failed campaign run.
+    pub fn diff_report(&self, reference: &SbIoTrace, context: usize) -> String {
+        use std::fmt::Write as _;
+        let Some(cycle) = reference.first_divergence(self) else {
+            return "traces match over the compared prefix".to_owned();
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "first divergence at local cycle {cycle}:");
+        let idx = self
+            .rows
+            .iter()
+            .position(|r| r.cycle == cycle)
+            .unwrap_or(self.rows.len());
+        let lo = idx.saturating_sub(context);
+        let hi = (idx + context + 1).min(self.rows.len()).min(reference.rows.len());
+        for i in lo..hi {
+            let (got, want) = (&self.rows[i], &reference.rows[i]);
+            let marker = if got == want { ' ' } else { '>' };
+            let _ = writeln!(
+                out,
+                "{marker} c{:>4}  got  in:{:?} out:{:?}",
+                got.cycle, got.reads, got.writes
+            );
+            if got != want {
+                let _ = writeln!(
+                    out,
+                    "{marker} c{:>4}  want in:{:?} out:{:?}",
+                    want.cycle, want.reads, want.writes
+                );
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for SbIoTrace {
+    /// Prints one line per *active* cycle (cycles with any I/O).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            let active =
+                row.reads.iter().any(Option::is_some) || row.writes.iter().any(Option::is_some);
+            if !active {
+                continue;
+            }
+            write!(f, "c{:>4}  in:", row.cycle)?;
+            for r in &row.reads {
+                match r {
+                    Some(w) => write!(f, " {w:>6}")?,
+                    None => write!(f, "      -")?,
+                }
+            }
+            write!(f, "  out:")?;
+            for w in &row.writes {
+                match w {
+                    Some(w) => write!(f, " {w:>6}")?,
+                    None => write!(f, "      -")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(cycle: u64, read: Option<u64>, write: Option<u64>) -> TraceRow {
+        TraceRow {
+            cycle,
+            reads: vec![read],
+            writes: vec![write],
+        }
+    }
+
+    #[test]
+    fn limit_caps_recording() {
+        let mut t = SbIoTrace::with_limit(2);
+        for c in 0..5 {
+            t.record(row(c, None, None));
+        }
+        assert_eq!(t.len(), 2);
+        let mut unlimited = SbIoTrace::with_limit(0);
+        for c in 0..5 {
+            unlimited.record(row(c, None, None));
+        }
+        assert_eq!(unlimited.len(), 5);
+        assert!(!unlimited.is_empty());
+    }
+
+    #[test]
+    fn digest_is_stable_and_sensitive() {
+        let mut a = SbIoTrace::with_limit(0);
+        let mut b = SbIoTrace::with_limit(0);
+        for c in 0..10 {
+            a.record(row(c, Some(c), None));
+            b.record(row(c, Some(c), None));
+        }
+        assert_eq!(a.digest(), b.digest());
+        b.record(row(10, Some(999), None));
+        // Prefix digest differs from longer trace digest.
+        assert_ne!(a.digest(), b.digest());
+        let mut c_trace = SbIoTrace::with_limit(0);
+        for c in 0..10 {
+            c_trace.record(row(c, Some(c + 1), None));
+        }
+        assert_ne!(a.digest(), c_trace.digest());
+    }
+
+    #[test]
+    fn divergence_reports_first_mismatching_cycle() {
+        let mut a = SbIoTrace::with_limit(0);
+        let mut b = SbIoTrace::with_limit(0);
+        for c in 0..10 {
+            a.record(row(c, Some(c), None));
+            b.record(row(c, Some(if c == 7 { 99 } else { c }), None));
+        }
+        assert_eq!(a.first_divergence(&b), Some(7));
+        assert_eq!(a.first_divergence(&a.clone()), None);
+    }
+
+    #[test]
+    fn matches_for_requires_full_prefix() {
+        let mut a = SbIoTrace::with_limit(0);
+        let mut b = SbIoTrace::with_limit(0);
+        for c in 0..10 {
+            a.record(row(c, Some(c), None));
+        }
+        for c in 0..5 {
+            b.record(row(c, Some(c), None));
+        }
+        assert!(a.matches_for(&b, 5));
+        assert!(!a.matches_for(&b, 6), "b is too short for 6 cycles");
+    }
+
+    #[test]
+    fn word_extraction_skips_gaps() {
+        let mut t = SbIoTrace::with_limit(0);
+        t.record(row(0, Some(1), Some(10)));
+        t.record(row(1, None, None));
+        t.record(row(2, Some(3), Some(30)));
+        assert_eq!(t.input_words(0), vec![1, 3]);
+        assert_eq!(t.output_words(0), vec![10, 30]);
+        assert!(t.input_words(5).is_empty());
+    }
+
+    #[test]
+    fn diff_report_pinpoints_the_divergence() {
+        let mut a = SbIoTrace::with_limit(0);
+        let mut b = SbIoTrace::with_limit(0);
+        for c in 0..10 {
+            a.record(row(c, Some(c), None));
+            b.record(row(c, Some(if c == 6 { 99 } else { c }), None));
+        }
+        let report = b.diff_report(&a, 2);
+        assert!(report.contains("local cycle 6"));
+        assert!(report.contains("99"));
+        assert!(report.lines().any(|l| l.starts_with('>')));
+        assert_eq!(a.diff_report(&a.clone(), 2), "traces match over the compared prefix");
+    }
+
+    #[test]
+    fn display_skips_idle_cycles() {
+        let mut t = SbIoTrace::with_limit(0);
+        t.record(row(0, Some(1), None));
+        t.record(row(1, None, None));
+        t.record(row(2, None, Some(5)));
+        let s = t.to_string();
+        assert!(s.contains("c   0"));
+        assert!(!s.contains("c   1"));
+        assert!(s.contains("c   2"));
+    }
+}

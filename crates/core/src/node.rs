@@ -1,0 +1,433 @@
+//! The token-ring node state machine (paper Figure 2).
+//!
+//! A node decides, *by counting local clock cycles alone*, when its SB's
+//! interfaces are enabled and when the token departs — it never chooses
+//! between an asynchronous event and a clock edge, which is why the system
+//! stays deterministic. This module is the pure (kernel-free) FSM; the
+//! wrapper in [`crate::wrapper`] wires it to real signals.
+//!
+//! Mapping to the waveform events annotated A–M in the paper's Figure 2:
+//!
+//! | Event | Here |
+//! |---|---|
+//! | A — incoming token arrives | [`NodeFsm::token_arrived`] latching `has_token` |
+//! | B — recycle counter reaches zero | `Recycling` branch of [`NodeFsm::on_posedge`] |
+//! | C — `sbena` enables the interfaces | [`NodeFsm::interfaces_enabled`] true |
+//! | D — hold counter decrements each cycle | `Holding` branch |
+//! | E — hold counter presets | `Holding` branch at zero |
+//! | F — token is passed | [`PosedgeAction::pass_token`] |
+//! | G — SBs disabled | `sbena` false after the pass |
+//! | H — recycle counter decrements | `Recycling` branch |
+//! | I — `clken` deasserted | [`NodeFsm::clock_enabled`] false |
+//! | J — clock synchronously stopped | wrapper + `StoppableClock` |
+//! | K — token returns | [`NodeFsm::token_arrived`] while `Stopped` |
+//! | L — clock asynchronously restarted | [`TokenAction::RestartClock`] |
+//! | M — other nodes keep holding | per-node FSMs, ANDed `clken` |
+
+use crate::spec::NodeParams;
+use std::fmt;
+
+/// The node's phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodePhase {
+    /// Token held; the node's interfaces are enabled.
+    Holding,
+    /// Token passed; counting down until it is expected back.
+    Recycling,
+    /// Recycle count expired with no token: the local clock is stopped.
+    Stopped,
+}
+
+impl fmt::Display for NodePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodePhase::Holding => write!(f, "holding"),
+            NodePhase::Recycling => write!(f, "recycling"),
+            NodePhase::Stopped => write!(f, "stopped"),
+        }
+    }
+}
+
+/// What the wrapper must do after a clock edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PosedgeAction {
+    /// Send the token to the peer node now.
+    pub pass_token: bool,
+    /// The node entered `Stopped`: deassert this node's clock enable.
+    pub stop_clock: bool,
+}
+
+/// What the wrapper must do when a token arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenAction {
+    /// Nothing; the token was latched for later.
+    Latched,
+    /// The node was `Stopped`: reassert clock enable (asynchronous
+    /// restart).
+    RestartClock,
+}
+
+/// The pure node state machine.
+///
+/// Call [`on_posedge`](NodeFsm::on_posedge) once per local clock rising
+/// edge *before* the SB's interfaces are evaluated for that cycle, and
+/// [`token_arrived`](NodeFsm::token_arrived) whenever the ring delivers
+/// the token (any wall-clock time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeFsm {
+    params: NodeParams,
+    phase: NodePhase,
+    hold_ctr: u32,
+    recycle_ctr: u32,
+    has_token: bool,
+    /// Debug hook (§4.2): while set, a holding node keeps the token
+    /// indefinitely — the basis of deterministic breakpoints and
+    /// single-stepping.
+    hold_indefinitely: bool,
+    /// Statistics: tokens passed.
+    passes: u64,
+    /// Statistics: clock stops caused by this node.
+    stops: u64,
+    /// Statistics: tokens that arrived early (before the recycle count
+    /// expired).
+    early_tokens: u64,
+}
+
+impl NodeFsm {
+    /// A node that starts holding the token (interfaces enabled from the
+    /// first cycle).
+    pub fn new_holder(params: NodeParams) -> Self {
+        NodeFsm {
+            params,
+            phase: NodePhase::Holding,
+            hold_ctr: params.hold,
+            recycle_ctr: params.recycle,
+            has_token: false,
+            hold_indefinitely: false,
+            passes: 0,
+            stops: 0,
+            early_tokens: 0,
+        }
+    }
+
+    /// A node that starts waiting for the token, with the recycle counter
+    /// preset to `initial_recycle` (clamped to at least 1). The preset
+    /// sets the *phase* of the node's first recognition; subsequent
+    /// rotations use `params.recycle`.
+    pub fn new_waiter(params: NodeParams, initial_recycle: u32) -> Self {
+        NodeFsm {
+            params,
+            phase: NodePhase::Recycling,
+            hold_ctr: params.hold,
+            recycle_ctr: initial_recycle.max(1),
+            has_token: false,
+            hold_indefinitely: false,
+            passes: 0,
+            stops: 0,
+            early_tokens: 0,
+        }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> NodeParams {
+        self.params
+    }
+
+    /// Rewrites the hold/recycle registers (§4.2: "making the hold,
+    /// recycle, and clock frequency registers … accessible through a
+    /// scan chain"). Running counters are unaffected; the new values
+    /// load at the next preset.
+    pub fn set_params(&mut self, params: NodeParams) {
+        self.params = params;
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> NodePhase {
+        self.phase
+    }
+
+    /// True while the node's associated interfaces may exchange data
+    /// (the `sbena` output, event C).
+    pub fn interfaces_enabled(&self) -> bool {
+        self.phase == NodePhase::Holding
+    }
+
+    /// False when the node demands the local clock be stopped (event I).
+    pub fn clock_enabled(&self) -> bool {
+        self.phase != NodePhase::Stopped
+    }
+
+    /// Tokens passed so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Clock stops caused by this node so far.
+    pub fn stops(&self) -> u64 {
+        self.stops
+    }
+
+    /// Tokens that arrived before they were expected.
+    pub fn early_tokens(&self) -> u64 {
+        self.early_tokens
+    }
+
+    /// Sets or clears the §4.2 indefinite-hold debug hook.
+    pub fn set_hold_indefinitely(&mut self, on: bool) {
+        self.hold_indefinitely = on;
+    }
+
+    /// True while the indefinite-hold hook is set.
+    pub fn holds_indefinitely(&self) -> bool {
+        self.hold_indefinitely
+    }
+
+    /// Remaining hold count (for debug displays).
+    pub fn hold_ctr(&self) -> u32 {
+        self.hold_ctr
+    }
+
+    /// Remaining recycle count (for debug displays).
+    pub fn recycle_ctr(&self) -> u32 {
+        self.recycle_ctr
+    }
+
+    /// True while an early token is latched awaiting recycle expiry.
+    pub fn has_token_latched(&self) -> bool {
+        self.has_token
+    }
+
+    /// Advances the FSM by one local clock cycle.
+    ///
+    /// The returned action tells the wrapper whether to pass the token
+    /// and/or deassert its clock enable. The *current* cycle counts as an
+    /// enabled cycle iff the node was `Holding` when the edge occurred —
+    /// callers must read [`interfaces_enabled`](Self::interfaces_enabled)
+    /// *before* calling this. (The wrapper reads it afterwards using the
+    /// returned [`PosedgeAction`]; see `wrapper.rs`.)
+    ///
+    /// # Panics
+    ///
+    /// Panics if called while `Stopped` — a stopped node's clock does not
+    /// tick, so this indicates a wrapper bug.
+    pub fn on_posedge(&mut self) -> PosedgeAction {
+        let mut action = PosedgeAction::default();
+        match self.phase {
+            NodePhase::Holding => {
+                if self.hold_indefinitely {
+                    // §4.2: the token parks here; interfaces stay enabled
+                    // and every other node's recycle counter runs out,
+                    // deterministically stopping the rest of the system.
+                    return action;
+                }
+                self.hold_ctr -= 1;
+                if self.hold_ctr == 0 {
+                    // E: preset; F: pass; G: disable.
+                    self.hold_ctr = self.params.hold;
+                    self.recycle_ctr = self.params.recycle;
+                    self.phase = NodePhase::Recycling;
+                    self.passes += 1;
+                    action.pass_token = true;
+                }
+            }
+            NodePhase::Recycling => {
+                // H: decrement.
+                self.recycle_ctr -= 1;
+                if self.recycle_ctr == 0 {
+                    if self.has_token {
+                        // A+B satisfied: hold from the next cycle on.
+                        self.has_token = false;
+                        self.phase = NodePhase::Holding;
+                    } else {
+                        // I/J: stop the clock.
+                        self.phase = NodePhase::Stopped;
+                        self.stops += 1;
+                        action.stop_clock = true;
+                    }
+                }
+            }
+            NodePhase::Stopped => {
+                panic!("a stopped node must not receive clock edges");
+            }
+        }
+        action
+    }
+
+    /// Reacts to the token arriving from the ring (event A or K).
+    ///
+    /// Safe at any wall-clock time; an early token is latched and only
+    /// recognized once the recycle counter expires.
+    pub fn token_arrived(&mut self) -> TokenAction {
+        match self.phase {
+            NodePhase::Stopped => {
+                // K/L: resume holding; the first post-restart cycle is an
+                // enabled cycle — same local-cycle schedule as an on-time
+                // token.
+                self.phase = NodePhase::Holding;
+                self.has_token = false;
+                TokenAction::RestartClock
+            }
+            _ => {
+                if self.phase == NodePhase::Recycling && self.recycle_ctr > 0 {
+                    self.early_tokens += 1;
+                }
+                self.has_token = true;
+                TokenAction::Latched
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(h: u32, r: u32) -> NodeParams {
+        NodeParams::new(h, r)
+    }
+
+    /// Runs `n` edges, recording (enabled-this-cycle, action) pairs.
+    fn run_edges(fsm: &mut NodeFsm, n: usize) -> Vec<(bool, PosedgeAction)> {
+        (0..n)
+            .map(|_| {
+                let enabled = fsm.interfaces_enabled();
+                let action = fsm.on_posedge();
+                (enabled, action)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn holder_holds_for_hold_cycles_then_passes() {
+        let mut fsm = NodeFsm::new_holder(params(3, 5));
+        let log = run_edges(&mut fsm, 3);
+        assert!(log[0].0 && log[1].0 && log[2].0, "3 enabled cycles");
+        assert!(!log[0].1.pass_token && !log[1].1.pass_token);
+        assert!(log[2].1.pass_token, "token passes at the 3rd edge");
+        assert_eq!(fsm.phase(), NodePhase::Recycling);
+        assert_eq!(fsm.hold_ctr(), 3, "hold counter presets immediately");
+    }
+
+    #[test]
+    fn on_time_token_gives_seamless_schedule() {
+        let mut fsm = NodeFsm::new_holder(params(2, 3));
+        run_edges(&mut fsm, 2); // passes at edge 2
+        assert_eq!(fsm.phase(), NodePhase::Recycling);
+        // Token comes back during the recycle window.
+        run_edges(&mut fsm, 2); // recycle 3 -> 1
+        assert_eq!(fsm.token_arrived(), TokenAction::Latched);
+        let log = run_edges(&mut fsm, 1); // recycle hits 0 with token
+        assert!(!log[0].0, "the zero-crossing cycle is not enabled");
+        assert_eq!(fsm.phase(), NodePhase::Holding);
+        let log = run_edges(&mut fsm, 1);
+        assert!(log[0].0, "holding resumes the very next cycle");
+    }
+
+    #[test]
+    fn late_token_stops_then_restarts() {
+        let mut fsm = NodeFsm::new_holder(params(2, 2));
+        run_edges(&mut fsm, 2); // pass
+        let log = run_edges(&mut fsm, 2); // recycle 2 -> 0, no token
+        assert!(log[1].1.stop_clock, "stop at recycle exhaustion");
+        assert_eq!(fsm.phase(), NodePhase::Stopped);
+        assert!(!fsm.clock_enabled());
+        assert_eq!(fsm.stops(), 1);
+        // K: the token finally arrives.
+        assert_eq!(fsm.token_arrived(), TokenAction::RestartClock);
+        assert_eq!(fsm.phase(), NodePhase::Holding);
+        assert!(fsm.clock_enabled());
+        let log = run_edges(&mut fsm, 1);
+        assert!(log[0].0, "first post-restart cycle is enabled");
+    }
+
+    #[test]
+    fn local_cycle_schedule_is_invariant_to_token_lateness() {
+        // The determinism core: enabled-cycle indices must be identical
+        // whether the token is early, exactly on time, or late.
+        let schedule = |arrival_edge: Option<usize>| -> Vec<usize> {
+            let mut fsm = NodeFsm::new_holder(params(2, 3));
+            let mut enabled_cycles = Vec::new();
+            let mut cycle = 0usize;
+            let mut edges_since_start = 0usize;
+            while cycle < 20 {
+                if fsm.phase() == NodePhase::Stopped {
+                    // Clock is parked: the token eventually arrives
+                    // (wall-clock passes, no local cycles do).
+                    assert_eq!(fsm.token_arrived(), TokenAction::RestartClock);
+                    continue;
+                }
+                if let Some(a) = arrival_edge {
+                    // Early/on-time arrival at a fixed edge index, each
+                    // time the node is recycling.
+                    if fsm.phase() == NodePhase::Recycling
+                        && edges_since_start % 5 == a
+                        && !fsm.has_token
+                    {
+                        fsm.token_arrived();
+                    }
+                }
+                if fsm.interfaces_enabled() {
+                    enabled_cycles.push(cycle);
+                }
+                fsm.on_posedge();
+                cycle += 1;
+                edges_since_start += 1;
+            }
+            enabled_cycles
+        };
+        let on_time = schedule(Some(4)); // arrives the edge recycle hits 0
+        let early = schedule(Some(2));
+        let late = schedule(None); // never arrives in-window: always stops
+        assert_eq!(on_time, early);
+        assert_eq!(on_time, late);
+    }
+
+    #[test]
+    fn early_tokens_are_counted_not_recognized() {
+        let mut fsm = NodeFsm::new_holder(params(1, 4));
+        run_edges(&mut fsm, 1); // pass immediately
+        fsm.token_arrived(); // way early (recycle = 3 remaining)
+        assert_eq!(fsm.early_tokens(), 1);
+        assert_eq!(fsm.phase(), NodePhase::Recycling);
+        let log = run_edges(&mut fsm, 4);
+        assert!(log.iter().all(|(e, _)| !e), "still disabled until expiry");
+        assert_eq!(fsm.phase(), NodePhase::Holding);
+    }
+
+    #[test]
+    fn waiter_counts_down_before_first_hold() {
+        let mut fsm = NodeFsm::new_waiter(params(2, 4), 4);
+        fsm.token_arrived();
+        let log = run_edges(&mut fsm, 4);
+        assert!(log.iter().all(|(e, _)| !e));
+        assert_eq!(fsm.phase(), NodePhase::Holding);
+    }
+
+    #[test]
+    #[should_panic(expected = "stopped node")]
+    fn posedge_while_stopped_is_a_bug() {
+        let mut fsm = NodeFsm::new_holder(params(1, 1));
+        fsm.on_posedge(); // pass
+        fsm.on_posedge(); // stop
+        fsm.on_posedge(); // bug
+    }
+
+    #[test]
+    fn pass_count_accumulates() {
+        let mut fsm = NodeFsm::new_holder(params(1, 1));
+        for _ in 0..5 {
+            fsm.on_posedge(); // pass
+            fsm.token_arrived(); // immediate return
+            fsm.on_posedge(); // recycle hits 0 with token -> holding
+        }
+        assert_eq!(fsm.passes(), 5);
+        assert_eq!(fsm.stops(), 0);
+    }
+
+    #[test]
+    fn phase_display() {
+        assert_eq!(NodePhase::Holding.to_string(), "holding");
+        assert_eq!(NodePhase::Recycling.to_string(), "recycling");
+        assert_eq!(NodePhase::Stopped.to_string(), "stopped");
+    }
+}

@@ -1,0 +1,321 @@
+//! Design rules for sequence determinism and performance.
+//!
+//! Synchro-tokens guarantees deterministic I/O sequences only when the
+//! design obeys a handful of timing rules (the paper: "care must be taken
+//! to prevent a FIFO which has been emptied from asynchronously becoming
+//! non-empty …", "data must propagate through the FIFO fast enough …").
+//! This module makes those rules checkable over a *range* of delay
+//! scalings, which is exactly what the E1 campaign sweeps.
+//!
+//! Rule inventory (all evaluated at the worst corner of the given scale
+//! range):
+//!
+//! 1. **Settle** — every word pushed during the transmitter's hold window
+//!    reaches its resting FIFO stage before the receiver's window can
+//!    open: `depth·F ≤ ring delay + T_rx/2`.
+//! 2. **PopAdvance** — after a pop, the next word reaches the head within
+//!    one receiver cycle: `F ≤ T_rx`.
+//! 3. **PushDrain** — the tail stage drains within one transmitter cycle
+//!    so `full` never blocks mid-window: `F ≤ T_tx`.
+//! 4. **Capacity** — the FIFO can absorb a whole hold window:
+//!    `depth ≥ hold` of the transmitter-side node.
+//!
+//! Separately, [`min_recycle_estimate`] gives the analytic lower bound on
+//! a recycle register that avoids clock stalls (a *performance* concern —
+//! determinism holds even when clocks stall).
+
+use crate::spec::{ChannelId, RingId, SbId, SystemSpec};
+use st_sim::time::SimDuration;
+use std::fmt;
+
+/// A delay-scaling corner, in percent of nominal (100 = nominal).
+///
+/// The E1 campaign sweeps {50, 75, 100, 150, 200} %; rules are checked at
+/// the worst corner of the whole range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleRange {
+    /// Smallest percentage any delay may take.
+    pub min_pct: u64,
+    /// Largest percentage any delay may take.
+    pub max_pct: u64,
+}
+
+impl ScaleRange {
+    /// The identity range (everything stays nominal).
+    pub const NOMINAL: ScaleRange = ScaleRange {
+        min_pct: 100,
+        max_pct: 100,
+    };
+
+    /// The paper's sweep: 50 % to 200 % of nominal.
+    pub const PAPER_SWEEP: ScaleRange = ScaleRange {
+        min_pct: 50,
+        max_pct: 200,
+    };
+
+    /// Creates a range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min_pct` is zero or exceeds `max_pct`.
+    pub fn new(min_pct: u64, max_pct: u64) -> Self {
+        assert!(min_pct > 0, "scale must be positive");
+        assert!(min_pct <= max_pct, "scale range must be ordered");
+        ScaleRange { min_pct, max_pct }
+    }
+}
+
+/// Which rule a violation refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RuleKind {
+    /// In-flight words must settle before the receiver window opens.
+    Settle,
+    /// Head refill must complete within one receiver cycle.
+    PopAdvance,
+    /// Tail drain must complete within one transmitter cycle.
+    PushDrain,
+    /// The FIFO must hold a full transmit window.
+    Capacity,
+}
+
+impl fmt::Display for RuleKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RuleKind::Settle => "settle",
+            RuleKind::PopAdvance => "pop-advance",
+            RuleKind::PushDrain => "push-drain",
+            RuleKind::Capacity => "capacity",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One rule violation, with the numbers that broke it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RuleViolation {
+    /// Which rule.
+    pub rule: RuleKind,
+    /// The channel at fault.
+    pub channel: ChannelId,
+    /// Human-readable numbers.
+    pub detail: String,
+}
+
+impl fmt::Display for RuleViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} rule violated on {}: {}", self.rule, self.channel, self.detail)
+    }
+}
+
+/// Checks all determinism rules for every channel at the worst corner of
+/// `scales`. An empty result means the system's I/O sequences are
+/// invariant under any delay assignment inside the range (the E1
+/// property).
+pub fn check_determinism_rules(spec: &SystemSpec, scales: ScaleRange) -> Vec<RuleViolation> {
+    let mut violations = Vec::new();
+    for (cid, ch) in spec.channels.iter().enumerate() {
+        let cid = ChannelId(cid);
+        let ring = &spec.rings[ch.ring.0];
+        let t_tx_min = spec.sbs[ch.from.0].period.percent(scales.min_pct);
+        let t_rx_min = spec.sbs[ch.to.0].period.percent(scales.min_pct);
+        let f_max = ch.stage_delay.percent(scales.max_pct);
+        // Ring delay toward the receiver, at its minimum.
+        let ring_delay_min = if ring.holder == ch.from {
+            ring.delay_fwd
+        } else {
+            ring.delay_back
+        }
+        .percent(scales.min_pct);
+
+        // Rule 1: Settle.
+        let settle_budget = ring_delay_min + t_rx_min / 2;
+        let settle_need = f_max * ch.fifo_depth as u64;
+        if settle_need > settle_budget {
+            violations.push(RuleViolation {
+                rule: RuleKind::Settle,
+                channel: cid,
+                detail: format!(
+                    "depth·F = {settle_need} exceeds ring delay + T_rx/2 = {settle_budget}"
+                ),
+            });
+        }
+        // Rule 2: PopAdvance.
+        if f_max > t_rx_min {
+            violations.push(RuleViolation {
+                rule: RuleKind::PopAdvance,
+                channel: cid,
+                detail: format!("F = {f_max} exceeds receiver period {t_rx_min}"),
+            });
+        }
+        // Rule 3: PushDrain.
+        if f_max > t_tx_min {
+            violations.push(RuleViolation {
+                rule: RuleKind::PushDrain,
+                channel: cid,
+                detail: format!("F = {f_max} exceeds transmitter period {t_tx_min}"),
+            });
+        }
+        // Rule 4: Capacity.
+        let tx_hold = if ring.holder == ch.from {
+            ring.holder_node.hold
+        } else {
+            ring.peer_node.hold
+        };
+        if (ch.fifo_depth as u64) < u64::from(tx_hold) {
+            violations.push(RuleViolation {
+                rule: RuleKind::Capacity,
+                channel: cid,
+                detail: format!("depth {} below transmit hold window {}", ch.fifo_depth, tx_hold),
+            });
+        }
+    }
+    violations
+}
+
+/// Analytic lower bound on the recycle register of the node inside `sb`
+/// on `ring`, such that the local clock never stalls at the worst corner
+/// of `scales`: the token's round trip away from this node takes at most
+/// `D_out + (H_peer + 2)·T_peer + D_in`, measured in this node's
+/// (fastest) cycles. The `+2` covers recognition-phase misalignment at
+/// the peer.
+///
+/// # Panics
+///
+/// Panics if `sb` has no node on `ring`.
+pub fn min_recycle_estimate(
+    spec: &SystemSpec,
+    ring_id: RingId,
+    sb: SbId,
+    scales: ScaleRange,
+) -> u32 {
+    let ring = &spec.rings[ring_id.0];
+    let (peer, d_out, d_in, peer_hold) = if ring.holder == sb {
+        (ring.peer, ring.delay_fwd, ring.delay_back, ring.peer_node.hold)
+    } else if ring.peer == sb {
+        (
+            ring.holder,
+            ring.delay_back,
+            ring.delay_fwd,
+            ring.holder_node.hold,
+        )
+    } else {
+        panic!("{sb} has no node on {ring_id}");
+    };
+    let t_self_min = spec.sbs[sb.0].period.percent(scales.min_pct);
+    let t_peer_max = spec.sbs[peer.0].period.percent(scales.max_pct);
+    let away = d_out.percent(scales.max_pct)
+        + t_peer_max * (u64::from(peer_hold) + 2)
+        + d_in.percent(scales.max_pct);
+    // Ceiling division in cycles of the *fastest* local clock.
+    let cycles = away.as_fs().div_ceil(t_self_min.as_fs());
+    u32::try_from(cycles.max(1)).expect("recycle estimate overflows u32")
+}
+
+/// The throughput bound of §5: a synchro-tokens channel moves at most
+/// `H/(H+R)` words per local cycle.
+pub fn synchro_throughput_bound(hold: u32, recycle: u32) -> f64 {
+    f64::from(hold) / f64::from(hold + recycle)
+}
+
+/// Closed-form Eq. (2):
+/// `L_SYNCHRO = T·(R+H+1)/2 + F·H + T·(H+1)/2`.
+pub fn synchro_latency_model(
+    period: SimDuration,
+    stage_delay: SimDuration,
+    hold: u32,
+    recycle: u32,
+) -> SimDuration {
+    let h = u64::from(hold);
+    let r = u64::from(recycle);
+    period * (r + h + 1) / 2 + stage_delay * h + period * (h + 1) / 2
+}
+
+/// The channel-width factor `(H+R)/H` needed to match STARI throughput
+/// (the paper's area/performance trade-off).
+pub fn width_compensation_factor(hold: u32, recycle: u32) -> f64 {
+    f64::from(hold + recycle) / f64::from(hold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::NodeParams;
+
+    fn spec(period_a: u64, period_b: u64, f: u64, depth: usize, ring_d: u64) -> SystemSpec {
+        let mut s = SystemSpec::default();
+        let a = s.add_sb("a", SimDuration::ns(period_a));
+        let b = s.add_sb("b", SimDuration::ns(period_b));
+        let r = s.add_ring(a, b, NodeParams::new(4, 8), SimDuration::ns(ring_d));
+        s.add_channel(a, b, r, 16, depth, SimDuration::ns(f));
+        s
+    }
+
+    #[test]
+    fn comfortable_margins_pass_the_paper_sweep() {
+        // F=200ps, depth 4 -> settle need 1.6ns max; ring 20ns min 10ns.
+        let mut s = spec(10, 12, 1, 4, 20);
+        s.channels[0].stage_delay = SimDuration::ps(200);
+        assert!(check_determinism_rules(&s, ScaleRange::PAPER_SWEEP).is_empty());
+    }
+
+    #[test]
+    fn slow_fifo_breaks_settle() {
+        // depth·F = 4 * 10ns * 2 = 80ns >> ring 1ns/2 + 5ns/2.
+        let s = spec(10, 10, 10, 4, 1);
+        let v = check_determinism_rules(&s, ScaleRange::PAPER_SWEEP);
+        assert!(v.iter().any(|v| v.rule == RuleKind::Settle));
+        assert!(v.iter().any(|v| v.rule == RuleKind::PopAdvance));
+        assert!(v.iter().any(|v| v.rule == RuleKind::PushDrain));
+    }
+
+    #[test]
+    fn shallow_fifo_breaks_capacity() {
+        let s = spec(10, 10, 1, 2, 50); // depth 2 < hold 4
+        let v = check_determinism_rules(&s, ScaleRange::NOMINAL);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, RuleKind::Capacity);
+        assert!(v[0].to_string().contains("capacity"));
+    }
+
+    #[test]
+    fn recycle_estimate_covers_round_trip() {
+        let s = spec(10, 10, 1, 4, 5);
+        let r = min_recycle_estimate(&s, RingId(0), SbId(0), ScaleRange::NOMINAL);
+        // away = 5 + (4+2)*10 + 5 = 70ns; T=10ns -> 7 cycles.
+        assert_eq!(r, 7);
+        // Under the paper sweep the worst corner stretches the trip and
+        // shrinks the local period.
+        let r_sweep = min_recycle_estimate(&s, RingId(0), SbId(0), ScaleRange::PAPER_SWEEP);
+        assert!(r_sweep > r);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no node")]
+    fn recycle_estimate_rejects_foreign_sb() {
+        let mut s = spec(10, 10, 1, 4, 5);
+        let c = s.add_sb("c", SimDuration::ns(10));
+        let _ = min_recycle_estimate(&s, RingId(0), c, ScaleRange::NOMINAL);
+    }
+
+    #[test]
+    fn throughput_bound_and_width_factor_are_consistent() {
+        let tp = synchro_throughput_bound(4, 8);
+        let wf = width_compensation_factor(4, 8);
+        assert!((tp * wf - 1.0).abs() < 1e-12, "widening restores 1 word/cycle");
+        assert!((tp - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_model_matches_hand_computation() {
+        // T=10ns, F=2ns, H=4, R=8:
+        // 10*(8+4+1)/2 + 2*4 + 10*(4+1)/2 = 65 + 8 + 25 = 98ns.
+        let l = synchro_latency_model(SimDuration::ns(10), SimDuration::ns(2), 4, 8);
+        assert_eq!(l, SimDuration::ns(98));
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn inverted_scale_range_rejected() {
+        let _ = ScaleRange::new(200, 100);
+    }
+}

@@ -1,0 +1,477 @@
+//! System specification: the declarative description of a synchro-tokens
+//! GALS system (Figure 1A) — synchronous blocks, token rings, channels —
+//! plus validation.
+//!
+//! Specs are plain data (serde-serializable) so experiment harnesses can
+//! sweep them; the synchronous-block *behaviour* is attached separately at
+//! build time (see [`crate::system::SystemBuilder`]).
+
+use serde::{Deserialize, Serialize};
+use st_sim::time::SimDuration;
+use std::fmt;
+
+/// Index of a synchronous block in a [`SystemSpec`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct SbId(pub usize);
+
+/// Index of a token ring in a [`SystemSpec`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct RingId(pub usize);
+
+/// Index of a channel in a [`SystemSpec`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct ChannelId(pub usize);
+
+impl fmt::Display for SbId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sb{}", self.0)
+    }
+}
+impl fmt::Display for RingId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ring{}", self.0)
+    }
+}
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+/// Hold/recycle register values for one token-ring node (Figure 1B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NodeParams {
+    /// Local clock cycles the node holds the token (interfaces enabled).
+    pub hold: u32,
+    /// Local clock cycles after passing the token before it is expected
+    /// back; the clock stops if the token is later than this.
+    pub recycle: u32,
+}
+
+impl NodeParams {
+    /// Creates node parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is zero (the FSM needs at least one cycle
+    /// per phase).
+    pub fn new(hold: u32, recycle: u32) -> Self {
+        assert!(hold > 0, "hold register must be non-zero");
+        assert!(recycle > 0, "recycle register must be non-zero");
+        NodeParams { hold, recycle }
+    }
+}
+
+/// One synchronous block.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SbSpec {
+    /// Human-readable name, used in signal names and reports.
+    pub name: String,
+    /// Local clock period (femtoseconds carried inside [`SimDuration`]).
+    pub period: SimDuration,
+    /// Modelled critical-path delay of the block's logic. Clocking the
+    /// block faster than this corrupts its outputs (deterministically),
+    /// which is what the §4.2 frequency shmoo goes looking for.
+    #[serde(default)]
+    pub logic_delay: SimDuration,
+}
+
+/// One token ring between a pair of SBs. Exactly one node at each end.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RingSpec {
+    /// The SB whose node initially holds the token.
+    pub holder: SbId,
+    /// The SB at the other end of the ring.
+    pub peer: SbId,
+    /// Node parameters on the holder side.
+    pub holder_node: NodeParams,
+    /// Node parameters on the peer side.
+    pub peer_node: NodeParams,
+    /// Token propagation delay holder → peer.
+    pub delay_fwd: SimDuration,
+    /// Token propagation delay peer → holder.
+    pub delay_back: SimDuration,
+    /// Initial preset of the waiting (peer) node's recycle counter — the
+    /// phase knob that aligns its first recognition with the token's
+    /// first arrival ("downloadable … directly from the tester").
+    /// `None` uses `peer_node.recycle`.
+    #[serde(default)]
+    pub peer_initial_recycle: Option<u32>,
+}
+
+/// Direction-qualified channel endpoint description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Producing SB.
+    pub from: SbId,
+    /// Consuming SB.
+    pub to: SbId,
+    /// The token ring whose nodes gate this channel's interfaces. Must
+    /// connect `from` and `to`.
+    pub ring: RingId,
+    /// Bundled-data width in bits (1–64).
+    pub bits: u32,
+    /// Self-timed FIFO depth in stages (≥ 1).
+    pub fifo_depth: usize,
+    /// Per-stage forward latency.
+    pub stage_delay: SimDuration,
+}
+
+/// A complete system description.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct SystemSpec {
+    /// The synchronous blocks.
+    pub sbs: Vec<SbSpec>,
+    /// The token rings.
+    pub rings: Vec<RingSpec>,
+    /// The communication channels.
+    pub channels: Vec<ChannelSpec>,
+}
+
+/// Validation failures for a [`SystemSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// An id referenced a missing element.
+    DanglingReference {
+        /// What referenced it, e.g. `"ring0.holder"`.
+        what: String,
+    },
+    /// A ring connects an SB to itself.
+    SelfRing(RingId),
+    /// A channel's ring does not connect the channel's two SBs.
+    ChannelRingMismatch(ChannelId),
+    /// A numeric field is out of range.
+    OutOfRange {
+        /// What field, e.g. `"ch0.bits"`.
+        what: String,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DanglingReference { what } => {
+                write!(f, "dangling reference in {what}")
+            }
+            SpecError::SelfRing(r) => write!(f, "{r} connects an SB to itself"),
+            SpecError::ChannelRingMismatch(c) => {
+                write!(f, "{c} uses a ring that does not connect its endpoints")
+            }
+            SpecError::OutOfRange { what } => write!(f, "{what} is out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SystemSpec {
+    /// Adds an SB and returns its id.
+    pub fn add_sb(&mut self, name: &str, period: SimDuration) -> SbId {
+        let id = SbId(self.sbs.len());
+        self.sbs.push(SbSpec {
+            name: name.to_owned(),
+            period,
+            logic_delay: SimDuration::ZERO,
+        });
+        id
+    }
+
+    /// Adds a symmetric ring (same node params and delay both ways).
+    pub fn add_ring(
+        &mut self,
+        holder: SbId,
+        peer: SbId,
+        node: NodeParams,
+        delay: SimDuration,
+    ) -> RingId {
+        self.add_ring_asymmetric(holder, peer, node, node, delay, delay)
+    }
+
+    /// Adds a ring with per-side node parameters and per-direction delays.
+    pub fn add_ring_asymmetric(
+        &mut self,
+        holder: SbId,
+        peer: SbId,
+        holder_node: NodeParams,
+        peer_node: NodeParams,
+        delay_fwd: SimDuration,
+        delay_back: SimDuration,
+    ) -> RingId {
+        let id = RingId(self.rings.len());
+        self.rings.push(RingSpec {
+            holder,
+            peer,
+            holder_node,
+            peer_node,
+            delay_fwd,
+            delay_back,
+            peer_initial_recycle: None,
+        });
+        id
+    }
+
+    /// Adds a channel bound to `ring`.
+    pub fn add_channel(
+        &mut self,
+        from: SbId,
+        to: SbId,
+        ring: RingId,
+        bits: u32,
+        fifo_depth: usize,
+        stage_delay: SimDuration,
+    ) -> ChannelId {
+        let id = ChannelId(self.channels.len());
+        self.channels.push(ChannelSpec {
+            from,
+            to,
+            ring,
+            bits,
+            fifo_depth,
+            stage_delay,
+        });
+        id
+    }
+
+    /// Validates all cross-references and ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SpecError`] found.
+    pub fn validate(&self) -> Result<(), SpecError> {
+        let sb_ok = |id: SbId| id.0 < self.sbs.len();
+        for (i, sb) in self.sbs.iter().enumerate() {
+            if sb.period.is_zero() {
+                return Err(SpecError::OutOfRange {
+                    what: format!("sb{i}.period"),
+                });
+            }
+        }
+        for (i, r) in self.rings.iter().enumerate() {
+            if !sb_ok(r.holder) {
+                return Err(SpecError::DanglingReference {
+                    what: format!("ring{i}.holder"),
+                });
+            }
+            if !sb_ok(r.peer) {
+                return Err(SpecError::DanglingReference {
+                    what: format!("ring{i}.peer"),
+                });
+            }
+            if r.holder == r.peer {
+                return Err(SpecError::SelfRing(RingId(i)));
+            }
+            for (side, n) in [("holder", r.holder_node), ("peer", r.peer_node)] {
+                if n.hold == 0 || n.recycle == 0 {
+                    return Err(SpecError::OutOfRange {
+                        what: format!("ring{i}.{side}_node"),
+                    });
+                }
+            }
+        }
+        for (i, c) in self.channels.iter().enumerate() {
+            if !sb_ok(c.from) {
+                return Err(SpecError::DanglingReference {
+                    what: format!("ch{i}.from"),
+                });
+            }
+            if !sb_ok(c.to) {
+                return Err(SpecError::DanglingReference {
+                    what: format!("ch{i}.to"),
+                });
+            }
+            let Some(ring) = self.rings.get(c.ring.0) else {
+                return Err(SpecError::DanglingReference {
+                    what: format!("ch{i}.ring"),
+                });
+            };
+            let ring_ends = (ring.holder, ring.peer);
+            let ch_ends = (c.from, c.to);
+            let connects = ring_ends == ch_ends || ring_ends == (ch_ends.1, ch_ends.0);
+            if !connects {
+                return Err(SpecError::ChannelRingMismatch(ChannelId(i)));
+            }
+            if c.bits == 0 || c.bits > 64 {
+                return Err(SpecError::OutOfRange {
+                    what: format!("ch{i}.bits"),
+                });
+            }
+            if c.fifo_depth == 0 {
+                return Err(SpecError::OutOfRange {
+                    what: format!("ch{i}.fifo_depth"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Channels consumed by `sb` (its input side).
+    pub fn inputs_of(&self, sb: SbId) -> impl Iterator<Item = (ChannelId, &ChannelSpec)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.to == sb)
+            .map(|(i, c)| (ChannelId(i), c))
+    }
+
+    /// Channels produced by `sb` (its output side).
+    pub fn outputs_of(&self, sb: SbId) -> impl Iterator<Item = (ChannelId, &ChannelSpec)> + '_ {
+        self.channels
+            .iter()
+            .enumerate()
+            .filter(move |(_, c)| c.from == sb)
+            .map(|(i, c)| (ChannelId(i), c))
+    }
+
+    /// Rings that have a node inside `sb`.
+    pub fn rings_of(&self, sb: SbId) -> impl Iterator<Item = (RingId, &RingSpec)> + '_ {
+        self.rings
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| r.holder == sb || r.peer == sb)
+            .map(|(i, r)| (RingId(i), r))
+    }
+
+    /// A human-readable topology dump (the structural reproduction of the
+    /// paper's Figure 1A).
+    pub fn describe(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "system: {} SBs, {} rings, {} channels", self.sbs.len(), self.rings.len(), self.channels.len());
+        for (i, sb) in self.sbs.iter().enumerate() {
+            let _ = writeln!(out, "  sb{i} \"{}\" period={}", sb.name, sb.period);
+        }
+        for (i, r) in self.rings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  ring{i}: {} (H={},R={}) <-> {} (H={},R={}) delays {}/{}",
+                r.holder,
+                r.holder_node.hold,
+                r.holder_node.recycle,
+                r.peer,
+                r.peer_node.hold,
+                r.peer_node.recycle,
+                r.delay_fwd,
+                r.delay_back
+            );
+        }
+        for (i, c) in self.channels.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  ch{i}: {} -> {} on {} ({} bits, depth {}, F={})",
+                c.from, c.to, c.ring, c.bits, c.fifo_depth, c.stage_delay
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_sb_spec() -> SystemSpec {
+        let mut s = SystemSpec::default();
+        let a = s.add_sb("a", SimDuration::ns(10));
+        let b = s.add_sb("b", SimDuration::ns(12));
+        let r = s.add_ring(a, b, NodeParams::new(4, 6), SimDuration::ns(3));
+        s.add_channel(a, b, r, 16, 4, SimDuration::ns(1));
+        s
+    }
+
+    #[test]
+    fn valid_spec_passes() {
+        assert_eq!(two_sb_spec().validate(), Ok(()));
+    }
+
+    #[test]
+    fn dangling_sb_detected() {
+        let mut s = two_sb_spec();
+        s.rings[0].peer = SbId(99);
+        assert!(matches!(
+            s.validate(),
+            Err(SpecError::DanglingReference { .. })
+        ));
+    }
+
+    #[test]
+    fn self_ring_detected() {
+        let mut s = two_sb_spec();
+        s.rings[0].peer = s.rings[0].holder;
+        assert_eq!(s.validate(), Err(SpecError::SelfRing(RingId(0))));
+    }
+
+    #[test]
+    fn channel_must_use_connecting_ring() {
+        let mut s = two_sb_spec();
+        let c = s.add_sb("c", SimDuration::ns(9));
+        s.channels[0].to = c;
+        assert_eq!(
+            s.validate(),
+            Err(SpecError::ChannelRingMismatch(ChannelId(0)))
+        );
+    }
+
+    #[test]
+    fn reversed_channel_direction_is_fine() {
+        let mut s = two_sb_spec();
+        // b -> a over the same ring (data flows either way on a ring).
+        let (a, b, r) = (SbId(0), SbId(1), RingId(0));
+        s.add_channel(b, a, r, 8, 2, SimDuration::ns(1));
+        assert_eq!(s.validate(), Ok(()));
+    }
+
+    #[test]
+    fn width_bounds_enforced() {
+        let mut s = two_sb_spec();
+        s.channels[0].bits = 65;
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+        s.channels[0].bits = 0;
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+    }
+
+    #[test]
+    fn zero_period_rejected() {
+        let mut s = two_sb_spec();
+        s.sbs[0].period = SimDuration::ZERO;
+        assert!(matches!(s.validate(), Err(SpecError::OutOfRange { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "hold register must be non-zero")]
+    fn zero_hold_panics() {
+        let _ = NodeParams::new(0, 1);
+    }
+
+    #[test]
+    fn iterators_filter_by_sb() {
+        let s = two_sb_spec();
+        assert_eq!(s.outputs_of(SbId(0)).count(), 1);
+        assert_eq!(s.inputs_of(SbId(0)).count(), 0);
+        assert_eq!(s.inputs_of(SbId(1)).count(), 1);
+        assert_eq!(s.rings_of(SbId(0)).count(), 1);
+        assert_eq!(s.rings_of(SbId(1)).count(), 1);
+    }
+
+    #[test]
+    fn describe_mentions_everything() {
+        let d = two_sb_spec().describe();
+        assert!(d.contains("sb0"));
+        assert!(d.contains("ring0"));
+        assert!(d.contains("ch0"));
+        assert!(d.contains("16 bits"));
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        assert!(SpecError::SelfRing(RingId(3)).to_string().contains("ring3"));
+        assert!(SpecError::ChannelRingMismatch(ChannelId(1))
+            .to_string()
+            .contains("ch1"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the node FSM's determinism theorem (schedule
+//! invariance under arbitrary token timing) and spec validation.
+
+use proptest::prelude::*;
+use synchro_tokens::formal::{verify_ring_determinism, Verdict};
+use synchro_tokens::node::{NodeFsm, NodePhase};
+use synchro_tokens::spec::{NodeParams, SystemSpec};
+use st_sim::time::SimDuration;
+
+/// Drives a single node FSM with token arrivals at adversarial points
+/// and returns the enabled-cycle schedule over `horizon` cycles.
+fn schedule_with_arrivals(
+    params: NodeParams,
+    arrivals: &[u8],
+    horizon: u32,
+) -> Vec<u32> {
+    let mut fsm = NodeFsm::new_holder(params);
+    let mut enabled = Vec::new();
+    let mut arrival_iter = arrivals.iter().copied().cycle();
+    let mut cycle = 0u32;
+    let mut pending_pass = false;
+    let mut countdown: Option<u8> = None;
+    while cycle < horizon {
+        if fsm.phase() == NodePhase::Stopped {
+            // Token must eventually arrive; deliver now.
+            let _ = fsm.token_arrived();
+            countdown = None;
+            continue;
+        }
+        // Deliver a pending token when its adversarial countdown hits 0.
+        if let Some(c) = countdown {
+            if c == 0 {
+                let _ = fsm.token_arrived();
+                countdown = None;
+            } else {
+                countdown = Some(c - 1);
+            }
+        }
+        if fsm.interfaces_enabled() {
+            enabled.push(cycle);
+        }
+        let action = fsm.on_posedge();
+        if action.pass_token {
+            pending_pass = true;
+        }
+        if pending_pass {
+            // The peer returns the token after an adversarial number of
+            // local cycles (bounded by the arrival table).
+            let delay = arrival_iter.next().unwrap_or(1);
+            countdown = Some(delay);
+            pending_pass = false;
+        }
+        cycle += 1;
+    }
+    enabled
+}
+
+proptest! {
+    /// The determinism theorem at the FSM level: two *different*
+    /// adversarial token-timing tables produce the same enabled-cycle
+    /// schedule whenever both deliver within the recycle window or
+    /// later (late deliveries stall but do not shift the schedule).
+    #[test]
+    fn enabled_schedule_invariant_under_token_timing(
+        hold in 1u32..6,
+        recycle in 1u32..8,
+        arrivals_a in proptest::collection::vec(0u8..12, 1..8),
+        arrivals_b in proptest::collection::vec(0u8..12, 1..8),
+    ) {
+        let params = NodeParams::new(hold, recycle);
+        let a = schedule_with_arrivals(params, &arrivals_a, 60);
+        let b = schedule_with_arrivals(params, &arrivals_b, 60);
+        prop_assert_eq!(a, b, "token timing must not move enabled cycles");
+    }
+
+    /// The bounded model checker verifies every (small) parameter
+    /// combination.
+    #[test]
+    fn bounded_checker_accepts_all_small_rings(
+        ha in 1u32..4, ra in 1u32..5,
+        hb in 1u32..4, rb in 1u32..5,
+        init in 1u32..6,
+    ) {
+        let v = verify_ring_determinism(
+            NodeParams::new(ha, ra),
+            NodeParams::new(hb, rb),
+            init,
+            16,
+            2,
+        );
+        prop_assert!(matches!(v, Verdict::DeterministicUpTo { .. }), "{}", v);
+    }
+
+    /// Spec validation is total (never panics) and stable: a valid spec
+    /// stays valid after adding another valid SB/ring/channel.
+    #[test]
+    fn spec_validation_is_monotone_under_valid_extension(
+        n_sb in 2usize..6,
+        extra_period in 1u64..100,
+        bits in 1u32..64,
+        depth in 1usize..8,
+    ) {
+        let mut s = SystemSpec::default();
+        let sbs: Vec<_> = (0..n_sb)
+            .map(|i| s.add_sb(&format!("s{i}"), SimDuration::ns(10 + i as u64)))
+            .collect();
+        let r = s.add_ring(sbs[0], sbs[1], NodeParams::new(2, 4), SimDuration::ns(5));
+        s.add_channel(sbs[0], sbs[1], r, bits, depth, SimDuration::ns(1));
+        prop_assert_eq!(s.validate(), Ok(()));
+        // Extend.
+        let extra = s.add_sb("extra", SimDuration::ns(extra_period));
+        let r2 = s.add_ring(sbs[0], extra, NodeParams::new(1, 1), SimDuration::ns(7));
+        s.add_channel(extra, sbs[0], r2, bits, depth, SimDuration::ns(1));
+        prop_assert_eq!(s.validate(), Ok(()));
+    }
+
+    /// Node statistics are consistent: passes never exceed cycles, and
+    /// a node that never stops reports `clock_enabled` throughout.
+    #[test]
+    fn node_statistics_consistency(
+        hold in 1u32..5,
+        recycle in 1u32..6,
+        edges in 1u32..100,
+    ) {
+        let params = NodeParams::new(hold, recycle);
+        let mut fsm = NodeFsm::new_holder(params);
+        let mut passes_seen = 0u64;
+        for _ in 0..edges {
+            if fsm.phase() == NodePhase::Stopped {
+                let _ = fsm.token_arrived();
+            }
+            let action = fsm.on_posedge();
+            if action.pass_token {
+                passes_seen += 1;
+            }
+        }
+        prop_assert_eq!(fsm.passes(), passes_seen);
+        prop_assert!(fsm.passes() <= u64::from(edges));
+        prop_assert!(fsm.stops() <= fsm.passes() + 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! The component model.
+//!
+//! A [`Component`] is a behavioural process: it owns private state, is woken
+//! by the kernel when something it watches happens, and reacts by reading
+//! signals, driving signals after a delay, and setting timers. All hardware
+//! in this repository — clocks, FIFO stages, wrapper nodes, TAP controllers
+//! — is expressed as components.
+
+use crate::kernel::{Ctx, SignalId};
+use std::any::Any;
+use std::fmt;
+
+/// Identifies a component registered with a simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    pub(crate) const fn from_raw(raw: u32) -> Self {
+        ComponentId(raw)
+    }
+
+    pub(crate) const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A typed handle to a component, for post-simulation inspection.
+///
+/// Returned by [`SimBuilder::add_component`](crate::kernel::SimBuilder::add_component);
+/// pass it to [`Simulator::get`](crate::kernel::Simulator::get) to read the
+/// component's final state after a run.
+pub struct Handle<T> {
+    id: ComponentId,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> Handle<T> {
+    pub(crate) fn new(id: ComponentId) -> Self {
+        Handle {
+            id,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// The untyped component id (usable with `watch`).
+    pub fn id(&self) -> ComponentId {
+        self.id
+    }
+}
+
+impl<T> Clone for Handle<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Handle<T> {}
+
+impl<T> fmt::Debug for Handle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Handle({})", self.id)
+    }
+}
+
+/// Why a component was woken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Wake {
+    /// First wake, delivered once at time zero before any event fires.
+    Start,
+    /// A watched signal changed value at the current time.
+    Signal(SignalId),
+    /// A timer set with [`Ctx::set_timer`] expired; carries the caller's tag.
+    Timer(u64),
+}
+
+/// A behavioural simulation process.
+///
+/// Implementations react to [`Wake`] causes inside [`Component::wake`];
+/// they must not block and must only interact with the simulation through
+/// the provided [`Ctx`]. Determinism contract: given the same wake sequence
+/// and signal values, a component must make the same calls on `Ctx`
+/// (randomness is allowed only via [`Ctx::rng`], which is seeded).
+pub trait Component: Any {
+    /// Reacts to a wake cause. See the type-level documentation.
+    fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn component_id_display_and_order() {
+        let a = ComponentId::from_raw(1);
+        let b = ComponentId::from_raw(2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "c1");
+        assert_eq!(a.index(), 1);
+    }
+
+    #[test]
+    fn handle_is_copy_and_debug() {
+        struct Dummy;
+        impl Component for Dummy {
+            fn wake(&mut self, _: &mut Ctx<'_>, _: Wake) {}
+        }
+        let h: Handle<Dummy> = Handle::new(ComponentId::from_raw(3));
+        let h2 = h;
+        assert_eq!(h.id(), h2.id());
+        assert_eq!(format!("{h:?}"), "Handle(c3)");
+    }
+}

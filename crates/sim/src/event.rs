@@ -1,0 +1,144 @@
+//! The time-ordered event queue.
+//!
+//! Events are totally ordered by `(time, sequence number)`. The sequence
+//! number is assigned at scheduling time, so two events scheduled for the
+//! same instant fire in the order they were scheduled — this is what makes
+//! the kernel deterministic: there are no ties left for a hash map or
+//! thread scheduler to break.
+
+use crate::component::ComponentId;
+use crate::kernel::SignalId;
+use crate::time::SimTime;
+use crate::value::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// What an event does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum EventKind {
+    /// Set a signal to a value (transport delay semantics).
+    Drive { sig: SignalId, value: Value },
+    /// Wake a component with `Wake::Timer(tag)`.
+    Timer { comp: ComponentId, tag: u64 },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Event {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic min-heap of events.
+#[derive(Debug, Default)]
+pub(crate) struct EventQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    next_seq: u64,
+    scheduled_total: u64,
+}
+
+impl EventQueue {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules an event, assigning the next sequence number.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.scheduled_total += 1;
+        self.heap.push(Reverse(Event { time, seq, kind }));
+    }
+
+    /// The timestamp of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Pops the earliest event if it fires at exactly `time`.
+    pub fn pop_at(&mut self, time: SimTime) -> Option<Event> {
+        match self.heap.peek() {
+            Some(Reverse(e)) if e.time == time => self.heap.pop().map(|Reverse(e)| e),
+            _ => None,
+        }
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Total number of events ever scheduled (for run statistics).
+    pub fn scheduled_total(&self) -> u64 {
+        self.scheduled_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn timer(comp: u32, tag: u64) -> EventKind {
+        EventKind::Timer {
+            comp: ComponentId::from_raw(comp),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        let t = |n| SimTime::ZERO + SimDuration::ns(n);
+        q.schedule(t(5), timer(0, 0));
+        q.schedule(t(1), timer(0, 1));
+        q.schedule(t(3), timer(0, 2));
+        assert_eq!(q.next_time(), Some(t(1)));
+        assert_eq!(q.pop_at(t(1)).unwrap().kind, timer(0, 1));
+        assert_eq!(q.next_time(), Some(t(3)));
+        assert!(q.pop_at(t(1)).is_none());
+        assert_eq!(q.pop_at(t(3)).unwrap().kind, timer(0, 2));
+        assert_eq!(q.pop_at(t(5)).unwrap().kind, timer(0, 0));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_time_fires_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::ns(1);
+        for tag in 0..100 {
+            q.schedule(t, timer(0, tag));
+        }
+        for tag in 0..100 {
+            assert_eq!(q.pop_at(t).unwrap().kind, timer(0, tag));
+        }
+    }
+
+    #[test]
+    fn counts_scheduled_events() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.scheduled_total(), 0);
+        q.schedule(SimTime::ZERO, timer(0, 0));
+        q.schedule(SimTime::ZERO, timer(0, 1));
+        assert_eq!(q.scheduled_total(), 2);
+        assert_eq!(q.len(), 2);
+        q.pop_at(SimTime::ZERO);
+        assert_eq!(q.scheduled_total(), 2, "popping must not change the total");
+    }
+}

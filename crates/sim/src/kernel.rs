@@ -1,0 +1,876 @@
+//! The simulation kernel: signals, scheduling, and the run loop.
+//!
+//! # Determinism
+//!
+//! The kernel is single-threaded and breaks every tie explicitly: events at
+//! the same timestamp fire in scheduling order, and components woken in the
+//! same delta step are woken in the order the triggering events fired.
+//! The only randomness available to models is the seeded [`Ctx::rng`].
+//! Two runs with the same build sequence and seed produce bit-identical
+//! traces — nondeterminism in *modelled hardware* (synchronizers, arbiters)
+//! is expressed as sensitivity to model parameters, exactly the kind of
+//! variation the paper's experiments sweep.
+//!
+//! # Examples
+//!
+//! ```
+//! use st_sim::prelude::*;
+//!
+//! /// Toggles `out` forever with the given half period.
+//! struct Toggler { out: BitSignal, half: SimDuration }
+//! impl Component for Toggler {
+//!     fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+//!         match cause {
+//!             Wake::Start | Wake::Timer(_) => {
+//!                 let next = !ctx.bit(self.out);
+//!                 ctx.drive_bit(self.out, next, SimDuration::ZERO);
+//!                 ctx.set_timer(self.half, 0);
+//!             }
+//!             _ => {}
+//!         }
+//!     }
+//! }
+//!
+//! # fn main() -> Result<(), st_sim::SimError> {
+//! let mut b = SimBuilder::new();
+//! let clk = b.add_bit_signal_init("clk", Bit::Zero);
+//! b.add_component("osc", Toggler { out: clk, half: SimDuration::ns(5) });
+//! let mut sim = b.build();
+//! sim.run_until(SimTime::ZERO + SimDuration::ns(42))?;
+//! assert_eq!(sim.bit(clk), Bit::One); // toggles at 0,5,...,40: nine in total
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::component::{Component, ComponentId, Handle, Wake};
+use crate::event::{EventKind, EventQueue};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceBuffer;
+use crate::value::{Bit, Value};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::any::Any;
+use std::fmt;
+
+/// Maximum zero-delay (delta) iterations permitted at a single timestamp
+/// before the kernel reports a combinational loop.
+const MAX_DELTAS: u32 = 10_000;
+
+/// Identifies a signal (net) in the simulated design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(u32);
+
+impl SignalId {
+    const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// A typed handle to a single-bit signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BitSignal(SignalId);
+
+impl BitSignal {
+    /// The untyped signal id.
+    pub fn id(self) -> SignalId {
+        self.0
+    }
+}
+
+/// A typed handle to a data-word signal (up to 64 bits of bundled data).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordSignal(SignalId);
+
+impl WordSignal {
+    /// The untyped signal id.
+    pub fn id(self) -> SignalId {
+        self.0
+    }
+}
+
+#[derive(Debug)]
+struct SignalState {
+    name: String,
+    value: Value,
+    watchers: Vec<ComponentId>,
+}
+
+struct ComponentSlot {
+    name: String,
+    comp: Option<Box<dyn Component>>,
+}
+
+impl fmt::Debug for ComponentSlot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ComponentSlot")
+            .field("name", &self.name)
+            .field("present", &self.comp.is_some())
+            .finish()
+    }
+}
+
+/// Errors reported by the run loop.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Zero-delay events kept firing at one timestamp; the model contains a
+    /// combinational loop (e.g. an undelayed ring).
+    CombinationalLoop {
+        /// The timestamp at which the loop was detected.
+        time: SimTime,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::CombinationalLoop { time } => {
+                write!(f, "combinational loop detected at t={time}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Statistics for a completed run segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunSummary {
+    /// Events fired during this run segment.
+    pub events_fired: u64,
+    /// Component wake calls delivered.
+    pub wakes: u64,
+    /// Simulation time at the end of the segment.
+    pub end_time: SimTime,
+    /// True if the run ended because the event queue drained.
+    pub quiescent: bool,
+}
+
+/// Everything the kernel owns apart from the component boxes.
+///
+/// Splitting this out lets [`Ctx`] borrow the world mutably while one
+/// component is temporarily removed from the arena and being woken.
+struct Inner {
+    signals: Vec<SignalState>,
+    queue: EventQueue,
+    now: SimTime,
+    rng: SmallRng,
+    trace: TraceBuffer,
+    stop_requested: bool,
+    events_fired: u64,
+    wakes: u64,
+}
+
+impl Inner {
+    fn value(&self, sig: SignalId) -> Value {
+        self.signals[sig.index()].value
+    }
+
+    fn schedule_drive(&mut self, sig: SignalId, value: Value, delay: SimDuration) {
+        self.queue
+            .schedule(self.now + delay, EventKind::Drive { sig, value });
+    }
+}
+
+/// The component-facing view of the kernel, passed to [`Component::wake`].
+pub struct Ctx<'a> {
+    inner: &'a mut Inner,
+    me: ComponentId,
+}
+
+impl<'a> Ctx<'a> {
+    /// The current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// The id of the component being woken.
+    pub fn me(&self) -> ComponentId {
+        self.me
+    }
+
+    /// Reads a bit signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal currently holds a word value (shape misuse is a
+    /// model bug, not a runtime condition).
+    pub fn bit(&self, sig: BitSignal) -> Bit {
+        self.inner
+            .value(sig.id())
+            .as_bit()
+            .expect("bit signal holds a word value")
+    }
+
+    /// Reads a word signal; `None` while the bus is undriven (`WordX`).
+    pub fn word(&self, sig: WordSignal) -> Option<u64> {
+        match self.inner.value(sig.id()) {
+            Value::Word(w) => Some(w),
+            Value::WordX => None,
+            Value::Bit(_) => panic!("word signal holds a bit value"),
+        }
+    }
+
+    /// Reads any signal's raw value.
+    pub fn value(&self, sig: SignalId) -> Value {
+        self.inner.value(sig)
+    }
+
+    /// Schedules a bit transition after `delay` (transport semantics).
+    pub fn drive_bit(&mut self, sig: BitSignal, v: impl Into<Bit>, delay: SimDuration) {
+        self.inner
+            .schedule_drive(sig.id(), Value::Bit(v.into()), delay);
+    }
+
+    /// Schedules a word transition after `delay` (transport semantics).
+    pub fn drive_word(&mut self, sig: WordSignal, v: u64, delay: SimDuration) {
+        self.inner.schedule_drive(sig.id(), Value::Word(v), delay);
+    }
+
+    /// Toggles a bit signal after `delay`, based on its *current* value.
+    ///
+    /// Transition-signalling (two-phase) handshakes and token passes are
+    /// expressed as toggles.
+    pub fn toggle_bit(&mut self, sig: BitSignal, delay: SimDuration) {
+        let next = match self.bit(sig) {
+            Bit::X => Bit::One,
+            b => !b,
+        };
+        self.drive_bit(sig, next, delay);
+    }
+
+    /// Wakes this component again after `delay` with `Wake::Timer(tag)`.
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.inner
+            .queue
+            .schedule(self.inner.now + delay, EventKind::Timer { comp: self.me, tag });
+    }
+
+    /// The kernel's seeded random-number generator.
+    ///
+    /// Used only to resolve modelled metastability; see the crate docs for
+    /// the determinism contract.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.inner.rng
+    }
+
+    /// Requests that the run loop stop after the current delta step.
+    pub fn stop(&mut self) {
+        self.inner.stop_requested = true;
+    }
+}
+
+/// Constructs a [`Simulator`]: declare signals, register components, wire
+/// up sensitivity lists, then [`build`](SimBuilder::build).
+#[derive(Default)]
+pub struct SimBuilder {
+    signals: Vec<SignalState>,
+    comps: Vec<ComponentSlot>,
+    traced: Vec<SignalId>,
+    seed: u64,
+}
+
+impl fmt::Debug for SimBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SimBuilder")
+            .field("signals", &self.signals.len())
+            .field("components", &self.comps.len())
+            .finish()
+    }
+}
+
+impl SimBuilder {
+    /// Creates an empty builder (seed 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the seed for the kernel RNG (metastability resolution).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    fn add_signal(&mut self, name: &str, value: Value) -> SignalId {
+        let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
+        self.signals.push(SignalState {
+            name: name.to_owned(),
+            value,
+            watchers: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a bit signal, initialized to `X`.
+    pub fn add_bit_signal(&mut self, name: &str) -> BitSignal {
+        BitSignal(self.add_signal(name, Value::Bit(Bit::X)))
+    }
+
+    /// Declares a bit signal with a defined reset value.
+    pub fn add_bit_signal_init(&mut self, name: &str, init: Bit) -> BitSignal {
+        BitSignal(self.add_signal(name, Value::Bit(init)))
+    }
+
+    /// Declares a word signal, initialized to `WordX`.
+    pub fn add_word_signal(&mut self, name: &str) -> WordSignal {
+        WordSignal(self.add_signal(name, Value::WordX))
+    }
+
+    /// Declares a word signal with a defined reset value.
+    pub fn add_word_signal_init(&mut self, name: &str, init: u64) -> WordSignal {
+        WordSignal(self.add_signal(name, Value::Word(init)))
+    }
+
+    /// Registers a component and returns a typed handle for later
+    /// inspection with [`Simulator::get`].
+    pub fn add_component<T: Component>(&mut self, name: &str, comp: T) -> Handle<T> {
+        let id = ComponentId::from_raw(u32::try_from(self.comps.len()).expect("too many components"));
+        self.comps.push(ComponentSlot {
+            name: name.to_owned(),
+            comp: Some(Box::new(comp)),
+        });
+        Handle::new(id)
+    }
+
+    /// Makes `comp` sensitive to value changes on `sig`.
+    pub fn watch(&mut self, comp: ComponentId, sig: SignalId) {
+        let watchers = &mut self.signals[sig.index()].watchers;
+        if !watchers.contains(&comp) {
+            watchers.push(comp);
+        }
+    }
+
+    /// Enables waveform tracing for a signal (records every change).
+    pub fn trace(&mut self, sig: SignalId) {
+        if !self.traced.contains(&sig) {
+            self.traced.push(sig);
+        }
+    }
+
+    /// Finishes construction. Components receive `Wake::Start` in
+    /// registration order when the run loop first executes.
+    pub fn build(self) -> Simulator {
+        let mut trace = TraceBuffer::new();
+        for sig in &self.traced {
+            trace.enable(*sig, self.signals[sig.index()].name.clone());
+        }
+        // Record initial values of traced signals at t=0.
+        for sig in &self.traced {
+            trace.record(SimTime::ZERO, *sig, self.signals[sig.index()].value);
+        }
+        Simulator {
+            comps: self.comps,
+            inner: Inner {
+                signals: self.signals,
+                queue: EventQueue::new(),
+                now: SimTime::ZERO,
+                rng: SmallRng::seed_from_u64(self.seed),
+                trace,
+                stop_requested: false,
+                events_fired: 0,
+                wakes: 0,
+            },
+            started: false,
+        }
+    }
+}
+
+/// A built, runnable simulation.
+pub struct Simulator {
+    comps: Vec<ComponentSlot>,
+    inner: Inner,
+    started: bool,
+}
+
+impl fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Simulator")
+            .field("now", &self.inner.now)
+            .field("components", &self.comps.len())
+            .field("signals", &self.inner.signals.len())
+            .field("pending_events", &self.inner.queue.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.inner.now
+    }
+
+    /// Reads a bit signal's current value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the signal holds a word value.
+    pub fn bit(&self, sig: BitSignal) -> Bit {
+        self.inner
+            .value(sig.id())
+            .as_bit()
+            .expect("bit signal holds a word value")
+    }
+
+    /// Reads a word signal's current value (`None` if undriven).
+    pub fn word(&self, sig: WordSignal) -> Option<u64> {
+        self.inner.value(sig.id()).as_word()
+    }
+
+    /// The recorded waveform trace.
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.inner.trace
+    }
+
+    /// The name a signal was declared with.
+    pub fn signal_name(&self, sig: SignalId) -> &str {
+        &self.inner.signals[sig.index()].name
+    }
+
+    /// Immutable access to a component's state via its typed handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle does not belong to this simulator or the type
+    /// does not match (both are programming errors).
+    pub fn get<T: Component>(&self, handle: Handle<T>) -> &T {
+        let slot = &self.comps[handle.id().index()];
+        let comp = slot.comp.as_deref().expect("component is being woken");
+        let any: &dyn Any = comp;
+        any.downcast_ref::<T>().expect("component handle type mismatch")
+    }
+
+    /// Mutable access to a component's state via its typed handle.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Simulator::get`].
+    pub fn get_mut<T: Component>(&mut self, handle: Handle<T>) -> &mut T {
+        let slot = &mut self.comps[handle.id().index()];
+        let comp = slot.comp.as_deref_mut().expect("component is being woken");
+        let any: &mut dyn Any = comp;
+        any.downcast_mut::<T>().expect("component handle type mismatch")
+    }
+
+    /// Externally drives a signal at the current time plus `delay`.
+    ///
+    /// This is how testbench code (outside any component) injects stimulus.
+    pub fn drive(&mut self, sig: SignalId, value: Value, delay: SimDuration) {
+        self.inner.schedule_drive(sig, value, delay);
+    }
+
+    fn deliver(&mut self, comp: ComponentId, cause: Wake) {
+        let slot = &mut self.comps[comp.index()];
+        let mut boxed = match slot.comp.take() {
+            Some(b) => b,
+            // A component that wakes itself (timer + watched signal in the
+            // same delta) is already out of the arena only if re-entered,
+            // which the single-threaded loop never does; absence means a
+            // stale watcher on a removed component — ignore.
+            None => return,
+        };
+        self.inner.wakes += 1;
+        let mut ctx = Ctx {
+            inner: &mut self.inner,
+            me: comp,
+        };
+        boxed.wake(&mut ctx, cause);
+        self.comps[comp.index()].comp = Some(boxed);
+    }
+
+    /// Sends `Wake::Start` to every component, once, in registration order.
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.comps.len() {
+            self.deliver(ComponentId::from_raw(i as u32), Wake::Start);
+        }
+    }
+
+    /// Runs until simulated time would exceed `deadline`, the queue drains,
+    /// or a component calls [`Ctx::stop`].
+    ///
+    /// Events scheduled exactly at `deadline` are processed. The kernel
+    /// never executes an event and then "rewinds": after this returns, all
+    /// state is consistent as of `end_time`.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CombinationalLoop`] if zero-delay activity at one
+    /// timestamp exceeds the delta limit.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<RunSummary, SimError> {
+        self.start_if_needed();
+        let fired_before = self.inner.events_fired;
+        let wakes_before = self.inner.wakes;
+        let mut quiescent = false;
+        let mut stopped = false;
+        loop {
+            if self.inner.stop_requested {
+                self.inner.stop_requested = false;
+                stopped = true;
+                break;
+            }
+            let Some(t) = self.inner.queue.next_time() else {
+                quiescent = true;
+                break;
+            };
+            if t > deadline {
+                break;
+            }
+            self.inner.now = t;
+            let mut deltas = 0u32;
+            // Delta loop: fire everything at `t`, including events newly
+            // scheduled *at* `t` by the components we wake.
+            while self.inner.queue.next_time() == Some(t) {
+                deltas += 1;
+                if deltas > MAX_DELTAS {
+                    return Err(SimError::CombinationalLoop { time: t });
+                }
+                // Collect the batch currently queued at `t`; wakes are
+                // delivered after the whole batch of value updates.
+                let mut wake_list: Vec<(ComponentId, Wake)> = Vec::new();
+                while let Some(ev) = self.inner.queue.pop_at(t) {
+                    self.inner.events_fired += 1;
+                    match ev.kind {
+                        EventKind::Drive { sig, value } => {
+                            let st = &mut self.inner.signals[sig.index()];
+                            if st.value != value {
+                                st.value = value;
+                                self.inner.trace.record(t, sig, value);
+                                for w in &st.watchers {
+                                    wake_list.push((*w, Wake::Signal(sig)));
+                                }
+                            }
+                        }
+                        EventKind::Timer { comp, tag } => {
+                            wake_list.push((comp, Wake::Timer(tag)));
+                        }
+                    }
+                }
+                for (comp, cause) in wake_list {
+                    self.deliver(comp, cause);
+                    if self.inner.stop_requested {
+                        break;
+                    }
+                }
+                if self.inner.stop_requested {
+                    break;
+                }
+            }
+        }
+        // When the run ends because nothing (more) happens before the
+        // deadline, simulated time still passes up to the deadline. A run
+        // halted by `Ctx::stop` keeps the stop instant as its end time.
+        if !stopped && self.inner.now < deadline {
+            self.inner.now = deadline;
+        }
+        Ok(RunSummary {
+            events_fired: self.inner.events_fired - fired_before,
+            wakes: self.inner.wakes - wakes_before,
+            end_time: self.inner.now,
+            quiescent,
+        })
+    }
+
+    /// Runs for a further `span` of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from [`Simulator::run_until`].
+    pub fn run_for(&mut self, span: SimDuration) -> Result<RunSummary, SimError> {
+        let deadline = self.inner.now + span;
+        self.run_until(deadline)
+    }
+
+    /// Total events ever scheduled (for benchmarking kernel overhead).
+    pub fn events_scheduled(&self) -> u64 {
+        self.inner.queue.scheduled_total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    struct Pulser {
+        out: BitSignal,
+        period: SimDuration,
+        count: u32,
+    }
+    impl Component for Pulser {
+        fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+            match cause {
+                Wake::Start => {
+                    ctx.drive_bit(self.out, Bit::Zero, SimDuration::ZERO);
+                    ctx.set_timer(self.period, 0);
+                }
+                Wake::Timer(_) => {
+                    self.count += 1;
+                    ctx.toggle_bit(self.out, SimDuration::ZERO);
+                    ctx.set_timer(self.period, 0);
+                }
+                Wake::Signal(_) => {}
+            }
+        }
+    }
+
+    struct EdgeCounter {
+        clk: BitSignal,
+        prev: Bit,
+        rising: u32,
+        falling: u32,
+    }
+    impl Component for EdgeCounter {
+        fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+            if let Wake::Signal(_) = cause {
+                let v = ctx.bit(self.clk);
+                if self.prev.is_zero() && v.is_one() {
+                    self.rising += 1;
+                }
+                if self.prev.is_one() && v.is_zero() {
+                    self.falling += 1;
+                }
+                self.prev = v;
+            }
+        }
+    }
+
+    #[test]
+    fn pulser_and_edge_counter() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal("clk");
+        let p = b.add_component(
+            "pulser",
+            Pulser {
+                out: clk,
+                period: SimDuration::ns(5),
+                count: 0,
+            },
+        );
+        let c = b.add_component(
+            "ctr",
+            EdgeCounter {
+                clk,
+                prev: Bit::X,
+                rising: 0,
+                falling: 0,
+            },
+        );
+        b.watch(c.id(), clk.id());
+        let mut sim = b.build();
+        let summary = sim
+            .run_until(SimTime::ZERO + SimDuration::ns(52))
+            .expect("run");
+        // Toggles at 5,10,...,50 -> 10 toggles, first toggle 0->1.
+        assert_eq!(sim.get(p).count, 10);
+        assert_eq!(sim.get(c).rising, 5);
+        assert_eq!(sim.get(c).falling, 5);
+        assert!(summary.events_fired > 0);
+        assert!(!summary.quiescent);
+    }
+
+    #[test]
+    fn redundant_drive_does_not_wake_watchers() {
+        struct Driver {
+            out: BitSignal,
+        }
+        impl Component for Driver {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                if matches!(cause, Wake::Start) {
+                    ctx.drive_bit(self.out, Bit::One, SimDuration::ns(1));
+                    ctx.drive_bit(self.out, Bit::One, SimDuration::ns(2));
+                    ctx.drive_bit(self.out, Bit::One, SimDuration::ns(3));
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let s = b.add_bit_signal("s");
+        b.add_component("drv", Driver { out: s });
+        let c = b.add_component(
+            "ctr",
+            EdgeCounter {
+                clk: s,
+                prev: Bit::Zero,
+                rising: 0,
+                falling: 0,
+            },
+        );
+        b.watch(c.id(), s.id());
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO + SimDuration::ns(10)).unwrap();
+        assert_eq!(sim.get(c).rising, 1, "only the first drive changes the value");
+    }
+
+    #[test]
+    fn same_instant_drives_apply_in_schedule_order() {
+        struct Racer {
+            out: WordSignal,
+        }
+        impl Component for Racer {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                if matches!(cause, Wake::Start) {
+                    ctx.drive_word(self.out, 1, SimDuration::ns(1));
+                    ctx.drive_word(self.out, 2, SimDuration::ns(1));
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let s = b.add_word_signal("bus");
+        b.add_component("racer", Racer { out: s });
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO + SimDuration::ns(2)).unwrap();
+        assert_eq!(sim.word(s), Some(2), "last scheduled write wins");
+    }
+
+    #[test]
+    fn combinational_loop_detected() {
+        struct Loop {
+            a: BitSignal,
+        }
+        impl Component for Loop {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                match cause {
+                    Wake::Start => ctx.drive_bit(self.a, Bit::One, SimDuration::ZERO),
+                    Wake::Signal(_) => ctx.toggle_bit(self.a, SimDuration::ZERO),
+                    _ => {}
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let a = b.add_bit_signal("a");
+        let l = b.add_component("loop", Loop { a });
+        b.watch(l.id(), a.id());
+        let mut sim = b.build();
+        let err = sim.run_until(SimTime::ZERO + SimDuration::ns(1)).unwrap_err();
+        assert_eq!(err, SimError::CombinationalLoop { time: SimTime::ZERO });
+        assert!(err.to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn quiescent_run_reports_deadline_time() {
+        let mut b = SimBuilder::new();
+        let _s = b.add_bit_signal("unused");
+        let mut sim = b.build();
+        let summary = sim.run_until(SimTime::ZERO + SimDuration::ns(100)).unwrap();
+        assert!(summary.quiescent);
+        assert_eq!(sim.now(), SimTime::ZERO + SimDuration::ns(100));
+    }
+
+    #[test]
+    fn stop_requested_halts_run() {
+        struct Stopper;
+        impl Component for Stopper {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                match cause {
+                    Wake::Start => ctx.set_timer(SimDuration::ns(3), 7),
+                    Wake::Timer(7) => ctx.stop(),
+                    _ => {}
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        b.add_component("stopper", Stopper);
+        let mut sim = b.build();
+        let summary = sim.run_until(SimTime::ZERO + SimDuration::ns(100)).unwrap();
+        assert_eq!(summary.end_time, SimTime::ZERO + SimDuration::ns(3));
+        // A later run resumes cleanly.
+        let summary2 = sim.run_until(SimTime::ZERO + SimDuration::ns(100)).unwrap();
+        assert!(summary2.quiescent);
+    }
+
+    #[test]
+    fn external_drive_reaches_watchers() {
+        let mut b = SimBuilder::new();
+        let s = b.add_bit_signal("pin");
+        let c = b.add_component(
+            "ctr",
+            EdgeCounter {
+                clk: s,
+                prev: Bit::Zero,
+                rising: 0,
+                falling: 0,
+            },
+        );
+        b.watch(c.id(), s.id());
+        let mut sim = b.build();
+        sim.drive(s.id(), Value::from(true), SimDuration::ns(1));
+        sim.run_until(SimTime::ZERO + SimDuration::ns(2)).unwrap();
+        assert_eq!(sim.get(c).rising, 1);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_traces() {
+        fn run(seed: u64) -> Vec<(SimTime, Bit)> {
+            struct Rand {
+                out: BitSignal,
+            }
+            impl Component for Rand {
+                fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                    match cause {
+                        Wake::Start | Wake::Timer(_) => {
+                            use rand::Rng;
+                            let v: bool = ctx.rng().gen();
+                            ctx.drive_bit(self.out, v, SimDuration::ZERO);
+                            ctx.set_timer(SimDuration::ns(1), 0);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            let mut b = SimBuilder::new().with_seed(seed);
+            let s = b.add_bit_signal("r");
+            b.trace(s.id());
+            b.add_component("rand", Rand { out: s });
+            let mut sim = b.build();
+            sim.run_until(SimTime::ZERO + SimDuration::ns(64)).unwrap();
+            sim.trace()
+                .changes(s.id())
+                .map(|(t, v)| (t, v.as_bit().unwrap()))
+                .collect()
+        }
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn shared_state_between_components() {
+        struct Writer {
+            log: Rc<RefCell<Vec<u32>>>,
+            tag: u32,
+        }
+        impl Component for Writer {
+            fn wake(&mut self, _ctx: &mut Ctx<'_>, cause: Wake) {
+                if matches!(cause, Wake::Start) {
+                    self.log.borrow_mut().push(self.tag);
+                }
+            }
+        }
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut b = SimBuilder::new();
+        for tag in 0..4 {
+            b.add_component(
+                &format!("w{tag}"),
+                Writer {
+                    log: Rc::clone(&log),
+                    tag,
+                },
+            );
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO).unwrap();
+        assert_eq!(
+            *log.borrow(),
+            vec![0, 1, 2, 3],
+            "Start wakes are delivered in registration order"
+        );
+    }
+}

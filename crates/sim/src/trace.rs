@@ -1,0 +1,296 @@
+//! Waveform capture: in-memory change records, VCD export, and an ASCII
+//! waveform renderer (used to regenerate the paper's Figure 2).
+
+use crate::kernel::SignalId;
+use crate::time::{SimDuration, SimTime};
+use crate::value::{Bit, Value};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Records every change of the signals enabled for tracing.
+#[derive(Debug, Default, Clone)]
+pub struct TraceBuffer {
+    /// Per-signal change lists, each sorted by time (recording order).
+    changes: BTreeMap<SignalId, Vec<(SimTime, Value)>>,
+    names: BTreeMap<SignalId, String>,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn enable(&mut self, sig: SignalId, name: String) {
+        self.changes.entry(sig).or_default();
+        self.names.insert(sig, name);
+    }
+
+    pub(crate) fn record(&mut self, time: SimTime, sig: SignalId, value: Value) {
+        if let Some(list) = self.changes.get_mut(&sig) {
+            // Within one timestamp only the final value matters.
+            if let Some(last) = list.last_mut() {
+                if last.0 == time {
+                    last.1 = value;
+                    return;
+                }
+            }
+            list.push((time, value));
+        }
+    }
+
+    /// Iterates over the recorded `(time, value)` changes of one signal.
+    pub fn changes(&self, sig: SignalId) -> impl Iterator<Item = (SimTime, Value)> + '_ {
+        self.changes.get(&sig).into_iter().flatten().copied()
+    }
+
+    /// The traced signals, in id order.
+    pub fn signals(&self) -> impl Iterator<Item = SignalId> + '_ {
+        self.changes.keys().copied()
+    }
+
+    /// The declared name of a traced signal.
+    pub fn name(&self, sig: SignalId) -> Option<&str> {
+        self.names.get(&sig).map(String::as_str)
+    }
+
+    /// The value a traced signal held at `time` (last change at or before).
+    pub fn value_at(&self, sig: SignalId, time: SimTime) -> Option<Value> {
+        let list = self.changes.get(&sig)?;
+        let idx = list.partition_point(|(t, _)| *t <= time);
+        idx.checked_sub(1).map(|i| list[i].1)
+    }
+
+    /// Serializes the trace as a Value Change Dump (IEEE 1364 §18) with a
+    /// 1 fs timescale.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use st_sim::prelude::*;
+    /// # let mut b = SimBuilder::new();
+    /// # let s = b.add_bit_signal("clk");
+    /// # b.trace(s.id());
+    /// # let sim = b.build();
+    /// let vcd = sim.trace().to_vcd("testbench");
+    /// assert!(vcd.starts_with("$timescale 1 fs $end"));
+    /// ```
+    pub fn to_vcd(&self, scope: &str) -> String {
+        let mut out = String::new();
+        out.push_str("$timescale 1 fs $end\n");
+        let _ = writeln!(out, "$scope module {scope} $end");
+        let idcode = |i: usize| -> String {
+            // Printable VCD identifier codes: ! .. ~
+            let mut n = i;
+            let mut s = String::new();
+            loop {
+                s.push(char::from(b'!' + (n % 94) as u8));
+                n /= 94;
+                if n == 0 {
+                    break;
+                }
+            }
+            s
+        };
+        let ids: Vec<(SignalId, String)> = self
+            .changes
+            .keys()
+            .enumerate()
+            .map(|(i, sig)| (*sig, idcode(i)))
+            .collect();
+        for (sig, code) in &ids {
+            let name = self.names.get(sig).map_or("unnamed", String::as_str);
+            let sanitized: String = name
+                .chars()
+                .map(|c| if c.is_whitespace() { '_' } else { c })
+                .collect();
+            let width = match self.changes[sig].first() {
+                Some((_, Value::Bit(_))) | None => 1,
+                Some(_) => 64,
+            };
+            let _ = writeln!(out, "$var wire {width} {code} {sanitized} $end");
+        }
+        out.push_str("$upscope $end\n$enddefinitions $end\n");
+        // Merge all change lists into one time-ordered stream.
+        let mut merged: Vec<(SimTime, usize, Value)> = Vec::new();
+        for (i, (sig, _)) in ids.iter().enumerate() {
+            for (t, v) in &self.changes[sig] {
+                merged.push((*t, i, *v));
+            }
+        }
+        merged.sort_by_key(|(t, i, _)| (*t, *i));
+        let mut last_t: Option<SimTime> = None;
+        for (t, i, v) in merged {
+            if last_t != Some(t) {
+                let _ = writeln!(out, "#{}", t.as_fs());
+                last_t = Some(t);
+            }
+            let code = &ids[i].1;
+            match v {
+                Value::Bit(Bit::Zero) => {
+                    let _ = writeln!(out, "0{code}");
+                }
+                Value::Bit(Bit::One) => {
+                    let _ = writeln!(out, "1{code}");
+                }
+                Value::Bit(Bit::X) => {
+                    let _ = writeln!(out, "x{code}");
+                }
+                Value::Word(w) => {
+                    let _ = writeln!(out, "b{w:b} {code}");
+                }
+                Value::WordX => {
+                    let _ = writeln!(out, "bx {code}");
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders bit signals as an ASCII waveform sampled every `step`,
+    /// starting at `from`, for `cols` columns. Word signals are shown as
+    /// their low hex digit. Used for the Figure 2 reproduction.
+    pub fn render_ascii(&self, from: SimTime, step: SimDuration, cols: usize) -> String {
+        let mut out = String::new();
+        let name_w = self
+            .names
+            .values()
+            .map(String::len)
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        for sig in self.changes.keys() {
+            let name = self.names.get(sig).map_or("?", String::as_str);
+            let _ = write!(out, "{name:>name_w$} ");
+            let mut t = from;
+            for _ in 0..cols {
+                let ch = match self.value_at(*sig, t) {
+                    Some(Value::Bit(Bit::One)) => '█',
+                    Some(Value::Bit(Bit::Zero)) => '_',
+                    Some(Value::Bit(Bit::X)) | None => '·',
+                    Some(Value::Word(w)) => {
+                        char::from_digit((w % 16) as u32, 16).unwrap_or('?')
+                    }
+                    Some(Value::WordX) => '·',
+                };
+                out.push(ch);
+                t += step;
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    fn traced_sim() -> (crate::kernel::Simulator, BitSignal, WordSignal) {
+        struct Drv {
+            b: BitSignal,
+            w: WordSignal,
+        }
+        impl Component for Drv {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                if matches!(cause, Wake::Start) {
+                    ctx.drive_bit(self.b, Bit::Zero, SimDuration::ZERO);
+                    ctx.drive_bit(self.b, Bit::One, SimDuration::ns(2));
+                    ctx.drive_bit(self.b, Bit::Zero, SimDuration::ns(4));
+                    ctx.drive_word(self.w, 0xAB, SimDuration::ns(1));
+                    ctx.drive_word(self.w, 0xCD, SimDuration::ns(3));
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let bs = b.add_bit_signal("req");
+        let ws = b.add_word_signal("data");
+        b.trace(bs.id());
+        b.trace(ws.id());
+        b.add_component("drv", Drv { b: bs, w: ws });
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO + SimDuration::ns(10)).unwrap();
+        (sim, bs, ws)
+    }
+
+    #[test]
+    fn records_changes_in_order() {
+        let (sim, bs, _) = traced_sim();
+        let ch: Vec<_> = sim.trace().changes(bs.id()).collect();
+        // The initial X at t=0 collapses with the drive to 0 at t=0.
+        assert_eq!(ch.len(), 3);
+        assert_eq!(ch[0], (SimTime::ZERO, Value::Bit(Bit::Zero)));
+        assert_eq!(ch[1], (SimTime::ZERO + SimDuration::ns(2), Value::Bit(Bit::One)));
+        assert_eq!(ch[2], (SimTime::ZERO + SimDuration::ns(4), Value::Bit(Bit::Zero)));
+    }
+
+    #[test]
+    fn value_at_interpolates() {
+        let (sim, bs, ws) = traced_sim();
+        let t = |n| SimTime::ZERO + SimDuration::ns(n);
+        assert_eq!(sim.trace().value_at(bs.id(), t(3)), Some(Value::Bit(Bit::One)));
+        assert_eq!(sim.trace().value_at(bs.id(), t(5)), Some(Value::Bit(Bit::Zero)));
+        assert_eq!(sim.trace().value_at(ws.id(), t(2)), Some(Value::Word(0xAB)));
+        assert_eq!(sim.trace().value_at(ws.id(), t(0)), Some(Value::WordX));
+    }
+
+    #[test]
+    fn same_instant_collapses_to_final_value() {
+        let mut buf = TraceBuffer::new();
+        let sig = {
+            // Forge a SignalId through a builder to keep the type opaque.
+            let mut b = SimBuilder::new();
+            b.add_bit_signal("s").id()
+        };
+        buf.enable(sig, "s".into());
+        buf.record(SimTime::ZERO, sig, Value::from(false));
+        buf.record(SimTime::ZERO, sig, Value::from(true));
+        assert_eq!(buf.changes(sig).count(), 1);
+        assert_eq!(buf.value_at(sig, SimTime::ZERO), Some(Value::from(true)));
+    }
+
+    #[test]
+    fn vcd_output_structure() {
+        let (sim, _, _) = traced_sim();
+        let vcd = sim.trace().to_vcd("tb");
+        assert!(vcd.contains("$scope module tb $end"));
+        assert!(vcd.contains("$var wire 1"));
+        assert!(vcd.contains("$var wire 64"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#0"));
+        assert!(vcd.contains("b10101011 ")); // 0xAB
+        // Strictly increasing timestamps.
+        let stamps: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|s| s.parse().unwrap())
+            .collect();
+        assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn ascii_render_shows_levels() {
+        let (sim, _, _) = traced_sim();
+        let art = sim
+            .trace()
+            .render_ascii(SimTime::ZERO, SimDuration::ns(1), 6);
+        let req_line = art.lines().find(|l| l.contains("req")).unwrap();
+        // t=0:0, 1:0, 2:1, 3:1, 4:0, 5:0
+        assert!(req_line.ends_with("__██__"));
+        let data_line = art.lines().find(|l| l.contains("data")).unwrap();
+        assert!(data_line.contains('b')); // 0xAB % 16 == 0xb
+    }
+
+    #[test]
+    fn untraced_signal_yields_nothing() {
+        let mut b = SimBuilder::new();
+        let traced = b.add_bit_signal("traced");
+        let other = b.add_bit_signal("other");
+        b.trace(traced.id());
+        let sim = b.build();
+        assert_eq!(sim.trace().changes(other.id()).count(), 0);
+        assert_eq!(sim.trace().name(other.id()), None);
+        assert_eq!(sim.trace().name(traced.id()), Some("traced"));
+    }
+}

@@ -1,0 +1,202 @@
+//! Signal values.
+//!
+//! The kernel carries two shapes of value on its nets: single bits with an
+//! unknown state (`Bit`), and bundled-data words up to 64 bits (`Word`).
+//! Control wires (clocks, requests, acknowledges, tokens) are bits; data
+//! buses are words. A freshly created signal is `X` / unknown until first
+//! driven, mirroring 4-state HDL semantics closely enough for this model.
+
+use std::fmt;
+
+/// A single-bit logic value with an unknown state.
+///
+/// # Examples
+///
+/// ```
+/// use st_sim::value::Bit;
+/// assert_eq!(Bit::from(true), Bit::One);
+/// assert!(Bit::X.is_unknown());
+/// assert_eq!(!Bit::Zero, Bit::One);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Bit {
+    /// Logic low.
+    Zero,
+    /// Logic high.
+    One,
+    /// Unknown / uninitialized.
+    #[default]
+    X,
+}
+
+impl Bit {
+    /// True when the bit is logic high.
+    pub const fn is_one(self) -> bool {
+        matches!(self, Bit::One)
+    }
+
+    /// True when the bit is logic low.
+    pub const fn is_zero(self) -> bool {
+        matches!(self, Bit::Zero)
+    }
+
+    /// True when the bit is in the unknown state.
+    pub const fn is_unknown(self) -> bool {
+        matches!(self, Bit::X)
+    }
+
+    /// Converts to `bool`, treating `X` as an error.
+    pub fn to_bool(self) -> Option<bool> {
+        match self {
+            Bit::Zero => Some(false),
+            Bit::One => Some(true),
+            Bit::X => None,
+        }
+    }
+}
+
+impl From<bool> for Bit {
+    fn from(b: bool) -> Self {
+        if b {
+            Bit::One
+        } else {
+            Bit::Zero
+        }
+    }
+}
+
+impl std::ops::Not for Bit {
+    type Output = Bit;
+    fn not(self) -> Bit {
+        match self {
+            Bit::Zero => Bit::One,
+            Bit::One => Bit::Zero,
+            Bit::X => Bit::X,
+        }
+    }
+}
+
+impl fmt::Display for Bit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bit::Zero => write!(f, "0"),
+            Bit::One => write!(f, "1"),
+            Bit::X => write!(f, "x"),
+        }
+    }
+}
+
+/// A value carried by a signal: either a single bit or a data word.
+///
+/// Words model bundled-data buses of up to 64 bits; the paper's channels
+/// are "arbitrarily wide bundled data words", and 64 bits comfortably
+/// covers every workload in the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A single-bit control value.
+    Bit(Bit),
+    /// A bundled-data word.
+    Word(u64),
+    /// An unknown word (bus not yet driven).
+    WordX,
+}
+
+impl Value {
+    /// The unknown single-bit value.
+    pub const X: Value = Value::Bit(Bit::X);
+
+    /// Extracts the bit, if this is a bit-shaped value.
+    pub fn as_bit(self) -> Option<Bit> {
+        match self {
+            Value::Bit(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Extracts the word, if this is a known word.
+    pub fn as_word(self) -> Option<u64> {
+        match self {
+            Value::Word(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True for `Bit(X)` and `WordX`.
+    pub fn is_unknown(self) -> bool {
+        matches!(self, Value::Bit(Bit::X) | Value::WordX)
+    }
+}
+
+impl From<Bit> for Value {
+    fn from(b: Bit) -> Self {
+        Value::Bit(b)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bit(b.into())
+    }
+}
+
+impl From<u64> for Value {
+    fn from(w: u64) -> Self {
+        Value::Word(w)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bit(b) => write!(f, "{b}"),
+            Value::Word(w) => write!(f, "{w:#x}"),
+            Value::WordX => write!(f, "xx"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_predicates() {
+        assert!(Bit::One.is_one());
+        assert!(Bit::Zero.is_zero());
+        assert!(Bit::X.is_unknown());
+        assert!(!Bit::X.is_one());
+        assert_eq!(Bit::default(), Bit::X);
+    }
+
+    #[test]
+    fn bit_bool_round_trip() {
+        assert_eq!(Bit::from(true).to_bool(), Some(true));
+        assert_eq!(Bit::from(false).to_bool(), Some(false));
+        assert_eq!(Bit::X.to_bool(), None);
+    }
+
+    #[test]
+    fn bit_not() {
+        assert_eq!(!Bit::Zero, Bit::One);
+        assert_eq!(!Bit::One, Bit::Zero);
+        assert_eq!(!Bit::X, Bit::X);
+    }
+
+    #[test]
+    fn value_extraction() {
+        assert_eq!(Value::from(true).as_bit(), Some(Bit::One));
+        assert_eq!(Value::from(7u64).as_word(), Some(7));
+        assert_eq!(Value::Word(7).as_bit(), None);
+        assert_eq!(Value::WordX.as_word(), None);
+        assert!(Value::X.is_unknown());
+        assert!(Value::WordX.is_unknown());
+        assert!(!Value::Word(0).is_unknown());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Bit(Bit::One).to_string(), "1");
+        assert_eq!(Value::Word(255).to_string(), "0xff");
+        assert_eq!(Value::WordX.to_string(), "xx");
+    }
+}

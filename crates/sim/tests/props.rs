@@ -1,0 +1,140 @@
+//! Property-based tests of the kernel's foundational guarantees.
+
+use proptest::prelude::*;
+use st_sim::prelude::*;
+
+proptest! {
+    /// Duration arithmetic is consistent with raw femtoseconds.
+    #[test]
+    fn duration_add_sub_round_trip(a in 0u64..u64::MAX / 4, b in 0u64..u64::MAX / 4) {
+        let (da, db) = (SimDuration::fs(a), SimDuration::fs(b));
+        prop_assert_eq!((da + db).as_fs(), a + b);
+        prop_assert_eq!(((da + db) - db).as_fs(), a);
+    }
+
+    /// Percent scaling is monotone and exact at 100 %.
+    #[test]
+    fn percent_scaling_properties(fs in 0u64..u64::MAX / 512, pct in 1u64..400) {
+        let d = SimDuration::fs(fs);
+        prop_assert_eq!(d.percent(100), d);
+        let scaled = d.percent(pct);
+        if pct >= 100 {
+            prop_assert!(scaled >= d);
+        } else {
+            prop_assert!(scaled <= d);
+        }
+        // Rounding error is at most half a femtosecond (i.e. none,
+        // since we round to nearest).
+        let back = (u128::from(fs) * u128::from(pct) + 50) / 100;
+        prop_assert!(u128::from(scaled.as_fs()).abs_diff(back) <= 1);
+    }
+
+    /// Division and remainder agree with multiplication.
+    #[test]
+    fn div_rem_identity(fs in 1u64..u64::MAX / 4, q in 1u64..1_000_000) {
+        let d = SimDuration::fs(fs);
+        let unit = SimDuration::fs(q);
+        let n = d / unit;
+        let r = d % unit;
+        prop_assert_eq!(unit * n + r, d);
+        prop_assert!(r < unit);
+    }
+
+    /// Scheduled drives are applied in time order regardless of the
+    /// order they were scheduled in, and the final value at each time
+    /// wins ties by schedule order.
+    #[test]
+    fn drives_apply_in_time_order(mut times in proptest::collection::vec(1u64..1000, 1..40)) {
+        let mut b = SimBuilder::new();
+        let s = b.add_word_signal("w");
+        b.trace(s.id());
+        let mut sim = b.build();
+        for (i, t) in times.iter().enumerate() {
+            sim.drive(s.id(), Value::Word(i as u64), SimDuration::ns(*t));
+        }
+        sim.run_for(SimDuration::us(2)).unwrap();
+        // The final value must be the last-scheduled drive among those
+        // with the maximum time.
+        times.reverse();
+        let max_t = *times.iter().max().unwrap();
+        let winner_rev_idx = times.iter().position(|t| *t == max_t).unwrap();
+        let winner = times.len() - 1 - winner_rev_idx;
+        prop_assert_eq!(sim.word(s), Some(winner as u64));
+        // Trace times strictly increase.
+        let stamps: Vec<u64> = sim.trace().changes(s.id()).map(|(t, _)| t.as_fs()).collect();
+        prop_assert!(stamps.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    /// A run is exactly reproducible: same build + same seed => same
+    /// trace; and end time never exceeds the deadline.
+    #[test]
+    fn runs_are_reproducible(seed in any::<u64>(), deadline_ns in 1u64..500) {
+        fn run(seed: u64, deadline_ns: u64) -> (Vec<(u64, String)>, u64) {
+            struct Noise { out: BitSignal }
+            impl Component for Noise {
+                fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                    if matches!(cause, Wake::Start | Wake::Timer(_)) {
+                        use rand::Rng;
+                        let v: bool = ctx.rng().gen();
+                        ctx.drive_bit(self.out, v, SimDuration::ZERO);
+                        ctx.set_timer(SimDuration::ns(3), 0);
+                    }
+                }
+            }
+            let mut b = SimBuilder::new().with_seed(seed);
+            let s = b.add_bit_signal("n");
+            b.trace(s.id());
+            b.add_component("noise", Noise { out: s });
+            let mut sim = b.build();
+            let summary = sim.run_for(SimDuration::ns(deadline_ns)).unwrap();
+            let tr = sim
+                .trace()
+                .changes(s.id())
+                .map(|(t, v)| (t.as_fs(), v.to_string()))
+                .collect();
+            (tr, summary.end_time.as_fs())
+        }
+        let a = run(seed, deadline_ns);
+        let b = run(seed, deadline_ns);
+        prop_assert_eq!(&a, &b);
+        prop_assert!(a.1 <= SimDuration::ns(deadline_ns).as_fs());
+    }
+
+    /// The trace's `value_at` is consistent with replaying its changes.
+    #[test]
+    fn trace_value_at_matches_replay(changes in proptest::collection::vec((1u64..200, 0u64..16), 1..30)) {
+        let mut b = SimBuilder::new();
+        let s = b.add_word_signal("w");
+        b.trace(s.id());
+        let mut sim = b.build();
+        for (t, v) in &changes {
+            sim.drive(s.id(), Value::Word(*v), SimDuration::ns(*t));
+        }
+        sim.run_for(SimDuration::us(1)).unwrap();
+        // Replay manually.
+        let mut sorted = changes.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        for probe_ns in [0u64, 50, 100, 150, 250] {
+            let probe = SimTime::ZERO + SimDuration::ns(probe_ns);
+            let expected = {
+                // Last write at or before probe, later schedule index
+                // winning ties -> scan in schedule order keeping max time.
+                let mut best: Option<(u64, u64, usize)> = None; // (t, v, idx)
+                for (idx, (t, v)) in changes.iter().enumerate() {
+                    if *t <= probe_ns {
+                        let better = match best {
+                            None => true,
+                            Some((bt, _, bidx)) => *t > bt || (*t == bt && idx > bidx),
+                        };
+                        if better {
+                            best = Some((*t, *v, idx));
+                        }
+                    }
+                }
+                best.map(|(_, v, _)| v)
+            };
+            let got = sim.trace().value_at(s.id(), probe).and_then(Value::as_word);
+            prop_assert_eq!(got, expected, "probe at {}ns", probe_ns);
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Built-in self-test: LFSR pattern generation and MISR signature
+//! compaction.
+//!
+//! §4.2 lists "internal scan chains for ATPG or BIST" among the features
+//! the Test SB's self-timed chains can serve. The deeper point of the
+//! paper is that **BIST across GALS boundaries only works if the system
+//! is deterministic**: a signature compacted from responses that arrive
+//! at nondeterministic local cycles is itself nondeterministic and
+//! cannot be compared against a golden value. With synchro-tokens the
+//! signature is invariant under delay/process variation — verified in
+//! this module's tests by sweeping physical delays around a BIST loop.
+
+use synchro_tokens::logic::{SbIo, SyncLogic};
+
+/// A Fibonacci linear-feedback shift register over up to 64 bits.
+///
+/// # Examples
+///
+/// ```
+/// use st_testkit::bist::Lfsr;
+/// let mut lfsr = Lfsr::new_maximal16(0xACE1);
+/// let a = lfsr.next_pattern();
+/// let b = lfsr.next_pattern();
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lfsr {
+    state: u64,
+    taps: u64,
+    width: u32,
+}
+
+impl Lfsr {
+    /// An LFSR with an explicit tap mask (bit i set = stage i feeds the
+    /// XOR network).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in 2..=64, the seed is zero (an
+    /// all-zero LFSR state is a fixed point), or bit 0 is untapped
+    /// (the shifted-out bit must feed back or the map is not a
+    /// bijection).
+    pub fn new(seed: u64, taps: u64, width: u32) -> Self {
+        assert!((2..=64).contains(&width), "width 2-64");
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        assert!(seed & mask != 0, "seed must be non-zero");
+        assert!(taps & 1 == 1, "bit 0 must be tapped");
+        Lfsr {
+            state: seed & mask,
+            taps: taps & mask,
+            width,
+        }
+    }
+
+    /// The classic maximal-length 16-bit LFSR: in right-shift Fibonacci
+    /// form the polynomial x^16 + x^14 + x^13 + x^11 + 1 taps state bits
+    /// 0, 2, 3 and 5 (`feedback = b0 ^ b2 ^ b3 ^ b5`).
+    pub fn new_maximal16(seed: u16) -> Self {
+        Lfsr::new(u64::from(seed), 0x002D, 16)
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Advances one bit: returns the shifted-out bit.
+    pub fn step(&mut self) -> bool {
+        let feedback = (self.state & self.taps).count_ones() & 1 == 1;
+        let out = self.state & 1 == 1;
+        self.state >>= 1;
+        if feedback {
+            self.state |= 1 << (self.width - 1);
+        }
+        out
+    }
+
+    /// Advances a full word width and returns the new state as the next
+    /// test pattern.
+    pub fn next_pattern(&mut self) -> u64 {
+        for _ in 0..self.width {
+            self.step();
+        }
+        self.state
+    }
+
+    /// Current state.
+    pub fn state(&self) -> u64 {
+        self.state & self.mask()
+    }
+
+    /// The sequence period until the state first repeats (test helper;
+    /// walks the LFSR, so use narrow widths only).
+    pub fn period(mut self) -> u64 {
+        let start = self.state;
+        let mut n = 0u64;
+        loop {
+            self.step();
+            n += 1;
+            if self.state == start {
+                return n;
+            }
+            assert!(n < 1 << 20, "period probe runaway");
+        }
+    }
+}
+
+/// A multiple-input signature register (parallel-input LFSR compactor).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Misr {
+    state: u64,
+    taps: u64,
+    width: u32,
+}
+
+impl Misr {
+    /// A MISR with the given taps (same convention as [`Lfsr::new`]:
+    /// bit 0 must be tapped so the compaction never *forgets* an error).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not in 2..=64 or bit 0 is untapped.
+    pub fn new(taps: u64, width: u32) -> Self {
+        assert!((2..=64).contains(&width), "width 2-64");
+        assert!(taps & 1 == 1, "bit 0 must be tapped");
+        Misr {
+            state: 0,
+            taps,
+            width,
+        }
+    }
+
+    /// A 32-bit MISR with CRC-32-derived taps (bit 0 forced in).
+    pub fn new32() -> Self {
+        Misr::new(0xEDB8_8321, 32)
+    }
+
+    /// Folds one response word into the signature.
+    pub fn absorb(&mut self, response: u64) {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        };
+        let feedback = (self.state & self.taps).count_ones() & 1 == 1;
+        self.state >>= 1;
+        if feedback {
+            self.state |= 1 << (self.width - 1);
+        }
+        self.state ^= response & mask;
+        self.state &= mask;
+    }
+
+    /// The compacted signature.
+    pub fn signature(&self) -> u64 {
+        self.state
+    }
+}
+
+/// SB behaviour running a BIST session: emits LFSR patterns on output 0
+/// and compacts everything received on input 0 into a MISR.
+///
+/// Attach one `BistEngine` as the pattern source/response compactor and
+/// route its output through the circuit under test (e.g. a
+/// [`PipeTransform`](synchro_tokens::logic::PipeTransform) in another
+/// SB) and back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BistEngine {
+    lfsr: Lfsr,
+    misr: Misr,
+    /// Patterns to emit in total.
+    budget: u64,
+    /// Patterns emitted.
+    pub emitted: u64,
+    /// Responses compacted.
+    pub compacted: u64,
+}
+
+impl BistEngine {
+    /// An engine that emits `budget` 16-bit patterns from `seed`.
+    pub fn new(seed: u16, budget: u64) -> Self {
+        BistEngine {
+            lfsr: Lfsr::new_maximal16(seed),
+            misr: Misr::new32(),
+            budget,
+            emitted: 0,
+            compacted: 0,
+        }
+    }
+
+    /// The signature so far.
+    pub fn signature(&self) -> u64 {
+        self.misr.signature()
+    }
+
+    /// True when every emitted pattern's response has been compacted.
+    pub fn done(&self) -> bool {
+        self.emitted == self.budget && self.compacted == self.budget
+    }
+}
+
+impl SyncLogic for BistEngine {
+    fn tick(&mut self, _cycle: u64, io: &mut SbIo<'_>) {
+        if let Some(response) = io.recv(0) {
+            self.misr.absorb(response);
+            self.compacted += 1;
+        }
+        if self.emitted < self.budget && io.num_outputs() > 0 && io.can_send(0) {
+            let pattern = self.lfsr.next_pattern();
+            io.send(0, pattern);
+            self.emitted += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_sim::time::SimDuration;
+    use synchro_tokens::logic::PipeTransform;
+    use synchro_tokens::prelude::*;
+    use synchro_tokens::scenarios::matched_ring_recycles;
+
+    #[test]
+    fn maximal16_has_full_period() {
+        let lfsr = Lfsr::new_maximal16(1);
+        assert_eq!(lfsr.period(), 65_535, "maximal-length 16-bit sequence");
+    }
+
+    #[test]
+    fn lfsr_is_deterministic_and_seed_sensitive() {
+        let run = |seed: u16| {
+            let mut l = Lfsr::new_maximal16(seed);
+            (0..16).map(|_| l.next_pattern()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(0xACE1), run(0xACE1));
+        assert_ne!(run(0xACE1), run(0xACE2));
+    }
+
+    #[test]
+    fn misr_distinguishes_error_patterns() {
+        let responses: Vec<u64> = (0..64).map(|i| i * 37 % 251).collect();
+        let mut clean = Misr::new32();
+        for r in &responses {
+            clean.absorb(*r);
+        }
+        // A single-bit error anywhere changes the signature.
+        for flip in [0usize, 17, 63] {
+            let mut dirty = Misr::new32();
+            for (i, r) in responses.iter().enumerate() {
+                dirty.absorb(if i == flip { r ^ 1 } else { *r });
+            }
+            assert_ne!(clean.signature(), dirty.signature(), "flip at {flip}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must be non-zero")]
+    fn zero_seed_rejected() {
+        let _ = Lfsr::new(0, 1, 16);
+    }
+
+    /// A BIST loop across a GALS boundary: engine SB -> CUT SB -> back.
+    fn bist_loop_spec(ring_pct: u64, fifo_pct: u64) -> SystemSpec {
+        let mut s = SystemSpec::default();
+        let eng = s.add_sb("bist", SimDuration::ns(10));
+        let cut = s.add_sb("cut", SimDuration::ns(12));
+        let ring = s.add_ring(
+            eng,
+            cut,
+            NodeParams::new(4, 1),
+            SimDuration::ns(30).percent(ring_pct),
+        );
+        s.add_channel(eng, cut, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
+        s.add_channel(cut, eng, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
+        matched_ring_recycles(&mut s, 0);
+        s
+    }
+
+    fn run_bist(ring_pct: u64, fifo_pct: u64) -> u64 {
+        let spec = bist_loop_spec(ring_pct, fifo_pct);
+        let (eng, cut) = (SbId(0), SbId(1));
+        let mut sys = SystemBuilder::new(spec)
+            .unwrap()
+            .with_logic(eng, BistEngine::new(0xACE1, 64))
+            .with_logic(cut, PipeTransform::new(8, |w| (w ^ 0x5A5A).rotate_left(3)))
+            .with_trace_limit(1)
+            .build();
+        let mut budget = 0;
+        while !sys.logic::<BistEngine>(eng).done() {
+            sys.run_for(SimDuration::us(2)).unwrap();
+            budget += 1;
+            assert!(budget < 200, "BIST session did not converge");
+        }
+        sys.logic::<BistEngine>(eng).signature()
+    }
+
+    #[test]
+    fn gals_bist_signature_is_delay_invariant() {
+        // The chip-level payoff: a golden BIST signature is meaningful
+        // because it does not depend on physical delays.
+        let golden = run_bist(100, 100);
+        assert_ne!(golden, 0);
+        for (rp, fp) in [(50, 100), (200, 100), (100, 50), (100, 200), (150, 75)] {
+            assert_eq!(
+                run_bist(rp, fp),
+                golden,
+                "signature diverged at ring {rp}%, fifo {fp}%"
+            );
+        }
+    }
+
+    #[test]
+    fn gals_bist_catches_an_injected_fault() {
+        // Same loop, but the CUT has a stuck-at-style fault: the
+        // signature must differ from golden.
+        let golden = run_bist(100, 100);
+        let spec = bist_loop_spec(100, 100);
+        let (eng, cut) = (SbId(0), SbId(1));
+        let mut sys = SystemBuilder::new(spec)
+            .unwrap()
+            .with_logic(eng, BistEngine::new(0xACE1, 64))
+            // Fault: output bit 0 stuck at 1.
+            .with_logic(cut, PipeTransform::new(8, |w| (w ^ 0x5A5A).rotate_left(3) | 1))
+            .with_trace_limit(1)
+            .build();
+        let mut budget = 0;
+        while !sys.logic::<BistEngine>(eng).done() {
+            sys.run_for(SimDuration::us(2)).unwrap();
+            budget += 1;
+            assert!(budget < 200);
+        }
+        assert_ne!(sys.logic::<BistEngine>(eng).signature(), golden);
+    }
+}

@@ -1,0 +1,432 @@
+//! The §4.2 debug & test features, end to end.
+//!
+//! "System clocks can be stopped while TCK is in Interlocked Mode by
+//! holding tokens indefinitely in the Test SB and waiting for all of the
+//! recycle counters in the system to reach zero and deterministically
+//! stop the local clocks. The granularity of these natural breakpoints
+//! can be increased — all the way to single stepping if desired … After
+//! the system clocks have been stopped, the asynchronous scan chains can
+//! be used to deterministically read and write system state."
+//!
+//! [`TestAccess`] drives those flows against a live
+//! [`System`]: every control action passes
+//! through a real [`TapPort`] transaction (instruction + data register
+//! scan), then is dispatched to the wrapper hardware hooks.
+
+use crate::player::TapPort;
+use crate::registers::Instruction;
+use st_sim::time::SimDuration;
+use synchro_tokens::spec::{NodeParams, RingId, SbId, SystemSpec};
+use synchro_tokens::system::System;
+
+/// The Test SB's TCK relationship to the token fabric (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TckMode {
+    /// Tokens passing through the Test SB may stop the clock; tester ↔
+    /// mission-mode data exchange is deterministic. "Best suited for
+    /// on-tester debug and production test."
+    #[default]
+    Interlocked,
+    /// TCK and token flow do not affect each other; communication with
+    /// mission-mode logic is nondeterministic. "Appropriate for
+    /// off-tester usage of TAP public instructions and for mission mode."
+    Independent,
+}
+
+/// Outcome of a breakpoint request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakpointReport {
+    /// SBs whose clocks were parked when the system went quiet.
+    pub stopped: Vec<SbId>,
+    /// Local cycle count of every SB at the breakpoint.
+    pub cycles: Vec<u64>,
+}
+
+/// One shmoo point: a candidate clock period and whether the system's
+/// I/O sequences still matched the golden reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmooPoint {
+    /// The period under test.
+    pub period: SimDuration,
+    /// True when every SB's trace matched the golden run.
+    pub pass: bool,
+    /// Setup-time violations the swept SB took at this period.
+    pub violations: u64,
+}
+
+/// Result of a frequency shmoo (§4.2: "clock frequency shmooing to find
+/// critical paths within SBs").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShmooResult {
+    /// Points in the order swept (fastest first or as given).
+    pub points: Vec<ShmooPoint>,
+}
+
+impl ShmooResult {
+    /// The shortest period that still passed, if any.
+    pub fn min_passing_period(&self) -> Option<SimDuration> {
+        self.points
+            .iter()
+            .filter(|p| p.pass)
+            .map(|p| p.period)
+            .min()
+    }
+
+    /// The longest period that failed, if any (brackets the critical
+    /// path from below).
+    pub fn max_failing_period(&self) -> Option<SimDuration> {
+        self.points
+            .iter()
+            .filter(|p| !p.pass)
+            .map(|p| p.period)
+            .max()
+    }
+}
+
+/// Tester-side access to a synchro-tokens system through its Test SB.
+#[derive(Debug)]
+pub struct TestAccess {
+    tap: TapPort,
+    test_sb: SbId,
+    mode: TckMode,
+}
+
+impl TestAccess {
+    /// Attaches to the designated Test SB with the given IDCODE.
+    pub fn new(test_sb: SbId, idcode: u32) -> Self {
+        let mut tap = TapPort::new(idcode);
+        tap.reset();
+        TestAccess {
+            tap,
+            test_sb,
+            mode: TckMode::Interlocked,
+        }
+    }
+
+    /// Switches the TCK mode.
+    pub fn set_mode(&mut self, mode: TckMode) {
+        self.mode = mode;
+    }
+
+    /// Current TCK mode.
+    pub fn mode(&self) -> TckMode {
+        self.mode
+    }
+
+    /// The underlying TAP (for raw transactions).
+    pub fn tap(&mut self) -> &mut TapPort {
+        &mut self.tap
+    }
+
+    /// Reads the device IDCODE over the TAP.
+    pub fn read_idcode(&mut self) -> u32 {
+        let v = self.tap.transact(Instruction::IdCode, 0);
+        u32::try_from(v & 0xFFFF_FFFF).expect("32-bit idcode")
+    }
+
+    /// Requests a deterministic breakpoint: parks every token currently
+    /// held by the Test SB's nodes and runs until all other clocks stop.
+    ///
+    /// In [`TckMode::Independent`] the token fabric is unaffected and the
+    /// report is empty (the paper: "the operation of TCK and the flow of
+    /// tokens through the Test SB have no effect on each other").
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors from the settling run.
+    pub fn breakpoint(
+        &mut self,
+        sys: &mut System,
+        max_time: SimDuration,
+    ) -> Result<BreakpointReport, st_sim::SimError> {
+        // The request travels through the TAP like real tester traffic.
+        self.tap.transact(Instruction::TokenHold, 1);
+        if self.mode == TckMode::Independent {
+            return Ok(BreakpointReport {
+                stopped: Vec::new(),
+                cycles: (0..sys.spec().sbs.len())
+                    .map(|i| sys.cycles(SbId(i)))
+                    .collect(),
+            });
+        }
+        sys.set_hold_tokens(self.test_sb, true);
+        // Run until the system goes quiescent (all clocks parked except
+        // possibly the Test SB's, which never starves itself).
+        sys.run_for(max_time)?;
+        Ok(BreakpointReport {
+            stopped: sys.stopped_sbs(),
+            cycles: (0..sys.spec().sbs.len())
+                .map(|i| sys.cycles(SbId(i)))
+                .collect(),
+        })
+    }
+
+    /// Releases a breakpoint: tokens flow again and stopped clocks
+    /// restart asynchronously.
+    pub fn resume(&mut self, sys: &mut System) {
+        self.tap.transact(Instruction::TokenHold, 0);
+        if self.mode == TckMode::Interlocked {
+            sys.set_hold_tokens(self.test_sb, false);
+        }
+    }
+
+    /// Single-steps the system: releases tokens until every non-test SB
+    /// has advanced by at least `cycles` local cycles, then re-engages
+    /// the breakpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors.
+    pub fn single_step(
+        &mut self,
+        sys: &mut System,
+        cycles: u64,
+        max_time: SimDuration,
+    ) -> Result<BreakpointReport, st_sim::SimError> {
+        let start: Vec<u64> = (0..sys.spec().sbs.len())
+            .map(|i| sys.cycles(SbId(i)))
+            .collect();
+        self.resume(sys);
+        let deadline = sys.now() + max_time;
+        // Fine-grained settling so the step resolution approaches a few
+        // local cycles.
+        let step = SimDuration::ns(200);
+        while sys.now() < deadline {
+            sys.run_for(step)?;
+            let done = (0..sys.spec().sbs.len()).all(|i| {
+                SbId(i) == self.test_sb || sys.cycles(SbId(i)) >= start[i] + cycles
+            });
+            if done {
+                break;
+            }
+        }
+        self.breakpoint(sys, max_time)
+    }
+
+    /// Writes the hold/recycle registers of one node over the TAP
+    /// (§4.2: the registers are scan-accessible for performance tuning).
+    pub fn write_node_params(
+        &mut self,
+        sys: &mut System,
+        sb: SbId,
+        ring: RingId,
+        params: NodeParams,
+    ) {
+        self.tap
+            .transact(Instruction::HoldReg, u64::from(params.hold));
+        self.tap
+            .transact(Instruction::RecycleReg, u64::from(params.recycle));
+        let hold = self.tap.registers().register(Instruction::HoldReg).update_value();
+        let recycle = self
+            .tap
+            .registers()
+            .register(Instruction::RecycleReg)
+            .update_value();
+        sys.set_node_params(
+            sb,
+            ring,
+            NodeParams::new(
+                u32::try_from(hold).expect("hold fits"),
+                u32::try_from(recycle).expect("recycle fits"),
+            ),
+        );
+    }
+
+    /// Reads 64 bits of architectural state out through the ScanState
+    /// register (the self-timed internal scan chain).
+    pub fn scan_state_word(&mut self, word: u64) -> u64 {
+        self.tap
+            .registers()
+            .register_mut(Instruction::ScanState)
+            .set_capture(word);
+        self.tap.transact(Instruction::ScanState, 0)
+    }
+}
+
+/// Runs a frequency shmoo over one SB: rebuilds the system at each
+/// candidate period (the frequency-control register in real silicon),
+/// runs `cycles` local cycles, and compares every SB's I/O trace digest
+/// with the golden reference obtained from `spec` as-is.
+///
+/// Determinism makes this meaningful: the traces are invariant under
+/// period scaling *until* the SB's modelled critical path is violated,
+/// so the pass/fail edge locates the critical path, exactly as §4.2
+/// promises.
+pub fn shmoo(
+    spec: &SystemSpec,
+    sb: SbId,
+    periods: &[SimDuration],
+    cycles: u64,
+    build: &dyn Fn(SystemSpec, u64) -> System,
+) -> ShmooResult {
+    let golden: Vec<u64> = {
+        let mut sys = build(spec.clone(), 0);
+        sys.run_until_cycles(cycles, SimDuration::us(5000))
+            .expect("golden run");
+        (0..spec.sbs.len())
+            .map(|i| sys.io_trace(SbId(i)).digest())
+            .collect()
+    };
+    let mut points = Vec::new();
+    for &period in periods {
+        let mut s = spec.clone();
+        s.sbs[sb.0].period = period;
+        let mut sys = build(s, 0);
+        let completed = matches!(
+            sys.run_until_cycles(cycles, SimDuration::us(5000)),
+            Ok(synchro_tokens::system::RunOutcome::Reached)
+        );
+        let digests: Vec<u64> = (0..spec.sbs.len())
+            .map(|i| sys.io_trace(SbId(i)).digest())
+            .collect();
+        points.push(ShmooPoint {
+            period,
+            pass: completed && digests == golden,
+            violations: sys.timing_violations(sb),
+        });
+    }
+    ShmooResult { points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synchro_tokens::scenarios::{build_e1, e1_spec, MixerLogic};
+    use synchro_tokens::system::RunOutcome;
+
+    const ALPHA: SbId = SbId(0);
+
+    #[test]
+    fn interlocked_breakpoint_stops_the_whole_system() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+        let mut access = TestAccess::new(ALPHA, 0xABCD_0001);
+        let report = access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+        // Alpha (the Test SB) holds its tokens; beta and gamma starve
+        // and deterministically stop.
+        assert!(report.stopped.contains(&SbId(1)), "{report:?}");
+        assert!(report.stopped.contains(&SbId(2)), "{report:?}");
+        // Nothing moves while broken.
+        let frozen = report.cycles.clone();
+        sys.run_for(SimDuration::us(50)).unwrap();
+        for (i, f) in frozen.iter().enumerate().skip(1) {
+            assert_eq!(sys.cycles(SbId(i)), *f, "sb{i} crept at breakpoint");
+        }
+    }
+
+    #[test]
+    fn breakpoints_are_deterministic() {
+        let observe = || {
+            let mut sys = build_e1(e1_spec(), 0, 50);
+            sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+            let mut access = TestAccess::new(ALPHA, 1);
+            let report = access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+            report.cycles
+        };
+        assert_eq!(observe(), observe(), "breakpoint cycle counts must repeat");
+    }
+
+    #[test]
+    fn independent_mode_does_not_touch_the_fabric() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+        let mut access = TestAccess::new(ALPHA, 1);
+        access.set_mode(TckMode::Independent);
+        let report = access.breakpoint(&mut sys, SimDuration::us(20)).unwrap();
+        assert!(report.stopped.is_empty());
+        // Clocks keep running.
+        let before = sys.cycles(SbId(1));
+        sys.run_for(SimDuration::us(10)).unwrap();
+        assert!(sys.cycles(SbId(1)) > before);
+    }
+
+    #[test]
+    fn resume_restarts_stopped_clocks() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+        let mut access = TestAccess::new(ALPHA, 1);
+        access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+        let frozen = sys.cycles(SbId(1));
+        access.resume(&mut sys);
+        let out = sys.run_until_cycles(frozen + 50, SimDuration::us(2000)).unwrap();
+        assert_eq!(out, RunOutcome::Reached);
+    }
+
+    #[test]
+    fn single_step_advances_by_small_increments() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+        let mut access = TestAccess::new(ALPHA, 1);
+        let b0 = access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+        let b1 = access
+            .single_step(&mut sys, 4, SimDuration::us(200))
+            .unwrap();
+        for i in 1..3 {
+            let delta = b1.cycles[i] - b0.cycles[i];
+            assert!(
+                (4..60).contains(&delta),
+                "sb{i} stepped by {delta}, want a small increment"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_reads_and_writes_logic_state_at_a_breakpoint() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        sys.run_until_cycles(50, SimDuration::us(2000)).unwrap();
+        let mut access = TestAccess::new(ALPHA, 1);
+        access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+        // Read beta's architectural state through the scan register.
+        let (counter, acc) = sys.logic::<MixerLogic>(SbId(1)).state();
+        let read = access.scan_state_word(counter);
+        assert_eq!(read, counter);
+        // Write modified state back in (deterministic injection).
+        sys.logic_mut::<MixerLogic>(SbId(1)).set_state(counter + 100, acc);
+        assert_eq!(sys.logic::<MixerLogic>(SbId(1)).state().0, counter + 100);
+    }
+
+    #[test]
+    fn tap_idcode_accessible_in_any_mode() {
+        let mut access = TestAccess::new(ALPHA, 0x1234_5679);
+        assert_eq!(access.read_idcode(), 0x1234_5679);
+        access.set_mode(TckMode::Independent);
+        assert_eq!(access.read_idcode(), 0x1234_5679);
+        assert_eq!(access.mode(), TckMode::Independent);
+    }
+
+    #[test]
+    fn node_param_writes_go_through_the_tap() {
+        let mut sys = build_e1(e1_spec(), 0, 50);
+        let mut access = TestAccess::new(ALPHA, 1);
+        let before = sys.node(SbId(0), RingId(0)).unwrap().params();
+        let new = NodeParams::new(before.hold + 1, before.recycle + 2);
+        access.write_node_params(&mut sys, SbId(0), RingId(0), new);
+        assert_eq!(sys.node(SbId(0), RingId(0)).unwrap().params(), new);
+        assert!(access
+            .tap()
+            .update_log()
+            .contains(&Instruction::RecycleReg));
+    }
+
+    #[test]
+    fn shmoo_finds_the_injected_critical_path() {
+        // Give beta a 6 ns critical path; sweep its period across it.
+        let mut spec = e1_spec();
+        spec.sbs[1].logic_delay = SimDuration::ns(6);
+        let periods: Vec<SimDuration> =
+            [4u64, 5, 6, 8, 10, 12].iter().map(|n| SimDuration::ns(*n)).collect();
+        let result = shmoo(&spec, SbId(1), &periods, 60, &|s, seed| {
+            build_e1(s, seed, 60)
+        });
+        // Periods >= 6 ns pass; shorter ones corrupt data and fail.
+        for p in &result.points {
+            let expect = p.period >= SimDuration::ns(6);
+            assert_eq!(p.pass, expect, "period {} wrong verdict", p.period);
+            if !expect {
+                assert!(p.violations > 0);
+            }
+        }
+        assert_eq!(result.min_passing_period(), Some(SimDuration::ns(6)));
+        assert_eq!(result.max_failing_period(), Some(SimDuration::ns(5)));
+    }
+}

@@ -1,0 +1,270 @@
+//! The complete TAP port: controller + instruction register + data
+//! registers, driven one TCK cycle at a time, plus high-level scan
+//! helpers (the "tester side" of every debug flow).
+
+use crate::registers::{DataRegister, Instruction, RegisterFile};
+use crate::tap::{TapFsm, TapState};
+
+/// A full 1149.1 test access port.
+///
+/// # Examples
+///
+/// ```
+/// use st_testkit::{Instruction, TapPort};
+///
+/// let mut tap = TapPort::new(0xC0DE_0001);
+/// tap.reset();
+/// tap.scan_ir(Instruction::IdCode);
+/// let id = tap.scan_dr(0, 32);
+/// assert_eq!(id, 0xC0DE_0001);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TapPort {
+    fsm: TapFsm,
+    regs: RegisterFile,
+    ir: DataRegister,
+    current: Instruction,
+    tdo: bool,
+    /// Log of executed Update-IR instructions (for test assertions and
+    /// the debug harness's action dispatch).
+    updates: Vec<Instruction>,
+}
+
+impl TapPort {
+    /// A TAP with the given IDCODE, in Test-Logic-Reset with IDCODE
+    /// selected (as the standard requires when an IDCODE register
+    /// exists).
+    pub fn new(idcode: u32) -> Self {
+        TapPort {
+            fsm: TapFsm::new(),
+            regs: RegisterFile::new(idcode),
+            ir: DataRegister::new(Instruction::IR_WIDTH),
+            current: Instruction::IdCode,
+            tdo: false,
+            updates: Vec::new(),
+        }
+    }
+
+    /// Current controller state.
+    pub fn state(&self) -> TapState {
+        self.fsm.state()
+    }
+
+    /// Currently effective instruction.
+    pub fn instruction(&self) -> Instruction {
+        self.current
+    }
+
+    /// The register file (to preload captures / read updates).
+    pub fn registers(&mut self) -> &mut RegisterFile {
+        &mut self.regs
+    }
+
+    /// Instructions latched by Update-IR so far, in order.
+    pub fn update_log(&self) -> &[Instruction] {
+        &self.updates
+    }
+
+    /// Applies one full TCK cycle (TMS/TDI sampled on the rising edge);
+    /// returns TDO as driven during the cycle.
+    ///
+    /// Per the standard's edge semantics, capture and shift happen on
+    /// the rising edge that *leaves* the Capture/Shift state, while the
+    /// update latches ride the falling edge *inside* the Update state —
+    /// modelled here as prev-state and new-state actions respectively.
+    pub fn tck(&mut self, tms: bool, tdi: bool) -> bool {
+        let prev = self.fsm.state();
+        let state = self.fsm.clock(tms);
+        match prev {
+            TapState::CaptureIr => {
+                // The standard mandates capturing xx01 into the IR.
+                self.ir.set_capture(0b0001);
+                self.ir.capture();
+            }
+            TapState::ShiftIr => {
+                self.tdo = self.ir.shift_bit(tdi);
+            }
+            TapState::CaptureDr => {
+                self.regs.register_mut(self.current).capture();
+            }
+            TapState::ShiftDr => {
+                self.tdo = self.regs.register_mut(self.current).shift_bit(tdi);
+            }
+            _ => {}
+        }
+        match state {
+            TapState::TestLogicReset => {
+                self.current = Instruction::IdCode;
+            }
+            TapState::UpdateIr => {
+                self.ir.update();
+                self.current = Instruction::decode(self.ir.update_value());
+                self.updates.push(self.current);
+            }
+            TapState::UpdateDr => {
+                self.regs.register_mut(self.current).update();
+            }
+            _ => {}
+        }
+        self.tdo
+    }
+
+    /// Drives ≥ 5 TMS=1 cycles: Test-Logic-Reset from any state.
+    pub fn reset(&mut self) {
+        for _ in 0..5 {
+            self.tck(true, false);
+        }
+        self.tck(false, false); // settle in Run-Test/Idle
+    }
+
+    /// Loads an instruction through a full IR scan (from Run-Test/Idle,
+    /// back to Run-Test/Idle).
+    pub fn scan_ir(&mut self, instr: Instruction) {
+        // RTI -> SelDR -> SelIR -> CapIR -> (capture edge into ShiftIR).
+        self.tck(true, false);
+        self.tck(true, false);
+        self.tck(false, false);
+        self.tck(false, false);
+        let code = instr.opcode();
+        let width = Instruction::IR_WIDTH;
+        for i in 0..width {
+            let tdi = (code >> i) & 1 == 1;
+            let last = i == width - 1;
+            // Shift-IR for all but the last bit, which rides Exit1-IR.
+            self.tck(last, tdi);
+        }
+        // Exit1-IR -> Update-IR -> RTI.
+        self.tck(true, false);
+        self.tck(false, false);
+    }
+
+    /// Performs a full DR scan of `width` bits: shifts `data_in` in
+    /// (LSB first) and returns the `width` bits that came out.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    pub fn scan_dr(&mut self, data_in: u64, width: u32) -> u64 {
+        assert!((1..=64).contains(&width), "scan width must be 1-64");
+        // RTI -> SelDR -> CapDR -> (capture edge into ShiftDR).
+        self.tck(true, false);
+        self.tck(false, false);
+        self.tck(false, false);
+        let mut out = 0u64;
+        for i in 0..width {
+            let tdi = (data_in >> i) & 1 == 1;
+            let last = i == width - 1;
+            let tdo = self.tck(last, tdi);
+            out |= u64::from(tdo) << i;
+        }
+        // Exit1-DR -> Update-DR -> RTI.
+        self.tck(true, false);
+        self.tck(false, false);
+        out
+    }
+
+    /// Convenience: IR scan + DR scan sized to the selected register.
+    pub fn transact(&mut self, instr: Instruction, data_in: u64) -> u64 {
+        self.scan_ir(instr);
+        let width = self.regs.register(instr).width();
+        self.scan_dr(data_in, width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_lands_in_run_test_idle_with_idcode() {
+        let mut tap = TapPort::new(0xDEAD_BEE1);
+        tap.scan_ir(Instruction::Extest);
+        tap.reset();
+        assert_eq!(tap.state(), TapState::RunTestIdle);
+        assert_eq!(tap.instruction(), Instruction::IdCode);
+    }
+
+    #[test]
+    fn idcode_reads_back() {
+        let mut tap = TapPort::new(0x1234_5679);
+        tap.reset();
+        let id = tap.transact(Instruction::IdCode, 0);
+        assert_eq!(id, 0x1234_5679);
+    }
+
+    #[test]
+    fn ir_scan_selects_instruction() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        tap.scan_ir(Instruction::HoldReg);
+        assert_eq!(tap.instruction(), Instruction::HoldReg);
+        assert_eq!(tap.state(), TapState::RunTestIdle);
+        assert_eq!(tap.update_log(), &[Instruction::HoldReg]);
+    }
+
+    #[test]
+    fn dr_scan_writes_the_selected_register() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        tap.transact(Instruction::RecycleReg, 0x00AB);
+        assert_eq!(
+            tap.registers()
+                .register(Instruction::RecycleReg)
+                .update_value(),
+            0x00AB
+        );
+    }
+
+    #[test]
+    fn dr_scan_reads_a_preloaded_capture() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        tap.registers()
+            .register_mut(Instruction::ScanState)
+            .set_capture(0xFACE_F00D_CAFE_BEEF);
+        let out = tap.transact(Instruction::ScanState, 0);
+        assert_eq!(out, 0xFACE_F00D_CAFE_BEEF);
+    }
+
+    #[test]
+    fn bypass_is_a_single_flop() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        tap.scan_ir(Instruction::Bypass);
+        // A pattern shifted through the 1-bit bypass register emerges
+        // exactly one TCK cycle late.
+        tap.tck(true, false); // SelDR
+        tap.tck(false, false); // CapDR
+        tap.tck(false, false); // capture edge, now shifting
+        let pattern = 0b1011_0101u64;
+        let mut out = 0u64;
+        for i in 0..8 {
+            let tdo = tap.tck(false, (pattern >> i) & 1 == 1);
+            out |= u64::from(tdo) << i;
+        }
+        assert_eq!(out, (pattern << 1) & 0xFF, "1-cycle latency through BYPASS");
+    }
+
+    #[test]
+    fn back_to_back_transactions() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        for v in [1u64, 2, 3, 0xFFFF] {
+            tap.transact(Instruction::HoldReg, v);
+            assert_eq!(
+                tap.registers().register(Instruction::HoldReg).update_value(),
+                v & 0xFFFF
+            );
+        }
+        assert_eq!(tap.update_log().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "scan width must be 1-64")]
+    fn zero_width_scan_rejected() {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        tap.scan_ir(Instruction::Bypass);
+        tap.scan_dr(0, 0);
+    }
+}

@@ -1,0 +1,362 @@
+//! TAP instructions and data registers, including the P1500-style core
+//! wrapper registers.
+//!
+//! §4.2: "Standards 1149.1 and P1500 can be implemented with the Test SB
+//! and self-timed scan chains … Making the hold, recycle, and clock
+//! frequency registers in each system accessible through a scan chain
+//! facilitates system performance tuning and clock frequency shmooing."
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The instruction set of the reproduction's Test SB.
+///
+/// Public 1149.1 instructions plus the synchro-tokens private
+/// instructions the paper's debug features need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Instruction {
+    /// Mandatory BYPASS (all ones).
+    Bypass,
+    /// Device identification register.
+    IdCode,
+    /// SAMPLE/PRELOAD of the boundary register.
+    SamplePreload,
+    /// EXTEST through the boundary register.
+    Extest,
+    /// Private: read/write a node's hold register.
+    HoldReg,
+    /// Private: read/write a node's recycle register.
+    RecycleReg,
+    /// Private: read/write a clock's frequency-control register.
+    FreqReg,
+    /// Private: shift the internal (self-timed) scan chain.
+    ScanState,
+    /// Private: park/release tokens in the Test SB (breakpoints).
+    TokenHold,
+}
+
+impl Instruction {
+    /// 4-bit opcode (BYPASS must decode from all-ones per the standard).
+    pub const fn opcode(self) -> u64 {
+        match self {
+            Instruction::IdCode => 0b0001,
+            Instruction::SamplePreload => 0b0010,
+            Instruction::Extest => 0b0011,
+            Instruction::HoldReg => 0b1000,
+            Instruction::RecycleReg => 0b1001,
+            Instruction::FreqReg => 0b1010,
+            Instruction::ScanState => 0b1011,
+            Instruction::TokenHold => 0b1100,
+            Instruction::Bypass => 0b1111,
+        }
+    }
+
+    /// Decodes an opcode; unknown codes select BYPASS, as 1149.1
+    /// requires.
+    pub fn decode(code: u64) -> Instruction {
+        match code & 0xF {
+            0b0001 => Instruction::IdCode,
+            0b0010 => Instruction::SamplePreload,
+            0b0011 => Instruction::Extest,
+            0b1000 => Instruction::HoldReg,
+            0b1001 => Instruction::RecycleReg,
+            0b1010 => Instruction::FreqReg,
+            0b1011 => Instruction::ScanState,
+            0b1100 => Instruction::TokenHold,
+            _ => Instruction::Bypass,
+        }
+    }
+
+    /// Width of the instruction register.
+    pub const IR_WIDTH: u32 = 4;
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// A shift-capture-update data register of up to 64 bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataRegister {
+    width: u32,
+    shift: u64,
+    capture: u64,
+    update: u64,
+}
+
+impl DataRegister {
+    /// A register of `width` bits (1–64), all zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is 0 or exceeds 64.
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "register width must be 1-64");
+        DataRegister {
+            width,
+            shift: 0,
+            capture: 0,
+            update: 0,
+        }
+    }
+
+    /// The register's width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1 << self.width) - 1
+        }
+    }
+
+    /// Sets the value that Capture-DR will load into the shift path.
+    pub fn set_capture(&mut self, v: u64) {
+        self.capture = v & self.mask();
+    }
+
+    /// The value most recently latched by Update-DR.
+    pub fn update_value(&self) -> u64 {
+        self.update
+    }
+
+    /// Capture-DR: parallel-load the shift path.
+    pub fn capture(&mut self) {
+        self.shift = self.capture;
+    }
+
+    /// One Shift-DR cycle: TDI enters the MSB, TDO leaves the LSB.
+    pub fn shift_bit(&mut self, tdi: bool) -> bool {
+        let tdo = self.shift & 1 == 1;
+        self.shift >>= 1;
+        if tdi {
+            self.shift |= 1 << (self.width - 1);
+        }
+        tdo
+    }
+
+    /// Update-DR: latch the shift path to the parallel output.
+    pub fn update(&mut self) {
+        self.update = self.shift & self.mask();
+    }
+}
+
+/// The register file of the Test SB: one [`DataRegister`] per
+/// instruction (BYPASS and IDCODE get their mandated widths).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    regs: BTreeMap<Instruction, DataRegister>,
+    idcode: u32,
+}
+
+impl RegisterFile {
+    /// A register file with the given 32-bit IDCODE (LSB must be 1 per
+    /// the standard).
+    pub fn new(idcode: u32) -> Self {
+        let mut regs = BTreeMap::new();
+        regs.insert(Instruction::Bypass, DataRegister::new(1));
+        let mut id = DataRegister::new(32);
+        id.set_capture(u64::from(idcode | 1));
+        regs.insert(Instruction::IdCode, id);
+        regs.insert(Instruction::SamplePreload, DataRegister::new(32));
+        regs.insert(Instruction::Extest, DataRegister::new(32));
+        regs.insert(Instruction::HoldReg, DataRegister::new(16));
+        regs.insert(Instruction::RecycleReg, DataRegister::new(16));
+        regs.insert(Instruction::FreqReg, DataRegister::new(8));
+        regs.insert(Instruction::ScanState, DataRegister::new(64));
+        regs.insert(Instruction::TokenHold, DataRegister::new(1));
+        RegisterFile {
+            regs,
+            idcode: idcode | 1,
+        }
+    }
+
+    /// The device's IDCODE.
+    pub fn idcode(&self) -> u32 {
+        self.idcode
+    }
+
+    /// The register selected by an instruction.
+    pub fn register(&self, instr: Instruction) -> &DataRegister {
+        &self.regs[&instr]
+    }
+
+    /// Mutable register access.
+    pub fn register_mut(&mut self, instr: Instruction) -> &mut DataRegister {
+        self.regs.get_mut(&instr).expect("all instructions mapped")
+    }
+}
+
+/// A P1500-style core test wrapper: instruction register (WIR), bypass
+/// (WBY) and boundary register (WBR) around one core.
+#[derive(Debug, Clone)]
+pub struct P1500Wrapper {
+    wir: DataRegister,
+    wby: DataRegister,
+    wbr: DataRegister,
+}
+
+/// P1500 wrapper modes selected through the WIR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum P1500Mode {
+    /// Functional (transparent) mode.
+    Functional,
+    /// Inward-facing test (core test through the WBR).
+    IntTest,
+    /// Outward-facing test (interconnect test).
+    ExtTest,
+    /// Bypass.
+    Bypass,
+}
+
+impl P1500Wrapper {
+    /// A wrapper with a `boundary_bits`-wide WBR.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `boundary_bits` is 0 or exceeds 64.
+    pub fn new(boundary_bits: u32) -> Self {
+        P1500Wrapper {
+            wir: DataRegister::new(3),
+            wby: DataRegister::new(1),
+            wbr: DataRegister::new(boundary_bits),
+        }
+    }
+
+    /// Loads a mode through the WIR (capture-shift-update compressed).
+    pub fn select(&mut self, mode: P1500Mode) {
+        let code = match mode {
+            P1500Mode::Functional => 0b000,
+            P1500Mode::IntTest => 0b001,
+            P1500Mode::ExtTest => 0b010,
+            P1500Mode::Bypass => 0b111,
+        };
+        self.wir.capture();
+        for i in 0..3 {
+            self.wir.shift_bit((code >> i) & 1 == 1);
+        }
+        self.wir.update();
+    }
+
+    /// The currently selected mode.
+    pub fn mode(&self) -> P1500Mode {
+        match self.wir.update_value() {
+            0b001 => P1500Mode::IntTest,
+            0b010 => P1500Mode::ExtTest,
+            0b111 => P1500Mode::Bypass,
+            _ => P1500Mode::Functional,
+        }
+    }
+
+    /// The boundary register.
+    pub fn wbr(&mut self) -> &mut DataRegister {
+        &mut self.wbr
+    }
+
+    /// The bypass register.
+    pub fn wby(&mut self) -> &mut DataRegister {
+        &mut self.wby
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcodes_round_trip() {
+        for i in [
+            Instruction::Bypass,
+            Instruction::IdCode,
+            Instruction::SamplePreload,
+            Instruction::Extest,
+            Instruction::HoldReg,
+            Instruction::RecycleReg,
+            Instruction::FreqReg,
+            Instruction::ScanState,
+            Instruction::TokenHold,
+        ] {
+            assert_eq!(Instruction::decode(i.opcode()), i, "{i}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_selects_bypass() {
+        assert_eq!(Instruction::decode(0b0111), Instruction::Bypass);
+        assert_eq!(Instruction::decode(0b0000), Instruction::Bypass);
+    }
+
+    #[test]
+    fn register_shift_is_fifo_lsb_first() {
+        let mut r = DataRegister::new(4);
+        r.set_capture(0b1010);
+        r.capture();
+        let mut out = 0u64;
+        for i in 0..4 {
+            let tdo = r.shift_bit((0b0110 >> i) & 1 == 1);
+            out |= u64::from(tdo) << i;
+        }
+        assert_eq!(out, 0b1010, "capture emerges LSB first");
+        r.update();
+        assert_eq!(r.update_value(), 0b0110, "TDI lands in the register");
+    }
+
+    #[test]
+    fn idcode_lsb_forced_to_one() {
+        let rf = RegisterFile::new(0x1234_5670);
+        assert_eq!(rf.idcode() & 1, 1);
+        assert_eq!(rf.register(Instruction::Bypass).width(), 1);
+        assert_eq!(rf.register(Instruction::IdCode).width(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be 1-64")]
+    fn zero_width_register_rejected() {
+        let _ = DataRegister::new(0);
+    }
+
+    #[test]
+    fn full_width_register_mask() {
+        let mut r = DataRegister::new(64);
+        r.set_capture(u64::MAX);
+        r.capture();
+        let mut ones = 0;
+        for _ in 0..64 {
+            if r.shift_bit(false) {
+                ones += 1;
+            }
+        }
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn p1500_mode_selection() {
+        let mut w = P1500Wrapper::new(16);
+        assert_eq!(w.mode(), P1500Mode::Functional);
+        w.select(P1500Mode::IntTest);
+        assert_eq!(w.mode(), P1500Mode::IntTest);
+        w.select(P1500Mode::Bypass);
+        assert_eq!(w.mode(), P1500Mode::Bypass);
+        w.select(P1500Mode::ExtTest);
+        assert_eq!(w.mode(), P1500Mode::ExtTest);
+        w.select(P1500Mode::Functional);
+        assert_eq!(w.mode(), P1500Mode::Functional);
+    }
+
+    #[test]
+    fn p1500_boundary_register_shifts() {
+        let mut w = P1500Wrapper::new(8);
+        w.wbr().set_capture(0xA5);
+        w.wbr().capture();
+        let mut out = 0u64;
+        for i in 0..8 {
+            out |= u64::from(w.wbr().shift_bit(false)) << i;
+        }
+        assert_eq!(out, 0xA5);
+    }
+}

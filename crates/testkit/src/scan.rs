@@ -1,0 +1,244 @@
+//! Self-timed scan chains.
+//!
+//! §4.2: "Self-timed shift registers can be used for the boundary scan
+//! chain, P1500 registers in the core wrappers, internal scan chains for
+//! ATPG or BIST … Adding several empty stages to the tail of the chain
+//! allows both ends of the chain to be synchronized to TCK."
+//!
+//! A self-timed shift register is a bit-wide micropipeline: each stage
+//! forwards its bit as soon as the next stage is empty. Unlike a clocked
+//! chain it has *elasticity* — occupancy can vary — which is exactly why
+//! the empty tail stages are needed: they guarantee the tail can always
+//! deliver a bit on each TCK while the head simultaneously accepts one.
+
+/// A bit-wide micropipeline used as a scan chain.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTimedScanChain {
+    /// `stages[0]` is the head (entry); the last stage is the tail
+    /// (exit). `payload` stages carry state; `slack` stages are the
+    /// "several empty stages added to the tail".
+    stages: Vec<Option<bool>>,
+    payload: usize,
+    slack: usize,
+}
+
+impl SelfTimedScanChain {
+    /// A chain of `payload` state stages plus `slack` empty tail stages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is zero.
+    pub fn new(payload: usize, slack: usize) -> Self {
+        assert!(payload > 0, "scan payload must be non-empty");
+        SelfTimedScanChain {
+            stages: vec![None; payload + slack],
+            payload,
+            slack,
+        }
+    }
+
+    /// Number of payload stages.
+    pub fn payload(&self) -> usize {
+        self.payload
+    }
+
+    /// Number of slack stages.
+    pub fn slack(&self) -> usize {
+        self.slack
+    }
+
+    /// Bits currently in flight.
+    pub fn occupancy(&self) -> usize {
+        self.stages.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Lets every bit advance as far as it can (the chain is self-timed:
+    /// between TCK edges all bits settle toward the tail).
+    pub fn settle(&mut self) {
+        // Sweep from the tail so a bit can ripple multiple stages.
+        for _ in 0..self.stages.len() {
+            let mut moved = false;
+            for i in (0..self.stages.len() - 1).rev() {
+                if self.stages[i].is_some() && self.stages[i + 1].is_none() {
+                    self.stages[i + 1] = self.stages[i].take();
+                    moved = true;
+                }
+            }
+            if !moved {
+                break;
+            }
+        }
+    }
+
+    /// Inserts a bit at the head; returns `false` (and drops nothing) if
+    /// the head stage is still occupied — a handshake stall the TCK-side
+    /// logic must respect.
+    pub fn push(&mut self, bit: bool) -> bool {
+        if self.stages[0].is_some() {
+            return false;
+        }
+        self.stages[0] = Some(bit);
+        true
+    }
+
+    /// Removes the tail bit if one has settled there.
+    pub fn pop(&mut self) -> Option<bool> {
+        let last = self.stages.len() - 1;
+        self.stages[last].take()
+    }
+
+    /// One TCK period at the chain's boundary: the settled tail bit is
+    /// sampled, a new bit enters the head, and the chain settles.
+    /// Returns the sampled bit (`None` while the chain's pipeline is
+    /// still filling).
+    pub fn tck_shift(&mut self, bit_in: bool) -> Option<bool> {
+        self.settle();
+        let out = self.pop();
+        let accepted = self.push(bit_in);
+        debug_assert!(accepted, "head must be free after a settle");
+        self.settle();
+        out
+    }
+
+    /// Captures a parallel state vector into the payload stages
+    /// (Capture-DR of the internal scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` does not have exactly `payload` bits.
+    pub fn capture(&mut self, state: &[bool]) {
+        assert_eq!(state.len(), self.payload, "capture width mismatch");
+        for s in &mut self.stages {
+            *s = None;
+        }
+        for (i, b) in state.iter().enumerate() {
+            self.stages[i] = Some(*b);
+        }
+    }
+
+    /// Reads the payload stages as a parallel vector (Update-DR),
+    /// requiring the chain to be settled into the payload positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than `payload` bits are in flight.
+    pub fn update(&mut self) -> Vec<bool> {
+        self.settle();
+        // After settling, `payload` bits occupy the last stages.
+        let n = self.stages.len();
+        let bits: Vec<bool> = self.stages[n - self.payload..]
+            .iter()
+            .map(|s| s.expect("payload underfilled at update"))
+            .collect();
+        bits
+    }
+
+    /// Shifts a whole word of `width` bits through the chain, returning
+    /// what came out (LSB first on both sides). Convenience for tests
+    /// and the debug harness.
+    pub fn shift_word(&mut self, word: u64, width: u32) -> u64 {
+        let mut out = 0u64;
+        for i in 0..width {
+            if let Some(b) = self.tck_shift((word >> i) & 1 == 1) {
+                out |= u64::from(b) << i;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drained_chain_has_unit_latency() {
+        // The chain is *elastic*: when the tail is consumed every TCK,
+        // each bit ripples straight through and emerges one TCK later.
+        let mut c = SelfTimedScanChain::new(4, 2);
+        let mut outs = Vec::new();
+        for i in 0..10u32 {
+            outs.push(c.tck_shift(i % 3 == 0));
+        }
+        assert_eq!(outs[0], None);
+        for (i, out) in outs.iter().enumerate().skip(1) {
+            assert_eq!(*out, Some((i - 1) % 3 == 0), "bit {i}");
+        }
+    }
+
+    #[test]
+    fn capture_then_shift_out_reads_state() {
+        let mut c = SelfTimedScanChain::new(8, 3);
+        let state: Vec<bool> = (0..8).map(|i| i % 2 == 0).collect();
+        c.capture(&state);
+        let mut out = Vec::new();
+        for _ in 0..8 {
+            c.settle();
+            out.push(c.pop().expect("settled bit at tail"));
+        }
+        // Captured LSB-at-head order: the stage nearest the tail pops
+        // first, i.e. the *last* captured bit.
+        let expect: Vec<bool> = state.iter().rev().copied().collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn shift_in_then_update_writes_state() {
+        // Physical shift order: the first bit in travels furthest, so a
+        // state vector is shifted in highest-index first (exactly like a
+        // real scan chain's TDI ordering).
+        let mut c = SelfTimedScanChain::new(4, 2);
+        let state = [true, false, true, true];
+        for b in state.iter().rev() {
+            c.settle();
+            assert!(c.push(*b));
+        }
+        assert_eq!(c.update(), state.to_vec());
+    }
+
+    #[test]
+    fn slack_enables_simultaneous_ends() {
+        // With zero slack a full chain cannot accept a new head bit in
+        // the same TCK that the tail is consumed — the paper's reason
+        // for the extra stages. With slack, tck_shift always succeeds.
+        let mut c = SelfTimedScanChain::new(4, 2);
+        for i in 0..64u32 {
+            let _ = c.tck_shift(i % 2 == 0); // must never panic
+        }
+        assert!(c.occupancy() <= 6);
+    }
+
+    #[test]
+    fn word_round_trip() {
+        let mut c = SelfTimedScanChain::new(16, 4);
+        // Unit latency: the word re-emerges shifted by one position.
+        let first = c.shift_word(0xBEEF, 16);
+        assert_eq!(first, (0xBEEF << 1) & 0xFFFF);
+        let rest = c.shift_word(0, 16);
+        assert_eq!(rest & 1, 1, "the word's MSB trails out first");
+    }
+
+    #[test]
+    fn occupancy_tracks_in_flight_bits() {
+        let mut c = SelfTimedScanChain::new(3, 1);
+        assert_eq!(c.occupancy(), 0);
+        assert!(c.push(true));
+        assert!(!c.push(false), "head occupied until settle");
+        c.settle();
+        assert!(c.push(false));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must be non-empty")]
+    fn zero_payload_rejected() {
+        let _ = SelfTimedScanChain::new(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capture width mismatch")]
+    fn capture_width_checked() {
+        let mut c = SelfTimedScanChain::new(4, 0);
+        c.capture(&[true; 5]);
+    }
+}

@@ -1,0 +1,249 @@
+//! The IEEE 1149.1 Test Access Port controller state machine.
+//!
+//! "The core of the Test SB is a Test Access Port (TAP) and associated
+//! controller which is [1149.1] compliant" (§4.2). This module is the
+//! classic 16-state FSM, kept pure (no kernel dependency) so it can be
+//! unit- and property-tested exhaustively; the vector player in
+//! [`crate::player`] drives it.
+
+use std::fmt;
+
+/// The sixteen TAP controller states of IEEE 1149.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TapState {
+    /// Test-Logic-Reset (the power-up state).
+    TestLogicReset,
+    /// Run-Test/Idle.
+    RunTestIdle,
+    /// Select-DR-Scan.
+    SelectDrScan,
+    /// Capture-DR.
+    CaptureDr,
+    /// Shift-DR.
+    ShiftDr,
+    /// Exit1-DR.
+    Exit1Dr,
+    /// Pause-DR.
+    PauseDr,
+    /// Exit2-DR.
+    Exit2Dr,
+    /// Update-DR.
+    UpdateDr,
+    /// Select-IR-Scan.
+    SelectIrScan,
+    /// Capture-IR.
+    CaptureIr,
+    /// Shift-IR.
+    ShiftIr,
+    /// Exit1-IR.
+    Exit1Ir,
+    /// Pause-IR.
+    PauseIr,
+    /// Exit2-IR.
+    Exit2Ir,
+    /// Update-IR.
+    UpdateIr,
+}
+
+impl TapState {
+    /// All sixteen states.
+    pub const ALL: [TapState; 16] = [
+        TapState::TestLogicReset,
+        TapState::RunTestIdle,
+        TapState::SelectDrScan,
+        TapState::CaptureDr,
+        TapState::ShiftDr,
+        TapState::Exit1Dr,
+        TapState::PauseDr,
+        TapState::Exit2Dr,
+        TapState::UpdateDr,
+        TapState::SelectIrScan,
+        TapState::CaptureIr,
+        TapState::ShiftIr,
+        TapState::Exit1Ir,
+        TapState::PauseIr,
+        TapState::Exit2Ir,
+        TapState::UpdateIr,
+    ];
+
+    /// The next state for a TMS value sampled on a rising TCK edge.
+    pub fn next(self, tms: bool) -> TapState {
+        use TapState::*;
+        match (self, tms) {
+            (TestLogicReset, true) => TestLogicReset,
+            (TestLogicReset, false) => RunTestIdle,
+            (RunTestIdle, true) => SelectDrScan,
+            (RunTestIdle, false) => RunTestIdle,
+            (SelectDrScan, true) => SelectIrScan,
+            (SelectDrScan, false) => CaptureDr,
+            (CaptureDr, true) => Exit1Dr,
+            (CaptureDr, false) => ShiftDr,
+            (ShiftDr, true) => Exit1Dr,
+            (ShiftDr, false) => ShiftDr,
+            (Exit1Dr, true) => UpdateDr,
+            (Exit1Dr, false) => PauseDr,
+            (PauseDr, true) => Exit2Dr,
+            (PauseDr, false) => PauseDr,
+            (Exit2Dr, true) => UpdateDr,
+            (Exit2Dr, false) => ShiftDr,
+            (UpdateDr, true) => SelectDrScan,
+            (UpdateDr, false) => RunTestIdle,
+            (SelectIrScan, true) => TestLogicReset,
+            (SelectIrScan, false) => CaptureIr,
+            (CaptureIr, true) => Exit1Ir,
+            (CaptureIr, false) => ShiftIr,
+            (ShiftIr, true) => Exit1Ir,
+            (ShiftIr, false) => ShiftIr,
+            (Exit1Ir, true) => UpdateIr,
+            (Exit1Ir, false) => PauseIr,
+            (PauseIr, true) => Exit2Ir,
+            (PauseIr, false) => PauseIr,
+            (Exit2Ir, true) => UpdateIr,
+            (Exit2Ir, false) => ShiftIr,
+            (UpdateIr, true) => SelectDrScan,
+            (UpdateIr, false) => RunTestIdle,
+        }
+    }
+
+    /// True in the two shift states (TDI moves through a register).
+    pub fn is_shift(self) -> bool {
+        matches!(self, TapState::ShiftDr | TapState::ShiftIr)
+    }
+}
+
+impl fmt::Display for TapState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// The TAP controller: current state plus transition statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TapFsm {
+    state: TapState,
+    transitions: u64,
+}
+
+impl Default for TapFsm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TapFsm {
+    /// A controller in Test-Logic-Reset (the mandated power-up state).
+    pub fn new() -> Self {
+        TapFsm {
+            state: TapState::TestLogicReset,
+            transitions: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> TapState {
+        self.state
+    }
+
+    /// Applies one rising TCK edge with the given TMS level; returns the
+    /// new state.
+    pub fn clock(&mut self, tms: bool) -> TapState {
+        self.state = self.state.next(tms);
+        self.transitions += 1;
+        self.state
+    }
+
+    /// Total TCK edges applied.
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TapState::*;
+
+    #[test]
+    fn five_tms_ones_reset_from_any_state() {
+        // The defining robustness property of the 1149.1 TAP.
+        for start in TapState::ALL {
+            let mut s = start;
+            for _ in 0..5 {
+                s = s.next(true);
+            }
+            assert_eq!(s, TestLogicReset, "from {start}");
+        }
+    }
+
+    #[test]
+    fn canonical_ir_scan_path() {
+        let mut tap = TapFsm::new();
+        // TLR -> RTI -> SelDR -> SelIR -> CapIR -> ShiftIR.
+        for (tms, expect) in [
+            (false, RunTestIdle),
+            (true, SelectDrScan),
+            (true, SelectIrScan),
+            (false, CaptureIr),
+            (false, ShiftIr),
+            (false, ShiftIr),
+            (true, Exit1Ir),
+            (true, UpdateIr),
+            (false, RunTestIdle),
+        ] {
+            assert_eq!(tap.clock(tms), expect);
+        }
+        assert_eq!(tap.transitions(), 9);
+    }
+
+    #[test]
+    fn canonical_dr_scan_path_with_pause() {
+        let mut tap = TapFsm::new();
+        for (tms, expect) in [
+            (false, RunTestIdle),
+            (true, SelectDrScan),
+            (false, CaptureDr),
+            (false, ShiftDr),
+            (true, Exit1Dr),
+            (false, PauseDr),
+            (false, PauseDr),
+            (true, Exit2Dr),
+            (false, ShiftDr),
+            (true, Exit1Dr),
+            (true, UpdateDr),
+            (true, SelectDrScan),
+        ] {
+            assert_eq!(tap.clock(tms), expect);
+        }
+    }
+
+    #[test]
+    fn every_state_has_two_defined_successors() {
+        for s in TapState::ALL {
+            let a = s.next(false);
+            let b = s.next(true);
+            assert!(TapState::ALL.contains(&a));
+            assert!(TapState::ALL.contains(&b));
+        }
+    }
+
+    #[test]
+    fn shift_states_flagged() {
+        assert!(ShiftDr.is_shift());
+        assert!(ShiftIr.is_shift());
+        assert_eq!(TapState::ALL.iter().filter(|s| s.is_shift()).count(), 2);
+    }
+
+    #[test]
+    fn reachability_every_state_from_reset() {
+        // BFS over the transition graph must visit all 16 states.
+        let mut seen = std::collections::BTreeSet::new();
+        let mut queue = vec![TestLogicReset];
+        while let Some(s) = queue.pop() {
+            if seen.insert(s) {
+                queue.push(s.next(false));
+                queue.push(s.next(true));
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+}

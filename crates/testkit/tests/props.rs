@@ -1,0 +1,133 @@
+//! Property-based tests: TAP controller against its defining 1149.1
+//! properties, register shifting, and the scan-chain micropipeline.
+
+use proptest::prelude::*;
+use st_testkit::{DataRegister, Instruction, SelfTimedScanChain, TapFsm, TapPort, TapState};
+
+proptest! {
+    /// From any reachable state, 5 consecutive TMS=1 edges reach
+    /// Test-Logic-Reset (the standard's escape hatch), and the
+    /// controller is closed over its 16 states.
+    #[test]
+    fn tap_reset_property_from_random_walks(walk in proptest::collection::vec(any::<bool>(), 0..64)) {
+        let mut fsm = TapFsm::new();
+        for tms in &walk {
+            let s = fsm.clock(*tms);
+            prop_assert!(TapState::ALL.contains(&s));
+        }
+        for _ in 0..5 {
+            fsm.clock(true);
+        }
+        prop_assert_eq!(fsm.state(), TapState::TestLogicReset);
+    }
+
+    /// Any instruction scanned in becomes the effective instruction and
+    /// the port returns to Run-Test/Idle.
+    #[test]
+    fn ir_scan_total(instrs in proptest::collection::vec(
+        prop::sample::select(vec![
+            Instruction::Bypass,
+            Instruction::IdCode,
+            Instruction::SamplePreload,
+            Instruction::Extest,
+            Instruction::HoldReg,
+            Instruction::RecycleReg,
+            Instruction::FreqReg,
+            Instruction::ScanState,
+            Instruction::TokenHold,
+        ]),
+        1..12,
+    )) {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        for i in &instrs {
+            tap.scan_ir(*i);
+            prop_assert_eq!(tap.instruction(), *i);
+            prop_assert_eq!(tap.state(), TapState::RunTestIdle);
+        }
+        prop_assert_eq!(tap.update_log(), instrs.as_slice());
+    }
+
+    /// A DR write/read round trip recovers the written value for every
+    /// register and value.
+    #[test]
+    fn dr_write_then_read_round_trip(value in any::<u64>()) {
+        let mut tap = TapPort::new(1);
+        tap.reset();
+        for instr in [
+            Instruction::HoldReg,
+            Instruction::RecycleReg,
+            Instruction::FreqReg,
+            Instruction::ScanState,
+        ] {
+            tap.transact(instr, value);
+            let width = {
+                let mut probe = TapPort::new(1);
+                probe.reset();
+                probe.scan_ir(instr);
+                probe.registers().register(instr).width()
+            };
+            let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+            let written = tap.registers().register(instr).update_value();
+            prop_assert_eq!(written, value & mask, "{}", instr);
+            // Read it back by capturing the update value.
+            tap.registers().register_mut(instr).set_capture(written);
+            let read = tap.transact(instr, 0);
+            prop_assert_eq!(read, written);
+        }
+    }
+
+    /// Register shifting is a rotation: shifting a register's own
+    /// capture back in via width shifts leaves the update equal to the
+    /// capture.
+    #[test]
+    fn register_self_rotation(width in 1u32..64, value in any::<u64>()) {
+        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mut r = DataRegister::new(width);
+        r.set_capture(value & mask);
+        r.capture();
+        for i in 0..width {
+            let tdo = r.shift_bit((value >> i) & 1 == 1);
+            prop_assert_eq!(tdo, (value >> i) & 1 == 1);
+        }
+        r.update();
+        prop_assert_eq!(r.update_value(), value & mask);
+    }
+
+    /// The scan chain is a lossless, order-preserving pipe for any bit
+    /// stream (reference: a simple shift by one).
+    #[test]
+    fn scan_chain_is_lossless(
+        payload in 1usize..12,
+        slack in 0usize..4,
+        bits in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        let mut chain = SelfTimedScanChain::new(payload, slack);
+        let mut out = Vec::new();
+        for b in &bits {
+            out.push(chain.tck_shift(*b));
+        }
+        // Drain what's left.
+        for _ in 0..(payload + slack + 1) {
+            out.push(chain.tck_shift(false));
+        }
+        let received: Vec<bool> = out.into_iter().flatten().collect();
+        prop_assert!(received.len() >= bits.len());
+        prop_assert_eq!(&received[..bits.len()], bits.as_slice());
+    }
+
+    /// Capture → serial unload reproduces the captured state reversed
+    /// (tail-first), for any payload.
+    #[test]
+    fn scan_capture_unload(state in proptest::collection::vec(any::<bool>(), 1..24)) {
+        let mut chain = SelfTimedScanChain::new(state.len(), 2);
+        chain.capture(&state);
+        let mut out = Vec::new();
+        for _ in 0..state.len() {
+            chain.settle();
+            out.push(chain.pop().expect("settled bit"));
+        }
+        let expect: Vec<bool> = state.iter().rev().copied().collect();
+        prop_assert_eq!(out, expect);
+    }
+}

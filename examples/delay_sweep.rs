@@ -1,0 +1,43 @@
+//! A miniature of the paper's §5 validation: sweep physical delays on
+//! the 3-SB / 6-FIFO platform and compare every SB's I/O sequence with
+//! the nominal run — in synchro-tokens mode and in the nondeterministic
+//! bypass baseline, side by side.
+//!
+//! Run with: `cargo run --example delay_sweep [runs]`
+
+use synchro_tokens_repro::synchro_tokens::determinism::{run_campaign, CampaignConfig};
+use synchro_tokens_repro::synchro_tokens::scenarios::{build_e1, build_e1_bypass, e1_spec};
+
+fn main() {
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(120);
+    let spec = e1_spec();
+    println!("{}", spec.describe());
+    println!("sweeping {runs} configurations of {{50, 75, 100, 150, 200}} % delays\n");
+
+    let cfg = CampaignConfig {
+        runs,
+        ..CampaignConfig::default()
+    };
+    let synchro = run_campaign(&spec, &cfg, &|s, seed| build_e1(s, seed, 100));
+    println!("synchro-tokens : {synchro}");
+
+    let cfg = CampaignConfig {
+        runs,
+        bypass: true,
+        ..CampaignConfig::default()
+    };
+    let bypass = run_campaign(&spec, &cfg, &|s, seed| build_e1_bypass(s, seed, 100));
+    println!("bypass baseline: {bypass}");
+
+    if let Some(m) = bypass.mismatches.first() {
+        println!(
+            "\nfirst bypass divergence: clocks {:?} %, first divergent cycles {:?}",
+            m.config.clock_pct, m.divergences
+        );
+    }
+    assert!(synchro.all_match(), "synchro-tokens must be deterministic");
+    println!("\nsynchro-tokens matched nominal in every run; the bypass did not.");
+}

@@ -1,0 +1,80 @@
+//! A three-stage DSP-style pipeline (source → filter → sink), the
+//! workload family that motivated early GALS escapement designs
+//! (Nilsson & Torkelson's monolithic DSP clock generator, paper ref
+//! [12]) — generalized by synchro-tokens to arbitrary dataflow profiles.
+//!
+//! The example runs the same pipeline under several physical-delay
+//! corners and shows that the filter's and sink's I/O sequences are
+//! bit-identical in local-cycle space every time.
+//!
+//! Run with: `cargo run --example dsp_pipeline`
+
+use synchro_tokens_repro::prelude::*;
+use synchro_tokens_repro::synchro_tokens::logic::PipeTransform;
+
+/// Builds the pipeline spec with the given delay percentages applied to
+/// the ring wires and FIFO stages.
+fn pipeline_spec(ring_pct: u64, fifo_pct: u64) -> SystemSpec {
+    let mut spec = SystemSpec::default();
+    let src = spec.add_sb("adc", SimDuration::ns(10));
+    let flt = spec.add_sb("fir", SimDuration::ns(8));
+    let dac = spec.add_sb("dac", SimDuration::ns(12));
+    let r1 = spec.add_ring(
+        src,
+        flt,
+        NodeParams::new(4, 20),
+        SimDuration::ns(25).percent(ring_pct),
+    );
+    let r2 = spec.add_ring(
+        flt,
+        dac,
+        NodeParams::new(4, 20),
+        SimDuration::ns(25).percent(ring_pct),
+    );
+    spec.add_channel(src, flt, r1, 16, 4, SimDuration::ps(500).percent(fifo_pct));
+    spec.add_channel(flt, dac, r2, 16, 4, SimDuration::ps(500).percent(fifo_pct));
+    spec
+}
+
+fn run_corner(ring_pct: u64, fifo_pct: u64) -> Result<(u64, u64, Vec<u64>), Box<dyn std::error::Error>> {
+    let spec = pipeline_spec(ring_pct, fifo_pct);
+    let (src, flt, dac) = (SbId(0), SbId(1), SbId(2));
+    let mut sys = SystemBuilder::new(spec)?
+        .with_logic(src, SequenceSource::new(0, 3)) // "samples"
+        .with_logic(flt, PipeTransform::new(16, |x| (x * 5) & 0xFFFF)) // "FIR gain"
+        .with_logic(dac, SinkCollect::new())
+        .with_trace_limit(120)
+        .build();
+    sys.run_until_cycles(120, SimDuration::us(200))?;
+    let sink: &SinkCollect = sys.logic(dac);
+    Ok((
+        sys.io_trace(flt).digest(),
+        sys.io_trace(dac).digest(),
+        sink.words_on(0),
+    ))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", pipeline_spec(100, 100).describe());
+    let corners = [(100u64, 100u64), (50, 100), (200, 100), (100, 50), (100, 200), (200, 200)];
+    let nominal = run_corner(100, 100)?;
+    println!(
+        "nominal: dac received {} filtered samples, first 6 = {:?}",
+        nominal.2.len(),
+        &nominal.2[..6.min(nominal.2.len())]
+    );
+    println!("\n{:>10} {:>10} | {:>18} {:>18} {:>7}", "ring %", "fifo %", "fir digest", "dac digest", "match");
+    for (rp, fp) in corners {
+        let got = run_corner(rp, fp)?;
+        let same = got.0 == nominal.0 && got.1 == nominal.1 && got.2 == nominal.2;
+        println!(
+            "{rp:>10} {fp:>10} | {:#018x} {:#018x} {:>7}",
+            got.0,
+            got.1,
+            if same { "yes" } else { "NO" }
+        );
+        assert!(same, "pipeline sequences must be delay-invariant");
+    }
+    println!("\nall corners produced identical local-cycle sequences.");
+    Ok(())
+}

@@ -1,0 +1,74 @@
+//! Chip-level debug of a GALS SoC through the Test SB (paper §4.2).
+//!
+//! Walks the full tester story: read IDCODE over the 1149.1 TAP, take a
+//! deterministic breakpoint by holding tokens in the Test SB, scan out a
+//! block's architectural state, single-step the system, and finally run
+//! a clock-frequency shmoo that locates an injected critical path.
+//!
+//! Run with: `cargo run --example soc_debug`
+
+use synchro_tokens_repro::prelude::*;
+use synchro_tokens_repro::st_testkit::{shmoo, TckMode, TestAccess};
+use synchro_tokens_repro::synchro_tokens::scenarios::{build_e1, e1_spec, MixerLogic};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The §5 validation platform; alpha doubles as the Test SB.
+    let mut sys = build_e1(e1_spec(), 0, 60);
+    sys.run_until_cycles(60, SimDuration::us(2000))?;
+    println!("{}", sys.spec().describe());
+
+    let mut tester = TestAccess::new(SbId(0), 0x5EC7_0001);
+    println!("IDCODE over TAP: {:#010x}", tester.read_idcode());
+    println!("TCK mode: {:?}\n", tester.mode());
+
+    // --- Deterministic breakpoint ------------------------------------
+    let report = tester.breakpoint(&mut sys, SimDuration::us(100))?;
+    println!("breakpoint engaged: stopped SBs {:?}", report.stopped);
+    println!("local cycle counts at the break: {:?}", report.cycles);
+
+    // State access while the system is frozen.
+    let (ctr_beta, acc_beta) = sys.logic::<MixerLogic>(SbId(1)).state();
+    println!(
+        "beta state via scan: counter={}, acc={:#018x} (scan echo: {})",
+        ctr_beta,
+        acc_beta,
+        tester.scan_state_word(ctr_beta)
+    );
+
+    // --- Single stepping ----------------------------------------------
+    println!("\nsingle-stepping 3 times (>= 4 local cycles each):");
+    for _ in 0..3 {
+        let r = tester.single_step(&mut sys, 4, SimDuration::us(200))?;
+        println!("  cycles now {:?}", r.cycles);
+    }
+    tester.resume(&mut sys);
+
+    // --- Independent mode ----------------------------------------------
+    tester.set_mode(TckMode::Independent);
+    let r = tester.breakpoint(&mut sys, SimDuration::us(20))?;
+    println!(
+        "\nindependent-mode 'breakpoint' stops nothing (stopped = {:?})",
+        r.stopped
+    );
+    tester.set_mode(TckMode::Interlocked);
+
+    // --- Frequency shmoo ------------------------------------------------
+    let mut spec = e1_spec();
+    spec.sbs[2].logic_delay = SimDuration::ns(9); // gamma's critical path
+    let periods: Vec<SimDuration> = (5..=14).map(SimDuration::ns).collect();
+    let result = shmoo(&spec, SbId(2), &periods, 60, &|s, seed| build_e1(s, seed, 60));
+    println!("\nshmoo of gamma (injected 9 ns critical path):");
+    for p in &result.points {
+        println!(
+            "  period {:>5}: {}",
+            p.period.to_string(),
+            if p.pass { "PASS" } else { "FAIL" }
+        );
+    }
+    println!(
+        "critical path bracketed: fails at {}, passes at {}",
+        result.max_failing_period().expect("some failure"),
+        result.min_passing_period().expect("some pass"),
+    );
+    Ok(())
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: the §4.2 debug features over a live system.
+
+use synchro_tokens_repro::prelude::*;
+use synchro_tokens_repro::st_testkit::{shmoo, Instruction, TckMode, TestAccess};
+use synchro_tokens_repro::synchro_tokens::scenarios::{build_e1, e1_spec, MixerLogic};
+
+#[test]
+fn breakpoint_scan_step_resume_round_trip() {
+    let mut sys = build_e1(e1_spec(), 0, 60);
+    sys.run_until_cycles(60, SimDuration::us(2000)).unwrap();
+    let mut tester = TestAccess::new(SbId(0), 0xFEED_0001);
+    assert_eq!(tester.read_idcode(), 0xFEED_0001);
+
+    // Break.
+    let b = tester.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+    assert_eq!(b.stopped.len(), 2, "beta and gamma must stop");
+
+    // Scan out, mutate, scan back in.
+    let (ctr, acc) = sys.logic::<MixerLogic>(SbId(2)).state();
+    assert_eq!(tester.scan_state_word(ctr), ctr);
+    sys.logic_mut::<MixerLogic>(SbId(2)).set_state(ctr ^ 0xFF, acc);
+    assert_eq!(sys.logic::<MixerLogic>(SbId(2)).state().0, ctr ^ 0xFF);
+    sys.logic_mut::<MixerLogic>(SbId(2)).set_state(ctr, acc);
+
+    // Step twice, then resume to full speed.
+    let s1 = tester.single_step(&mut sys, 2, SimDuration::us(200)).unwrap();
+    let s2 = tester.single_step(&mut sys, 2, SimDuration::us(200)).unwrap();
+    assert!(s2.cycles[1] > s1.cycles[1]);
+    tester.resume(&mut sys);
+    let c_before = sys.cycles(SbId(1));
+    sys.run_for(SimDuration::us(10)).unwrap();
+    assert!(sys.cycles(SbId(1)) > c_before + 100, "resume restores speed");
+}
+
+#[test]
+fn interlocked_data_exchange_is_deterministic_but_independent_is_not_guaranteed() {
+    // In interlocked mode, repeated breakpoint+step sessions land on the
+    // exact same local cycles.
+    let session = || {
+        let mut sys = build_e1(e1_spec(), 0, 60);
+        sys.run_until_cycles(60, SimDuration::us(2000)).unwrap();
+        let mut tester = TestAccess::new(SbId(0), 1);
+        let b = tester.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
+        let s = tester.single_step(&mut sys, 3, SimDuration::us(200)).unwrap();
+        (b.cycles, s.cycles)
+    };
+    assert_eq!(session(), session());
+}
+
+#[test]
+fn tap_private_instructions_retune_the_wrapper() {
+    let mut sys = build_e1(e1_spec(), 0, 60);
+    let mut tester = TestAccess::new(SbId(0), 1);
+    let old = sys.node(SbId(0), RingId(0)).unwrap().params();
+    let new = NodeParams::new(old.hold + 2, old.recycle + 4);
+    tester.write_node_params(&mut sys, SbId(0), RingId(0), new);
+    assert_eq!(sys.node(SbId(0), RingId(0)).unwrap().params(), new);
+    let log = tester.tap().update_log().to_vec();
+    assert!(log.contains(&Instruction::HoldReg));
+    assert!(log.contains(&Instruction::RecycleReg));
+}
+
+#[test]
+fn shmoo_brackets_an_injected_critical_path_exactly() {
+    let mut spec = e1_spec();
+    spec.sbs[0].logic_delay = SimDuration::ns(7);
+    let periods: Vec<SimDuration> = (5..=11).map(SimDuration::ns).collect();
+    let r = shmoo(&spec, SbId(0), &periods, 50, &|s, seed| build_e1(s, seed, 50));
+    assert_eq!(r.min_passing_period(), Some(SimDuration::ns(7)));
+    assert_eq!(r.max_failing_period(), Some(SimDuration::ns(6)));
+}
+
+#[test]
+fn independent_mode_keeps_mission_mode_running() {
+    let mut sys = build_e1(e1_spec(), 0, 60);
+    sys.run_until_cycles(60, SimDuration::us(2000)).unwrap();
+    let mut tester = TestAccess::new(SbId(0), 1);
+    tester.set_mode(TckMode::Independent);
+    let r = tester.breakpoint(&mut sys, SimDuration::us(20)).unwrap();
+    assert!(r.stopped.is_empty());
+    let before: Vec<u64> = (0..3).map(|i| sys.cycles(SbId(i))).collect();
+    sys.run_for(SimDuration::us(5)).unwrap();
+    for (i, b) in before.iter().enumerate() {
+        assert!(sys.cycles(SbId(i)) > *b, "sb{i} froze in independent mode");
+    }
+}

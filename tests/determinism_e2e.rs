@@ -1,0 +1,113 @@
+//! Cross-crate integration: the E1 determinism property end to end.
+
+use synchro_tokens_repro::prelude::*;
+use synchro_tokens_repro::synchro_tokens::determinism::{
+    run_campaign, CampaignConfig, DelayConfig,
+};
+use synchro_tokens_repro::synchro_tokens::rules::{check_determinism_rules, ScaleRange};
+use synchro_tokens_repro::synchro_tokens::scenarios::{
+    build_e1, build_e1_bypass, e1_spec, MixerLogic,
+};
+
+#[test]
+fn e1_platform_obeys_every_design_rule_across_the_paper_sweep() {
+    let violations = check_determinism_rules(&e1_spec(), ScaleRange::PAPER_SWEEP);
+    assert!(violations.is_empty(), "{violations:?}");
+}
+
+#[test]
+fn campaign_of_eighty_corners_matches_everywhere() {
+    let spec = e1_spec();
+    let cfg = CampaignConfig {
+        runs: 80,
+        compare_cycles: 100,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1(s, seed, 100));
+    assert_eq!(result.total, 80);
+    assert!(result.all_match(), "{result}");
+    assert_eq!(result.match_rate(), 1.0);
+}
+
+#[test]
+fn bypass_campaign_observably_diverges() {
+    let spec = e1_spec();
+    let cfg = CampaignConfig {
+        runs: 60,
+        compare_cycles: 100,
+        bypass: true,
+        ..CampaignConfig::default()
+    };
+    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1_bypass(s, seed, 100));
+    assert!(
+        !result.mismatches.is_empty(),
+        "the baseline must be nondeterministic: {result}"
+    );
+    // Divergences carry actionable detail: a first divergent cycle.
+    let m = &result.mismatches[0];
+    assert!(m.divergences.iter().any(Option::is_some));
+}
+
+#[test]
+fn identical_builds_are_bit_identical() {
+    // Same spec + seed -> byte-for-byte equal traces, including final
+    // logic state (the repeatability every ATE flow relies on).
+    let run = || {
+        let mut sys = build_e1(e1_spec(), 42, 100);
+        sys.run_until_cycles(150, SimDuration::us(3000)).unwrap();
+        let digests: Vec<u64> = (0..3).map(|i| sys.io_trace(SbId(i)).digest()).collect();
+        let states: Vec<(u64, u64)> = (0..3)
+            .map(|i| sys.logic::<MixerLogic>(SbId(i)).state())
+            .collect();
+        (digests, states)
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn worst_corner_all_delays_at_extremes_still_matches() {
+    let spec = e1_spec();
+    let nominal = {
+        let mut sys = build_e1(spec.clone(), 0, 100);
+        sys.run_until_cycles(100, SimDuration::us(3000)).unwrap();
+        (0..3)
+            .map(|i| sys.io_trace(SbId(i)).clone())
+            .collect::<Vec<_>>()
+    };
+    for pct in [50u64, 200] {
+        let mut cfg = DelayConfig::nominal(&spec);
+        for k in 0..cfg.knobs() {
+            cfg.set_knob(k, pct);
+        }
+        let mut sys = build_e1(cfg.apply(&spec), 0, 100);
+        let out = sys.run_until_cycles(100, SimDuration::us(6000)).unwrap();
+        assert_eq!(out, RunOutcome::Reached, "corner {pct}%");
+        for (i, reference) in nominal.iter().enumerate() {
+            assert!(
+                sys.io_trace(SbId(i)).matches_for(reference, 100),
+                "sb{i} diverged at the all-{pct}% corner"
+            );
+        }
+    }
+}
+
+#[test]
+fn data_integrity_holds_at_every_corner() {
+    // Beyond sequence equality: no FIFO ever overruns or underruns, and
+    // every SB keeps exchanging data.
+    let spec = e1_spec();
+    for pct in [50u64, 75, 150, 200] {
+        let mut cfg = DelayConfig::nominal(&spec);
+        cfg.set_knob(0, pct); // alpha's clock
+        cfg.set_knob(5, 300 - pct); // one ring wire the other way
+        let mut sys = build_e1(cfg.apply(&spec), 0, 100);
+        sys.run_until_cycles(150, SimDuration::us(6000)).unwrap();
+        for c in 0..6 {
+            let (pushes, pops, over, under) = sys.fifo_stats(ChannelId(c));
+            assert_eq!(over, 0, "ch{c} overran at {pct}%");
+            assert_eq!(under, 0, "ch{c} underran at {pct}%");
+            assert!(pushes >= pops);
+            assert!(pops > 0, "ch{c} starved at {pct}%");
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Cross-crate integration: the §5 performance comparison (E4/E5).
+
+use st_bench::perf::{measure_stari, measure_synchro, sweep_hold};
+use st_bench::tradeoff::tradeoff_row;
+use synchro_tokens_repro::prelude::*;
+
+#[test]
+fn paper_shape_stari_wins_throughput_by_h_plus_r_over_h() {
+    let t = SimDuration::ns(10);
+    let f = SimDuration::ns(1);
+    for h in [2u32, 4, 8] {
+        let syn = measure_synchro(t, f, h, 100);
+        let stari = measure_stari(t, f, h, 300);
+        assert!(stari.throughput > 0.9, "H={h}: stari {}", stari.throughput);
+        let factor = stari.throughput / syn.throughput;
+        let model = f64::from(syn.hold + syn.recycle) / f64::from(syn.hold);
+        let rel = (factor - model).abs() / model;
+        assert!(
+            rel < 0.3,
+            "H={h}: factor {factor:.2} vs model {model:.2} ({rel:.2})"
+        );
+    }
+}
+
+#[test]
+fn latencies_scale_linearly_with_h_for_both_disciplines() {
+    let t = SimDuration::ns(10);
+    let f = SimDuration::ns(1);
+    let rows = sweep_hold(t, f, &[2, 4, 8], 100);
+    // Doubling H should roughly double latency (within 2.6x and above
+    // 1.4x — models are affine with a constant term).
+    for w in rows.windows(2) {
+        let (s0, t0) = &w[0];
+        let (s1, t1) = &w[1];
+        let syn_ratio = s1.latency.as_fs() as f64 / s0.latency.as_fs() as f64;
+        let stari_ratio = t1.latency.as_fs() as f64 / t0.latency.as_fs() as f64;
+        assert!((1.2..2.8).contains(&syn_ratio), "synchro ratio {syn_ratio}");
+        assert!((1.2..2.8).contains(&stari_ratio), "stari ratio {stari_ratio}");
+    }
+}
+
+#[test]
+fn synchro_latency_model_brackets_measurement() {
+    // Eq. 2 counts the average wait for the transmit window, which the
+    // transmit-to-delivery measurement excludes, so the model is an
+    // upper bound of the same order.
+    let p = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 120);
+    assert!(p.latency <= p.model_latency);
+    assert!(p.latency.as_fs() * 4 >= p.model_latency.as_fs(), "same order");
+}
+
+#[test]
+fn width_compensation_recovers_stari_parity() {
+    for h in [2u32, 4, 8] {
+        let syn = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), h, 80);
+        let row = tradeoff_row(syn.hold, syn.recycle, 16);
+        assert!(
+            row.widened_throughput >= 0.999,
+            "H={h}: widened {}",
+            row.widened_throughput
+        );
+        assert!(row.widened_area > row.base_area);
+    }
+}
+
+#[test]
+fn perf_points_are_reproducible() {
+    let a = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 100);
+    let b = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 100);
+    assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+    assert_eq!(a.latency, b.latency);
+}

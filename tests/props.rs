@@ -1,0 +1,90 @@
+//! Cross-crate property-based tests: the determinism theorem under
+//! randomized delay assignments, FIFO conservation, and token-ring
+//! invariants, exercised through the full stack.
+
+use proptest::prelude::*;
+use synchro_tokens_repro::prelude::*;
+use synchro_tokens_repro::synchro_tokens::determinism::DelayConfig;
+use synchro_tokens_repro::synchro_tokens::scenarios::{build_e1, e1_spec};
+
+/// A delay percentage from the paper's sweep set.
+fn paper_pct() -> impl Strategy<Value = u64> {
+    prop::sample::select(vec![50u64, 75, 100, 150, 200])
+}
+
+/// A full delay configuration for the E1 platform.
+fn e1_config() -> impl Strategy<Value = DelayConfig> {
+    let spec = e1_spec();
+    let knobs = DelayConfig::nominal(&spec).knobs();
+    proptest::collection::vec(paper_pct(), knobs).prop_map(move |pcts| {
+        let mut c = DelayConfig::nominal(&e1_spec());
+        for (k, p) in pcts.into_iter().enumerate() {
+            c.set_knob(k, p);
+        }
+        c
+    })
+}
+
+fn nominal_digests() -> &'static Vec<u64> {
+    use std::sync::OnceLock;
+    static CACHE: OnceLock<Vec<u64>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut sys = build_e1(e1_spec(), 0, 60);
+        sys.run_until_cycles(60, SimDuration::us(3000)).unwrap();
+        (0..3).map(|i| sys.io_trace(SbId(i)).digest()).collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, // each case is a full-system simulation
+        ..ProptestConfig::default()
+    })]
+
+    /// The headline theorem: any delay assignment from the paper's sweep
+    /// leaves every SB's I/O sequence identical to nominal.
+    #[test]
+    fn io_sequences_invariant_under_random_delay_assignments(config in e1_config()) {
+        let spec = config.apply(&e1_spec());
+        let mut sys = build_e1(spec, 0, 60);
+        let out = sys.run_until_cycles(60, SimDuration::us(6000)).unwrap();
+        prop_assert_eq!(out, RunOutcome::Reached);
+        let nominal = nominal_digests();
+        for (i, reference) in nominal.iter().enumerate() {
+            prop_assert_eq!(
+                sys.io_trace(SbId(i)).digest(),
+                *reference,
+                "sb{} diverged under {:?}", i, config
+            );
+        }
+    }
+
+    /// Conservation: no FIFO ever invents or loses words, at any corner.
+    #[test]
+    fn fifo_conservation_under_random_delays(config in e1_config()) {
+        let spec = config.apply(&e1_spec());
+        let mut sys = build_e1(spec, 0, 30);
+        sys.run_until_cycles(60, SimDuration::us(6000)).unwrap();
+        for c in 0..6 {
+            let (pushes, pops, over, under) = sys.fifo_stats(ChannelId(c));
+            prop_assert_eq!(over, 0);
+            prop_assert_eq!(under, 0);
+            prop_assert!(pushes >= pops);
+            prop_assert!(pushes - pops <= 4, "more words in flight than stages");
+        }
+    }
+
+    /// Token conservation: passes alternate, so the two ends of a ring
+    /// never differ by more than one pass.
+    #[test]
+    fn token_alternation_under_random_delays(config in e1_config()) {
+        let spec = config.apply(&e1_spec());
+        let mut sys = build_e1(spec.clone(), 0, 10);
+        sys.run_until_cycles(60, SimDuration::us(6000)).unwrap();
+        for (r, ring) in spec.rings.iter().enumerate() {
+            let a = sys.node(ring.holder, RingId(r)).unwrap().passes();
+            let b = sys.node(ring.peer, RingId(r)).unwrap().passes();
+            prop_assert!(a.abs_diff(b) <= 1, "ring{}: {} vs {}", r, a, b);
+        }
+    }
+}
