@@ -2,6 +2,8 @@
 //! trace digest) in synchro-tokens and bypass modes.
 use criterion::{criterion_group, criterion_main, Criterion};
 use st_sim::time::SimDuration;
+use synchro_tokens::campaign::default_threads;
+use synchro_tokens::determinism::{run_campaign_threads, CampaignConfig};
 use synchro_tokens::scenarios::{build_e1, build_e1_bypass, e1_spec};
 use synchro_tokens::spec::SbId;
 
@@ -10,16 +12,33 @@ fn bench_determinism(c: &mut Criterion) {
     c.bench_function("e1_run_100_cycles", |b| {
         b.iter(|| {
             let mut sys = build_e1(spec.clone(), 0, 100);
-            sys.run_until_cycles(100, SimDuration::us(3000)).expect("run");
+            sys.run_until_cycles(100, SimDuration::us(3000))
+                .expect("run");
             (0..3).map(|i| sys.io_trace(SbId(i)).digest()).sum::<u64>()
         })
     });
     c.bench_function("e1_bypass_run_100_cycles", |b| {
         b.iter(|| {
             let mut sys = build_e1_bypass(spec.clone(), 7, 100);
-            sys.run_until_cycles(100, SimDuration::us(3000)).expect("run");
+            sys.run_until_cycles(100, SimDuration::us(3000))
+                .expect("run");
             (0..3).map(|i| sys.io_trace(SbId(i)).digest()).sum::<u64>()
         })
+    });
+    // Whole-campaign cost (nominal reference + 8 delay configs) through
+    // the parallel runner, sequential vs default thread fan-out.
+    let cfg = CampaignConfig {
+        runs: 8,
+        compare_cycles: 50,
+        ..CampaignConfig::default()
+    };
+    let build = |s, seed| build_e1(s, seed, 50);
+    c.bench_function("e1_campaign_8_configs_seq", |b| {
+        b.iter(|| run_campaign_threads(&spec, &cfg, &build, 1).0.total)
+    });
+    let threads = default_threads();
+    c.bench_function("e1_campaign_8_configs_par", |b| {
+        b.iter(|| run_campaign_threads(&spec, &cfg, &build, threads).0.total)
     });
 }
 

@@ -36,6 +36,27 @@ fn bench_kernel(c: &mut Criterion) {
             sim.events_scheduled()
         })
     });
+    // Same-instant burst workload: 50 togglers sharing one period, so
+    // every nanosecond fires a 100-event burst at a single instant —
+    // the case the event queue's FIFO bucket fast path targets.
+    g.bench_function("delta_storm_50_togglers", |b| {
+        b.iter(|| {
+            let mut sb = SimBuilder::new();
+            for i in 0..50 {
+                let s = sb.add_bit_signal_init(&format!("s{i}"), Bit::Zero);
+                sb.add_component(
+                    &format!("t{i}"),
+                    Toggler {
+                        out: s,
+                        half: SimDuration::ns(1),
+                    },
+                );
+            }
+            let mut sim = sb.build();
+            sim.run_for(SimDuration::ns(200)).expect("run");
+            sim.events_scheduled()
+        })
+    });
     g.bench_function("fifo_1k_words", |b| {
         use st_channel::{FifoPorts, SelfTimedFifo};
         b.iter(|| {

@@ -9,7 +9,10 @@ fn main() {
         ("repro_fig2", vec![]),
         ("repro_perf", vec!["120".to_string()]),
         ("repro_tradeoff", vec![]),
-        ("repro_determinism", vec!["300".to_string(), "60".to_string()]),
+        (
+            "repro_determinism",
+            vec!["300".to_string(), "60".to_string()],
+        ),
         ("repro_deadlock", vec![]),
         ("repro_debug", vec![]),
         ("repro_scale", vec!["60".to_string()]),

@@ -28,9 +28,14 @@ fn main() {
     println!("   methodology is needed')");
 
     let fixed = apply_prevention_rule(spec, ScaleRange::NOMINAL);
-    println!("\nafter prevention rule: {}", analyze(&fixed, ScaleRange::NOMINAL));
+    println!(
+        "\nafter prevention rule: {}",
+        analyze(&fixed, ScaleRange::NOMINAL)
+    );
     let mut sys = build_e1(fixed, 0, 10);
-    let out = sys.run_until_cycles(300, SimDuration::us(2000)).expect("run");
+    let out = sys
+        .run_until_cycles(300, SimDuration::us(2000))
+        .expect("run");
     println!("fixed system: {out:?}");
     assert_eq!(out, RunOutcome::Reached);
 }

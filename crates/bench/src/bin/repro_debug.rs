@@ -6,7 +6,8 @@ use synchro_tokens::spec::SbId;
 
 fn main() {
     let mut sys = build_e1(e1_spec(), 0, 50);
-    sys.run_until_cycles(50, SimDuration::us(2000)).expect("warm up");
+    sys.run_until_cycles(50, SimDuration::us(2000))
+        .expect("warm up");
 
     // Interlocked-mode breakpoint via the TAP.
     let mut access = TestAccess::new(SbId(0), 0xC0DE_0001);
@@ -14,7 +15,10 @@ fn main() {
     let report = access
         .breakpoint(&mut sys, SimDuration::us(100))
         .expect("breakpoint");
-    println!("breakpoint: stopped {:?} at cycles {:?}", report.stopped, report.cycles);
+    println!(
+        "breakpoint: stopped {:?} at cycles {:?}",
+        report.stopped, report.cycles
+    );
 
     // Scan out architectural state while stopped.
     let (counter, acc) = sys.logic::<MixerLogic>(SbId(1)).state();
@@ -37,7 +41,9 @@ fn main() {
         .iter()
         .map(|n| SimDuration::ns(*n))
         .collect();
-    let result = shmoo(&spec, SbId(1), &periods, 60, &|s, seed| build_e1(s, seed, 60));
+    let result = shmoo(&spec, SbId(1), &periods, 60, &|s, seed| {
+        build_e1(s, seed, 60)
+    });
     println!("\nshmoo of beta (injected critical path 6 ns):");
     for p in &result.points {
         println!(

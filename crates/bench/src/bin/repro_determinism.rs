@@ -2,10 +2,15 @@
 //!
 //! Usage: `repro_determinism [runs] [bypass_runs]` — defaults to the
 //! paper-scale 16,200 synchro-tokens runs and 400 bypass runs; pass
-//! smaller numbers for a smoke test.
+//! smaller numbers for a smoke test (CI runs `repro_determinism 60 20`).
+//!
+//! Runs are fanned across worker threads (`ST_THREADS` overrides the
+//! default of one per core); the campaign report is byte-identical at
+//! any thread count, only the wall time changes.
 use st_bench::pausible_baseline::{run_pausible_link, PausibleLinkSpec};
 use st_sim::time::SimDuration;
-use synchro_tokens::determinism::{run_campaign, CampaignConfig};
+use synchro_tokens::campaign::default_threads;
+use synchro_tokens::determinism::{run_campaign_threads, CampaignConfig};
 use synchro_tokens::scenarios::{build_e1, build_e1_bypass, e1_spec};
 
 fn main() {
@@ -17,17 +22,22 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
+    let threads = default_threads();
     let spec = e1_spec();
     println!("{}", spec.describe());
 
-    println!("synchro-tokens campaign: {runs} delay configurations, 100 local cycles compared");
+    println!(
+        "synchro-tokens campaign: {runs} delay configurations, 100 local cycles \
+         compared, {threads} worker thread(s)"
+    );
     let cfg = CampaignConfig {
         runs,
         ..CampaignConfig::default()
     };
-    let started = std::time::Instant::now();
-    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1(s, seed, 100));
-    println!("  {result}  [{:.1}s]", started.elapsed().as_secs_f32());
+    let (result, stats) =
+        run_campaign_threads(&spec, &cfg, &|s, seed| build_e1(s, seed, 100), threads);
+    println!("  {result}");
+    println!("  {stats}");
     assert!(
         result.all_match(),
         "synchro-tokens must match nominal in every run"
@@ -41,8 +51,14 @@ fn main() {
         bypass: true,
         ..CampaignConfig::default()
     };
-    let result = run_campaign(&spec, &cfg, &|s, seed| build_e1_bypass(s, seed, 100));
+    let (result, stats) = run_campaign_threads(
+        &spec,
+        &cfg,
+        &|s, seed| build_e1_bypass(s, seed, 100),
+        threads,
+    );
     println!("  {result}");
+    println!("  {stats}");
     assert!(
         !result.mismatches.is_empty(),
         "bypass mode must be observably nondeterministic"

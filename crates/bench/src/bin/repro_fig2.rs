@@ -12,7 +12,10 @@ fn main() {
     println!("{}", out.ascii);
     println!("clock stop/restart events (J -> L):");
     for (down, up) in &out.stop_events {
-        println!("  stopped at {down}, restarted at {up} (parked {})", up.since(*down));
+        println!(
+            "  stopped at {down}, restarted at {up} (parked {})",
+            up.since(*down)
+        );
     }
     if let Err(e) = std::fs::write("fig2.vcd", &out.vcd) {
         eprintln!("could not write fig2.vcd: {e}");

@@ -19,7 +19,12 @@ fn main() {
         println!("{}", render_table(&rows));
     }
     // Figure-style view: latency vs H for both disciplines (T=10, F=1).
-    let rows = sweep_hold(SimDuration::ns(10), SimDuration::ns(1), &[2, 4, 8, 16], words);
+    let rows = sweep_hold(
+        SimDuration::ns(10),
+        SimDuration::ns(1),
+        &[2, 4, 8, 16],
+        words,
+    );
     let syn = Series::new(
         "synchro-tokens",
         rows.iter()
@@ -32,7 +37,15 @@ fn main() {
             .map(|(_, t)| (f64::from(t.hold), t.latency.as_ns_f64()))
             .collect(),
     );
-    println!("{}", render("measured latency [ns] vs H (T=10ns, F=1ns)", &[syn, stari], 56, 14));
+    println!(
+        "{}",
+        render(
+            "measured latency [ns] vs H (T=10ns, F=1ns)",
+            &[syn, stari],
+            56,
+            14
+        )
+    );
 
     println!("shape checks: STARI throughput ~1 word/cycle; synchro ~H/(H+R);");
     println!("synchro latency above STARI latency, both linear in H (Eqs. 1-2).");

@@ -1,13 +1,17 @@
 //! E8 (extension) — scalability of the fabric and the harness.
-use st_bench::scale::{render_table, sweep};
+use st_bench::scale::{render_table, sweep_threads};
+use synchro_tokens::campaign::default_threads;
 
 fn main() {
     let cycles: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(150);
-    let points = sweep(&[2, 4, 8, 16, 32], cycles);
+    let threads = default_threads();
+    let points = sweep_threads(&[2, 4, 8, 16, 32], cycles, threads);
     println!("{}", render_table(&points));
-    println!("determinism digests are stable per N across reruns; wall time grows");
-    println!("roughly linearly with N x cycles (single-threaded event kernel).");
+    println!("determinism digests are stable per N across reruns and thread counts");
+    println!("({threads} worker thread(s), override with ST_THREADS); each chain's own");
+    println!("event kernel stays single-threaded, so wall time per point grows roughly");
+    println!("linearly with N x cycles.");
 }

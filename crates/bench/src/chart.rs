@@ -27,7 +27,10 @@ impl Series {
 /// Panics if no series has any points or the grid is degenerate.
 pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> String {
     assert!(width >= 8 && height >= 4, "grid too small");
-    let all: Vec<(f64, f64)> = series.iter().flat_map(|s| s.points.iter().copied()).collect();
+    let all: Vec<(f64, f64)> = series
+        .iter()
+        .flat_map(|s| s.points.iter().copied())
+        .collect();
     assert!(!all.is_empty(), "nothing to plot");
     let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
     let (mut y0, mut y1) = (0.0f64, f64::NEG_INFINITY);
@@ -66,7 +69,9 @@ pub fn render(title: &str, series: &[Series], width: usize, height: usize) -> St
     out.push_str(&format!("{:>10}+{}\n", "", "-".repeat(width)));
     out.push_str(&format!(
         "{:>11}{:<width$.2}{:.2}\n",
-        "", x0, x1,
+        "",
+        x0,
+        x1,
         width = width.saturating_sub(4)
     ));
     for s in series {

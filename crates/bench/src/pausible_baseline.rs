@@ -151,12 +151,20 @@ pub fn run_pausible_link(spec: PausibleLinkSpec, seed: u64) -> ConsumptionLog {
     let p_pause = b.add_bit_signal_init("p.pause", Bit::Zero);
     let pc = b.add_component(
         "p.clock",
-        PausibleClock::new(PausibleClockSpec::from_period(spec.t_producer), p_clk, p_pause),
+        PausibleClock::new(
+            PausibleClockSpec::from_period(spec.t_producer),
+            p_clk,
+            p_pause,
+        ),
     );
     b.watch(pc.id(), p_pause.id());
     let cc = b.add_component(
         "c.clock",
-        PausibleClock::new(PausibleClockSpec::from_period(spec.t_consumer), c_clk, pause),
+        PausibleClock::new(
+            PausibleClockSpec::from_period(spec.t_consumer),
+            c_clk,
+            pause,
+        ),
     );
     b.watch(cc.id(), pause.id());
 
@@ -208,7 +216,10 @@ mod tests {
         let log = run_pausible_link(PausibleLinkSpec::default(), 1);
         let words: Vec<u64> = log.iter().map(|(_, w)| *w).collect();
         let expect: Vec<u64> = (0..words.len() as u64).collect();
-        assert_eq!(words, expect, "pausible clocking is safe, just not deterministic");
+        assert_eq!(
+            words, expect,
+            "pausible clocking is safe, just not deterministic"
+        );
     }
 
     #[test]

@@ -65,9 +65,8 @@ pub fn measure_synchro(
         .with_logic(rx, SinkCollect::new())
         .with_trace_limit(0)
         .build();
-    let budget_cycles = (words as u64 + 32)
-        * u64::from(hold + recycle).div_ceil(u64::from(hold))
-        + 256;
+    let budget_cycles =
+        (words as u64 + 32) * u64::from(hold + recycle).div_ceil(u64::from(hold)) + 256;
     let out = sys
         .run_until_cycles(budget_cycles, SimDuration::us(100_000))
         .expect("perf run");
@@ -196,7 +195,9 @@ pub fn render_table(rows: &[(PerfPoint, PerfPoint)]) -> String {
     let _ = writeln!(
         out,
         "§5 performance: synchro-tokens vs STARI (T={}, F={})",
-        rows.first().map(|(s, _)| s.period).unwrap_or(SimDuration::ZERO),
+        rows.first()
+            .map(|(s, _)| s.period)
+            .unwrap_or(SimDuration::ZERO),
         rows.first()
             .map(|(s, _)| s.stage_delay)
             .unwrap_or(SimDuration::ZERO),
@@ -204,7 +205,15 @@ pub fn render_table(rows: &[(PerfPoint, PerfPoint)]) -> String {
     let _ = writeln!(
         out,
         "{:>3} {:>3} | {:>9} {:>9} {:>10} {:>10} | {:>9} {:>10} {:>10}",
-        "H", "R", "tp_meas", "tp_model", "lat_meas", "lat_model", "stari_tp", "stari_lat", "eq1_lat"
+        "H",
+        "R",
+        "tp_meas",
+        "tp_model",
+        "lat_meas",
+        "lat_model",
+        "stari_tp",
+        "stari_lat",
+        "eq1_lat"
     );
     for (syn, stari) in rows {
         let _ = writeln!(

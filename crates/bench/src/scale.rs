@@ -54,9 +54,16 @@ pub fn measure_chain(n: usize, cycles: u64) -> ScalePoint {
     }
 }
 
-/// The sweep used by `repro_scale`.
+/// The sweep used by `repro_scale`, sequential.
 pub fn sweep(sizes: &[usize], cycles: u64) -> Vec<ScalePoint> {
-    sizes.iter().map(|&n| measure_chain(n, cycles)).collect()
+    sweep_threads(sizes, cycles, 1)
+}
+
+/// The sweep fanned across worker threads. Each chain builds its own
+/// simulator, so digests, tail words and simulated time are identical to
+/// the sequential sweep; only per-point wall time is machine-dependent.
+pub fn sweep_threads(sizes: &[usize], cycles: u64, threads: usize) -> Vec<ScalePoint> {
+    synchro_tokens::campaign::run_jobs(sizes, threads, |_, &n| measure_chain(n, cycles))
 }
 
 /// Formats the sweep.
@@ -98,6 +105,19 @@ mod tests {
         assert_eq!(a.digest, b.digest);
         assert_eq!(a.tail_words, b.tail_words);
         assert_eq!(a.simulated, b.simulated);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_sequential() {
+        let sizes = [2usize, 3, 4, 5];
+        let seq = sweep(&sizes, 40);
+        let par = sweep_threads(&sizes, 40, 4);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.n, b.n);
+            assert_eq!(a.digest, b.digest);
+            assert_eq!(a.tail_words, b.tail_words);
+            assert_eq!(a.simulated, b.simulated);
+        }
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use st_cells::{fifo_netlist, interface_netlist};
 use st_sim::time::SimDuration;
-use synchro_tokens::prelude::*;
 use synchro_tokens::logic::{PackingSource, UnpackingSink};
+use synchro_tokens::prelude::*;
 use synchro_tokens::rules::{synchro_throughput_bound, width_compensation_factor};
 use synchro_tokens::scenarios::matched_ring_recycles;
 

@@ -37,13 +37,13 @@ pub mod wrapper_circuits;
 pub mod wrappers;
 
 pub use area::{LinearModel, Table1};
+pub use library::{average_two_input_transistors, Cell};
+pub use netlist::Netlist;
 pub use node_circuit::{build_node_circuit, NodeCircuit};
+pub use structural::{Circuit, Net};
 pub use wrapper_circuits::{
     build_fifo_stage_circuit, build_interface_circuit, FifoStageCircuit, InterfaceCircuit,
 };
-pub use structural::{Circuit, Net};
-pub use library::{average_two_input_transistors, Cell};
-pub use netlist::Netlist;
 pub use wrappers::{
     down_counter_netlist, fifo_netlist, fifo_stage_netlist, interface_netlist, node_netlist,
     node_netlist_with_counter_bits, scan_cell_netlist, system_wrapper_netlist, tap_netlist,

@@ -53,7 +53,10 @@ pub fn build_node_circuit(
 ) -> NodeCircuit {
     let limit = 1u32 << width;
     assert!(hold_reg >= 1 && hold_reg < limit, "hold register range");
-    assert!(recycle_reg >= 1 && recycle_reg < limit, "recycle register range");
+    assert!(
+        recycle_reg >= 1 && recycle_reg < limit,
+        "recycle register range"
+    );
     assert!(
         initial_recycle >= 1 && initial_recycle < limit,
         "initial recycle range"
@@ -92,7 +95,11 @@ pub fn build_node_circuit(
     let hold_state: Vec<Net> = (0..width)
         .map(|i| c.flop_placeholder((hold_reg >> i) & 1 == 1))
         .collect();
-    let recycle_init = if start_holding { recycle_reg } else { initial_recycle };
+    let recycle_init = if start_holding {
+        recycle_reg
+    } else {
+        initial_recycle
+    };
     let recycle_state: Vec<Net> = (0..width)
         .map(|i| c.flop_placeholder((recycle_init >> i) & 1 == 1))
         .collect();
@@ -256,7 +263,7 @@ mod tests {
         let mut st = nc.circuit.reset_state();
         nc.circuit.clock_edge(&mut st); // hold 2->1
         nc.circuit.clock_edge(&mut st); // pass
-        // Early token during the first recycle cycle.
+                                        // Early token during the first recycle cycle.
         nc.circuit.set_input(&mut st, nc.token_pulse, true);
         nc.circuit.clock_edge(&mut st); // rec 3->2, token latched
         nc.circuit.set_input(&mut st, nc.token_pulse, false);

@@ -202,7 +202,14 @@ impl Circuit {
             n.add(g.kind, 1);
         }
         for f in &self.flops {
-            n.add(if f.enable.is_some() { Cell::DffE } else { Cell::Dff }, 1);
+            n.add(
+                if f.enable.is_some() {
+                    Cell::DffE
+                } else {
+                    Cell::Dff
+                },
+                1,
+            );
         }
         n
     }

@@ -47,8 +47,8 @@ pub fn node_netlist() -> Netlist {
 pub fn node_netlist_with_counter_bits(bits: u64) -> Netlist {
     let mut n = Netlist::new("node");
     n.add_netlist(&down_counter_netlist(bits), 2); // hold + recycle
-    // Node FSM: two state flops (holding / recycling-stopped) plus
-    // next-state and output (sbena, clken, token-out) logic.
+                                                   // Node FSM: two state flops (holding / recycling-stopped) plus
+                                                   // next-state and output (sbena, clken, token-out) logic.
     n.add(Cell::DffR, 2)
         .add(Cell::Aoi21, 2)
         .add(Cell::Nand2, 3)

@@ -126,7 +126,11 @@ impl Mutex {
     fn issue(&mut self, ctx: &mut Ctx<'_>, side: Side, extra: SimDuration) {
         self.owner = Some(side);
         self.grants += 1;
-        ctx.drive_bit(self.grant_sig(side), Bit::One, self.spec.grant_delay + extra);
+        ctx.drive_bit(
+            self.grant_sig(side),
+            Bit::One,
+            self.spec.grant_delay + extra,
+        );
     }
 
     fn arbitrate(&mut self, ctx: &mut Ctx<'_>) {
@@ -261,8 +265,7 @@ mod tests {
         };
         let results: Vec<(u64, bool)> = (0..32).map(outcome).collect();
         assert!(results.iter().all(|(md, _)| *md == 1));
-        let winners: std::collections::BTreeSet<bool> =
-            results.iter().map(|(_, a)| *a).collect();
+        let winners: std::collections::BTreeSet<bool> = results.iter().map(|(_, a)| *a).collect();
         assert_eq!(winners.len(), 2, "either side must be able to win");
     }
 

@@ -281,13 +281,17 @@ mod tests {
             let n = self.toggles.entry(sig.id()).or_insert(0u64);
             *n += 1;
             let v = *n % 2 == 1;
-            self.sim.drive(sig.id(), Value::from(v), SimDuration::ns(ns));
+            self.sim
+                .drive(sig.id(), Value::from(v), SimDuration::ns(ns));
         }
 
         fn push_at(&mut self, ns: u64, word: u64) {
             // Data must settle before the request toggles (bundled data).
-            self.sim
-                .drive(self.ports.put_data.id(), Value::Word(word), SimDuration::ns(ns));
+            self.sim.drive(
+                self.ports.put_data.id(),
+                Value::Word(word),
+                SimDuration::ns(ns),
+            );
             let req = self.ports.put_req;
             self.toggle(req, ns + 1);
         }

@@ -135,7 +135,11 @@ pub struct FourPhaseReceiver {
 
 impl FourPhaseReceiver {
     /// A receiver appending into `received`.
-    pub fn new(spec: HandshakeSpec, ports: HandshakePorts, received: Rc<RefCell<Vec<u64>>>) -> Self {
+    pub fn new(
+        spec: HandshakeSpec,
+        ports: HandshakePorts,
+        received: Rc<RefCell<Vec<u64>>>,
+    ) -> Self {
         FourPhaseReceiver {
             spec,
             ports,
@@ -158,7 +162,9 @@ impl Component for FourPhaseReceiver {
             match ctx.bit(self.ports.req) {
                 Bit::One => {
                     // (2) latch the bundled word, then acknowledge.
-                    let w = ctx.word(self.ports.data).expect("bundled data valid at req");
+                    let w = ctx
+                        .word(self.ports.data)
+                        .expect("bundled data valid at req");
                     self.received.borrow_mut().push(w);
                     ctx.drive_bit(self.ports.ack, Bit::One, self.spec.latch_delay);
                 }
@@ -286,7 +292,12 @@ mod tests {
         assert_eq!(sim.get(s).sent, 25);
         let m = sim.get(mon);
         assert_eq!(m.cycles, 25);
-        assert!(m.clean(), "order {} bundling {}", m.order_violations, m.bundling_violations);
+        assert!(
+            m.clean(),
+            "order {} bundling {}",
+            m.order_violations,
+            m.bundling_violations
+        );
     }
 
     #[test]
@@ -346,7 +357,8 @@ mod tests {
         let ports = HandshakePorts::declare(&mut b, "hs");
         b.add_component("rogue", RogueSender { ports });
         let received = Rc::new(RefCell::new(Vec::new()));
-        let _r = FourPhaseReceiver::new(HandshakeSpec::default(), ports, received).install(&mut b, "rx");
+        let _r =
+            FourPhaseReceiver::new(HandshakeSpec::default(), ports, received).install(&mut b, "rx");
         let m = HandshakeMonitor::new(ports).install(&mut b, "mon");
         let mut sim = b.build();
         sim.run_for(SimDuration::ns(5)).unwrap();

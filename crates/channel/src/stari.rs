@@ -86,7 +86,10 @@ impl StariStats {
 
     /// True if every word arrived exactly once, in order.
     pub fn in_order(&self) -> bool {
-        self.pops.iter().enumerate().all(|(i, (seq, _))| *seq == i as u64)
+        self.pops
+            .iter()
+            .enumerate()
+            .all(|(i, (seq, _))| *seq == i as u64)
     }
 }
 
@@ -264,7 +267,11 @@ impl Component for LinkClock {
 }
 
 /// Closed-form Eq. (1): `L_STARI = F·H/2 + T·H/2`.
-pub fn stari_latency_model(period: SimDuration, stage_delay: SimDuration, depth: usize) -> SimDuration {
+pub fn stari_latency_model(
+    period: SimDuration,
+    stage_delay: SimDuration,
+    depth: usize,
+) -> SimDuration {
     let h = depth as u64;
     stage_delay * h / 2 + period * h / 2
 }
@@ -275,15 +282,10 @@ mod tests {
 
     fn run(depth: usize, t_ns: u64, f_ns: u64, words: u64) -> (Simulator, StariLink) {
         let mut b = SimBuilder::new();
-        let spec = StariSpec::new(
-            SimDuration::ns(t_ns),
-            SimDuration::ns(f_ns),
-            depth,
-        );
+        let spec = StariSpec::new(SimDuration::ns(t_ns), SimDuration::ns(f_ns), depth);
         let link = build_stari_link(&mut b, spec, words);
         let mut sim = b.build();
-        sim.run_for(SimDuration::ns(t_ns * (words + 50)))
-            .unwrap();
+        sim.run_for(SimDuration::ns(t_ns * (words + 50))).unwrap();
         (sim, link)
     }
 
@@ -318,7 +320,10 @@ mod tests {
         // Shape check: within 2x either way (the model idealizes the
         // half-full occupancy).
         let (m, p) = (measured.as_fs() as f64, model.as_fs() as f64);
-        assert!(m / p < 2.0 && p / m < 2.0, "measured {measured} vs model {model}");
+        assert!(
+            m / p < 2.0 && p / m < 2.0,
+            "measured {measured} vs model {model}"
+        );
     }
 
     #[test]

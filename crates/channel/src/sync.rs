@@ -105,8 +105,7 @@ impl Component for TwoFlopSynchronizer {
                     return;
                 }
                 self.samples += 1;
-                let in_window =
-                    ctx.now().saturating_since(self.last_d_change) < self.spec.window;
+                let in_window = ctx.now().saturating_since(self.last_d_change) < self.spec.window;
                 let sampled = if in_window {
                     self.metastable_samples += 1;
                     use rand::Rng;
@@ -172,7 +171,8 @@ mod tests {
             },
         );
         let _ = osc;
-        let s = TwoFlopSynchronizer::new(SynchronizerSpec::default(), clk, d, q).install(&mut b, "sync");
+        let s = TwoFlopSynchronizer::new(SynchronizerSpec::default(), clk, d, q)
+            .install(&mut b, "sync");
         (b.build(), d, q, s)
     }
 
@@ -201,7 +201,11 @@ mod tests {
         assert!(results.iter().all(|(m, _)| *m == 1));
         let qs: std::collections::BTreeSet<_> =
             results.iter().map(|(_, q)| format!("{q}")).collect();
-        assert_eq!(qs.len(), 2, "metastable sample must be able to go both ways");
+        assert_eq!(
+            qs.len(),
+            2,
+            "metastable sample must be able to go both ways"
+        );
     }
 
     #[test]

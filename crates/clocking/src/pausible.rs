@@ -105,7 +105,8 @@ impl PausibleClock {
 
     fn decide(&mut self, ctx: &mut Ctx<'_>) {
         let req = ctx.bit(self.pause_req).is_one();
-        let near = ctx.now().saturating_since(self.last_req_change) < self.spec.metastability_window;
+        let near =
+            ctx.now().saturating_since(self.last_req_change) < self.spec.metastability_window;
         let grant_pause = if near {
             // Metastable arbitration: the coin decides, and the resolution
             // delay is paid either way.
@@ -147,11 +148,10 @@ impl Component for PausibleClock {
                     self.decide(ctx);
                 }
             }
-            Wake::Timer(TAG_RETRY)
-                if self.paused && !ctx.bit(self.pause_req).is_one() => {
-                    self.paused = false;
-                    self.rise(ctx, SimDuration::ZERO);
-                }
+            Wake::Timer(TAG_RETRY) if self.paused && !ctx.bit(self.pause_req).is_one() => {
+                self.paused = false;
+                self.rise(ctx, SimDuration::ZERO);
+            }
             Wake::Signal(sig) if sig == self.pause_req.id() => {
                 self.last_req_change = ctx.now();
                 if self.paused && ctx.bit(self.pause_req).is_zero() {

@@ -115,10 +115,7 @@ impl StoppableClock {
     }
 
     fn half(&self, ctx: &Ctx<'_>) -> SimDuration {
-        let mult = self
-            .freq_ctl
-            .and_then(|c| ctx.word(c))
-            .map_or(1, |v| v + 1);
+        let mult = self.freq_ctl.and_then(|c| ctx.word(c)).map_or(1, |v| v + 1);
         self.spec.half_period * mult
     }
 
@@ -160,15 +157,16 @@ impl Component for StoppableClock {
                     self.stops += 1;
                 }
             }
-            Wake::Signal(sig) if sig == self.clken.id()
-                && self.parked && ctx.bit(self.clken).is_one() => {
-                    // Asynchronous restart: full high phase, no runt pulse.
-                    self.parked = false;
-                    ctx.drive_bit(self.clk, Bit::One, self.spec.restart_delay);
-                    self.edges += 1;
-                    let half = self.half(ctx);
-                    ctx.set_timer(self.spec.restart_delay + half, TAG_PHASE);
-                }
+            Wake::Signal(sig)
+                if sig == self.clken.id() && self.parked && ctx.bit(self.clken).is_one() =>
+            {
+                // Asynchronous restart: full high phase, no runt pulse.
+                self.parked = false;
+                ctx.drive_bit(self.clk, Bit::One, self.spec.restart_delay);
+                self.edges += 1;
+                let half = self.half(ctx);
+                ctx.set_timer(self.spec.restart_delay + half, TAG_PHASE);
+            }
             _ => {}
         }
     }
@@ -214,7 +212,8 @@ mod tests {
     fn stops_synchronously_when_disabled() {
         let mut h = build(10);
         // Disable just after the second rising edge (t=15ns).
-        h.sim.drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
+        h.sim
+            .drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
         h.sim.run_for(SimDuration::ns(200)).unwrap();
         // Edges at 5, 15; the would-be edge at 25 is suppressed.
         assert_eq!(h.sim.get(h.clock).edges(), 2);
@@ -226,8 +225,10 @@ mod tests {
     #[test]
     fn restarts_asynchronously() {
         let mut h = build(10);
-        h.sim.drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
-        h.sim.drive(h.clken.id(), Value::from(true), SimDuration::ns(103));
+        h.sim
+            .drive(h.clken.id(), Value::from(false), SimDuration::ns(16));
+        h.sim
+            .drive(h.clken.id(), Value::from(true), SimDuration::ns(103));
         h.sim.run_for(SimDuration::ns(200)).unwrap();
         let clock = h.sim.get(h.clock);
         assert!(!clock.is_parked());

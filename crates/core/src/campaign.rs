@@ -1,0 +1,193 @@
+//! Deterministic parallel campaign execution.
+//!
+//! Every experiment harness in this reproduction (the E1 determinism
+//! sweep, the E8 scalability study) is a *bag of independent runs*: each
+//! run builds its own [`Simulator`](st_sim::prelude::SimBuilder) from a
+//! config, runs it to a budget, and reduces to a small result. Per-run
+//! determinism is a property of the kernel (single-threaded, seeded);
+//! nothing about it requires the *runs* to execute one after another.
+//!
+//! [`run_jobs`] fans a job list across OS threads with
+//! `std::thread::scope` (no external dependencies — the dependency
+//! policy in DESIGN.md §7 is unchanged) and merges results back **in
+//! canonical job order**, so the output is bit-identical to a sequential
+//! map regardless of thread count or completion interleaving. Campaign
+//! reports produced through it are therefore byte-identical at 1, 2, or
+//! N threads — asserted by the `campaign` integration tests.
+//!
+//! The worker-thread count comes from, in priority order: an explicit
+//! argument, the `ST_THREADS` environment variable, and the machine's
+//! available parallelism.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Resolves the worker-thread count for campaign runners.
+///
+/// `ST_THREADS` (a positive integer) overrides the machine's available
+/// parallelism; anything unparsable falls back to it.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("ST_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Runs `worker` over every job, fanned across up to `threads` OS
+/// threads, returning results **in job order**.
+///
+/// Work is claimed from a shared atomic cursor, so long and short jobs
+/// balance across workers; each worker buffers `(index, result)` pairs
+/// and the merge reorders them canonically. The returned `Vec` is
+/// bit-identical to `jobs.iter().enumerate().map(worker).collect()` for
+/// any pure `worker`, at any thread count.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker thread.
+pub fn run_jobs<T, R, F>(jobs: &[T], threads: usize, worker: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, jobs.len().max(1));
+    if threads == 1 {
+        return jobs
+            .iter()
+            .enumerate()
+            .map(|(i, job)| worker(i, job))
+            .collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        out.push((i, worker(i, &jobs[i])));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    for (i, r) in buckets.into_iter().flatten() {
+        debug_assert!(slots[i].is_none(), "job {i} executed twice");
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|o| o.expect("every job executed exactly once"))
+        .collect()
+}
+
+/// Wall-clock and kernel-throughput counters for a completed campaign.
+///
+/// Excluded from campaign *reports* by design: reports must stay
+/// byte-identical across thread counts and machines, while these
+/// counters exist precisely to track machine-dependent throughput
+/// (BENCH_*.json trajectories).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Simulation runs executed (including the nominal reference).
+    pub runs: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock seconds for the whole campaign.
+    pub wall_seconds: f64,
+    /// Kernel events fired, summed over every run.
+    pub events_fired: u64,
+    /// Component wakes delivered, summed over every run.
+    pub wakes: u64,
+}
+
+impl CampaignStats {
+    /// Aggregate kernel throughput: events fired per wall-clock second.
+    pub fn events_per_second(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.events_fired as f64 / self.wall_seconds
+    }
+}
+
+impl fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} runs on {} thread(s): {:.2}s wall, {} events ({:.2} M events/s), {} wakes",
+            self.runs,
+            self.threads,
+            self.wall_seconds,
+            self.events_fired,
+            self.events_per_second() / 1e6,
+            self.wakes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_jobs_preserves_job_order() {
+        let jobs: Vec<u64> = (0..257).collect();
+        let f = |i: usize, j: &u64| -> u64 {
+            // Deterministic result, jittered runtime so completion order
+            // differs from job order.
+            if i.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            j.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(13)
+        };
+        let sequential = run_jobs(&jobs, 1, f);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_jobs(&jobs, threads, f), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn run_jobs_handles_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(run_jobs(&empty, 4, |_, x| *x).is_empty());
+        assert_eq!(run_jobs(&[9u32], 4, |i, x| (i, *x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn stats_compute_throughput() {
+        let s = CampaignStats {
+            runs: 10,
+            threads: 2,
+            wall_seconds: 2.0,
+            events_fired: 4_000_000,
+            wakes: 7,
+        };
+        assert!((s.events_per_second() - 2e6).abs() < 1e-9);
+        let text = s.to_string();
+        assert!(text.contains("10 runs"));
+        assert!(text.contains("2.00 M events/s"));
+        assert_eq!(CampaignStats::default().events_per_second(), 0.0);
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -15,13 +15,21 @@
 //! one-factor-at-a-time corners exhaustively and fills the remaining
 //! budget with seeded random multi-factor configurations, comparing each
 //! run's per-SB I/O digests against the nominal run.
+//!
+//! The configuration list is enumerated *up front* by
+//! [`enumerate_configs`], so the campaign is a bag of independent jobs:
+//! [`run_campaign_threads`] fans them across worker threads via
+//! [`crate::campaign::run_jobs`] and merges in canonical config order,
+//! making the report byte-identical to the sequential runner.
 
+use crate::campaign::{run_jobs, CampaignStats};
 use crate::spec::{SbId, SystemSpec};
 use crate::system::{RunOutcome, System};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use st_sim::time::SimDuration;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// The paper's delay multipliers, in percent.
 pub const PAPER_SCALES: [u64; 5] = [50, 75, 100, 150, 200];
@@ -168,6 +176,29 @@ impl CampaignResult {
         }
         self.matches as f64 / self.total as f64
     }
+
+    /// Canonical textual report of the campaign outcome.
+    ///
+    /// A pure function of the run results — no wall-clock times, thread
+    /// counts or machine-dependent data — so sequential and parallel
+    /// campaigns over the same configuration list produce byte-identical
+    /// reports (asserted by the `campaign` integration tests).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{self}");
+        for m in &self.mismatches {
+            let _ = writeln!(
+                out,
+                "mismatch (completed={}) divergences={:?} clock={:?} ring={:?} fifo={:?}",
+                m.completed,
+                m.divergences,
+                m.config.clock_pct,
+                m.config.ring_pct,
+                m.config.fifo_pct,
+            );
+        }
+        out
+    }
 }
 
 impl fmt::Display for CampaignResult {
@@ -186,17 +217,55 @@ impl fmt::Display for CampaignResult {
 
 /// A function that builds a ready-to-run system from a (scaled) spec and
 /// a seed. See [`crate::scenarios::build_e1`] / `build_e1_bypass`.
-pub type BuildFn<'a> = dyn Fn(SystemSpec, u64) -> System + 'a;
+///
+/// `Sync` because campaign workers on different threads share one build
+/// function; each call still builds a fully independent [`System`].
+pub type BuildFn<'a> = dyn Fn(SystemSpec, u64) -> System + Sync + 'a;
+
+/// Enumerates the campaign's configuration list in canonical order:
+/// exhaustive one-factor-at-a-time corners first, then seeded random
+/// multi-factor configurations, `cfg.runs` entries in total.
+///
+/// Pure function of `(base, cfg)` — the list (and its order) is what
+/// makes sequential and parallel campaigns comparable byte-for-byte.
+pub fn enumerate_configs(base: &SystemSpec, cfg: &CampaignConfig) -> Vec<DelayConfig> {
+    let knobs = DelayConfig::nominal(base).knobs();
+    let mut configs = Vec::with_capacity(cfg.runs);
+    'outer: for k in 0..knobs {
+        for &pct in &cfg.scales {
+            if pct == 100 {
+                continue;
+            }
+            if configs.len() >= cfg.runs {
+                break 'outer;
+            }
+            let mut c = DelayConfig::nominal(base);
+            c.set_knob(k, pct);
+            configs.push(c);
+        }
+    }
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    while configs.len() < cfg.runs {
+        let mut c = DelayConfig::nominal(base);
+        for k in 0..knobs {
+            let pct = cfg.scales[rng.gen_range(0..cfg.scales.len())];
+            c.set_knob(k, pct);
+        }
+        configs.push(c);
+    }
+    configs
+}
 
 /// Runs one configuration and returns its per-SB traces' comparison with
-/// the supplied nominal digests.
+/// the supplied nominal digests, plus the run's kernel counters
+/// `(events fired, wakes delivered)`.
 fn run_one(
     base: &SystemSpec,
     config: &DelayConfig,
     cfg: &CampaignConfig,
     build: &BuildFn<'_>,
     nominal: &[crate::iotrace::SbIoTrace],
-) -> RunComparison {
+) -> (RunComparison, u64, u64) {
     let spec = config.apply(base);
     let seed = if cfg.bypass { config.fingerprint() } else { 0 };
     let mut sys = build(spec, seed);
@@ -212,18 +281,43 @@ fn run_one(
         }
         divergences.push(d);
     }
-    RunComparison {
+    let cmp = RunComparison {
         config: config.clone(),
         matched,
         divergences,
         completed,
-    }
+    };
+    (cmp, sys.sim().events_fired(), sys.sim().wakes_delivered())
 }
 
-/// Runs the full campaign: nominal reference, exhaustive one-factor
-/// corners, then seeded random multi-factor configurations up to
-/// `cfg.runs`.
-pub fn run_campaign(base: &SystemSpec, cfg: &CampaignConfig, build: &BuildFn<'_>) -> CampaignResult {
+/// Runs the full campaign sequentially: nominal reference, exhaustive
+/// one-factor corners, then seeded random multi-factor configurations up
+/// to `cfg.runs`. Equivalent to [`run_campaign_threads`] with one thread.
+pub fn run_campaign(
+    base: &SystemSpec,
+    cfg: &CampaignConfig,
+    build: &BuildFn<'_>,
+) -> CampaignResult {
+    run_campaign_threads(base, cfg, build, 1).0
+}
+
+/// Runs the full campaign fanned across `threads` worker threads.
+///
+/// The nominal reference runs first on the calling thread; its I/O
+/// digests are then shared read-only with every worker. Each worker
+/// builds its own [`System`] per configuration, so per-run determinism is
+/// untouched, and results merge in canonical config order — the returned
+/// [`CampaignResult`] is **identical** to the sequential runner's at any
+/// thread count. [`CampaignStats`] carries the wall-clock and throughput
+/// counters, which *are* machine-dependent.
+pub fn run_campaign_threads(
+    base: &SystemSpec,
+    cfg: &CampaignConfig,
+    build: &BuildFn<'_>,
+    threads: usize,
+) -> (CampaignResult, CampaignStats) {
+    let started = std::time::Instant::now();
+
     // Reference run.
     let nominal_cfg = DelayConfig::nominal(base);
     let seed = if cfg.bypass {
@@ -240,9 +334,19 @@ pub fn run_campaign(base: &SystemSpec, cfg: &CampaignConfig, build: &BuildFn<'_>
     let nominal: Vec<_> = (0..base.sbs.len())
         .map(|i| nominal_sys.io_trace(SbId(i)).clone())
         .collect();
+    let mut events_fired = nominal_sys.sim().events_fired();
+    let mut wakes = nominal_sys.sim().wakes_delivered();
+    drop(nominal_sys);
+
+    let configs = enumerate_configs(base, cfg);
+    let outcomes = run_jobs(&configs, threads, |_, config| {
+        run_one(base, config, cfg, build, &nominal)
+    });
 
     let mut result = CampaignResult::default();
-    let record = |cmp: RunComparison, result: &mut CampaignResult| {
+    for (cmp, ev, wk) in outcomes {
+        events_fired += ev;
+        wakes += wk;
         result.total += 1;
         if !cmp.completed {
             result.incomplete += 1;
@@ -252,44 +356,22 @@ pub fn run_campaign(base: &SystemSpec, cfg: &CampaignConfig, build: &BuildFn<'_>
         } else {
             result.mismatches.push(cmp);
         }
+    }
+    let stats = CampaignStats {
+        runs: result.total + 1,
+        threads: threads.clamp(1, configs.len().max(1)),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        events_fired,
+        wakes,
     };
-
-    // Exhaustive one-factor-at-a-time corners.
-    let knobs = nominal_cfg.knobs();
-    'outer: for k in 0..knobs {
-        for &pct in &cfg.scales {
-            if pct == 100 {
-                continue;
-            }
-            if result.total >= cfg.runs {
-                break 'outer;
-            }
-            let mut c = DelayConfig::nominal(base);
-            c.set_knob(k, pct);
-            let cmp = run_one(base, &c, cfg, build, &nominal);
-            record(cmp, &mut result);
-        }
-    }
-
-    // Random multi-factor configurations.
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    while result.total < cfg.runs {
-        let mut c = DelayConfig::nominal(base);
-        for k in 0..knobs {
-            let pct = cfg.scales[rng.gen_range(0..cfg.scales.len())];
-            c.set_knob(k, pct);
-        }
-        let cmp = run_one(base, &c, cfg, build, &nominal);
-        record(cmp, &mut result);
-    }
-    result
+    (result, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenarios::{build_e1, build_e1_bypass, e1_spec, producer_consumer_spec};
     use crate::logic::{SequenceSource, SinkCollect};
+    use crate::scenarios::{build_e1, build_e1_bypass, e1_spec, producer_consumer_spec};
     use crate::spec::SbId;
     use crate::system::SystemBuilder;
 
@@ -306,7 +388,10 @@ mod tests {
         assert!(c.fifo_pct.iter().all(|p| *p == 50));
         let scaled = c.apply(&spec);
         assert_eq!(scaled.sbs[0].period, spec.sbs[0].period.percent(50));
-        assert_eq!(scaled.rings[1].delay_back, spec.rings[1].delay_back.percent(50));
+        assert_eq!(
+            scaled.rings[1].delay_back,
+            spec.rings[1].delay_back.percent(50)
+        );
         assert_eq!(
             scaled.channels[5].stage_delay,
             spec.channels[5].stage_delay.percent(50)
@@ -374,6 +459,49 @@ mod tests {
         };
         let result = run_campaign(&spec, &cfg, &build);
         assert!(result.all_match(), "{result}");
+    }
+
+    #[test]
+    fn config_enumeration_is_deterministic() {
+        let spec = e1_spec();
+        let cfg = CampaignConfig {
+            runs: 70,
+            ..CampaignConfig::default()
+        };
+        let a = enumerate_configs(&spec, &cfg);
+        assert_eq!(a.len(), 70, "exactly cfg.runs configs");
+        assert_eq!(a, enumerate_configs(&spec, &cfg), "same inputs, same list");
+        // One-factor corners come first: 15 knobs × 4 non-nominal scales.
+        let nominal = DelayConfig::nominal(&spec);
+        let off_nominal_knobs = |c: &DelayConfig| {
+            let count = |xs: &[u64]| xs.iter().filter(|p| **p != 100).count();
+            count(&c.clock_pct)
+                + c.ring_pct
+                    .iter()
+                    .map(|(f, b)| usize::from(*f != 100) + usize::from(*b != 100))
+                    .sum::<usize>()
+                + count(&c.fifo_pct)
+        };
+        assert_eq!(nominal.knobs() * 4, 60);
+        assert!(a[..60].iter().all(|c| off_nominal_knobs(c) == 1));
+        assert_eq!(a[0].clock_pct[0], 50, "first corner scales the first knob");
+    }
+
+    #[test]
+    fn threaded_campaign_matches_sequential_result() {
+        let spec = e1_spec();
+        let cfg = CampaignConfig {
+            runs: 10,
+            compare_cycles: 40,
+            ..CampaignConfig::default()
+        };
+        let build = |s: SystemSpec, seed: u64| build_e1(s, seed, 40);
+        let seq = run_campaign(&spec, &cfg, &build);
+        let (par, stats) = run_campaign_threads(&spec, &cfg, &build, 3);
+        assert_eq!(seq.report(), par.report());
+        assert_eq!(stats.runs, 11, "10 configs + the nominal reference");
+        assert!(stats.events_fired > 0);
+        assert!(stats.wall_seconds > 0.0);
     }
 
     #[test]

@@ -204,7 +204,11 @@ pub fn verify_ring_determinism(
             // A clock edge can fire iff the clock is running and the SB
             // is below its bound.
             if f.clock_enabled() && path.cycles[i] < cycle_bound {
-                moves.push(if i == 0 { ModelStep::EdgeA } else { ModelStep::EdgeB });
+                moves.push(if i == 0 {
+                    ModelStep::EdgeA
+                } else {
+                    ModelStep::EdgeB
+                });
             }
         }
         for i in 0..2 {
@@ -282,7 +286,11 @@ pub fn verify_ring_determinism(
                 }
                 ModelStep::Deliver(i) => {
                     next.in_flight[i] = None;
-                    let fsm = if i == 0 { &mut next.fsm_a } else { &mut next.fsm_b };
+                    let fsm = if i == 0 {
+                        &mut next.fsm_a
+                    } else {
+                        &mut next.fsm_b
+                    };
                     let _ = fsm.token_arrived();
                 }
             }
@@ -323,13 +331,7 @@ mod tests {
 
     #[test]
     fn small_ring_is_deterministic_up_to_forty_cycles() {
-        let v = verify_ring_determinism(
-            NodeParams::new(3, 5),
-            NodeParams::new(3, 5),
-            4,
-            40,
-            3,
-        );
+        let v = verify_ring_determinism(NodeParams::new(3, 5), NodeParams::new(3, 5), 4, 40, 3);
         assert!(v.is_deterministic(), "{v}");
         if let Verdict::DeterministicUpTo {
             states_explored,
@@ -346,9 +348,11 @@ mod tests {
 
     #[test]
     fn asymmetric_parameters_are_also_deterministic() {
-        for (ha, ra, hb, rb, init) in
-            [(1u32, 1u32, 1u32, 1u32, 1u32), (2, 7, 4, 3, 2), (5, 2, 1, 9, 8)]
-        {
+        for (ha, ra, hb, rb, init) in [
+            (1u32, 1u32, 1u32, 1u32, 1u32),
+            (2, 7, 4, 3, 2),
+            (5, 2, 1, 9, 8),
+        ] {
             let v = verify_ring_determinism(
                 NodeParams::new(ha, ra),
                 NodeParams::new(hb, rb),
@@ -362,13 +366,7 @@ mod tests {
 
     #[test]
     fn verdict_reports_schedule_structure() {
-        let v = verify_ring_determinism(
-            NodeParams::new(2, 4),
-            NodeParams::new(2, 4),
-            3,
-            24,
-            2,
-        );
+        let v = verify_ring_determinism(NodeParams::new(2, 4), NodeParams::new(2, 4), 3, 24, 2);
         let Verdict::DeterministicUpTo { schedules, .. } = &v else {
             panic!("{v}");
         };
@@ -386,22 +384,12 @@ mod tests {
         // reference schedule wrongly — here via the public API: run with
         // a tiny defer bound (deliveries forced early) and a huge one
         // (deliveries can lag), which for a correct FSM must agree.
-        let tight = verify_ring_determinism(
-            NodeParams::new(2, 4),
-            NodeParams::new(2, 4),
-            3,
-            20,
-            0,
-        );
-        let loose = verify_ring_determinism(
-            NodeParams::new(2, 4),
-            NodeParams::new(2, 4),
-            3,
-            20,
-            5,
-        );
-        let (Verdict::DeterministicUpTo { schedules: s1, .. },
-             Verdict::DeterministicUpTo { schedules: s2, .. }) = (&tight, &loose)
+        let tight = verify_ring_determinism(NodeParams::new(2, 4), NodeParams::new(2, 4), 3, 20, 0);
+        let loose = verify_ring_determinism(NodeParams::new(2, 4), NodeParams::new(2, 4), 3, 20, 5);
+        let (
+            Verdict::DeterministicUpTo { schedules: s1, .. },
+            Verdict::DeterministicUpTo { schedules: s2, .. },
+        ) = (&tight, &loose)
         else {
             panic!("both bounds must verify: {tight} / {loose}");
         };
@@ -411,13 +399,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "cycle bound must be positive")]
     fn zero_bound_rejected() {
-        let _ = verify_ring_determinism(
-            NodeParams::new(1, 1),
-            NodeParams::new(1, 1),
-            1,
-            0,
-            1,
-        );
+        let _ = verify_ring_determinism(NodeParams::new(1, 1), NodeParams::new(1, 1), 1, 0, 1);
     }
 
     #[test]

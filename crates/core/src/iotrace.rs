@@ -122,7 +122,9 @@ impl SbIoTrace {
             .position(|r| r.cycle == cycle)
             .unwrap_or(self.rows.len());
         let lo = idx.saturating_sub(context);
-        let hi = (idx + context + 1).min(self.rows.len()).min(reference.rows.len());
+        let hi = (idx + context + 1)
+            .min(self.rows.len())
+            .min(reference.rows.len());
         for i in lo..hi {
             let (got, want) = (&self.rows[i], &reference.rows[i]);
             let marker = if got == want { ' ' } else { '>' };
@@ -267,7 +269,10 @@ mod tests {
         assert!(report.contains("local cycle 6"));
         assert!(report.contains("99"));
         assert!(report.lines().any(|l| l.starts_with('>')));
-        assert_eq!(a.diff_report(&a.clone(), 2), "traces match over the compared prefix");
+        assert_eq!(
+            a.diff_report(&a.clone(), 2),
+            "traces match over the compared prefix"
+        );
     }
 
     #[test]

@@ -32,6 +32,9 @@
 //!   "future work" formal-methods item),
 //! * [`determinism`] — the E1 campaign harness (delay sweeps, trace
 //!   comparison),
+//! * [`campaign`] — deterministic parallel campaign execution: a
+//!   `std::thread::scope` job fan-out whose canonical-order merge keeps
+//!   reports byte-identical to sequential runs,
 //! * [`scenarios`] — the canonical systems used across tests, examples
 //!   and benches (including the paper's 3-SB / 6-FIFO test case).
 //!
@@ -60,6 +63,7 @@
 //! # }
 //! ```
 
+pub mod campaign;
 pub mod deadlock;
 pub mod determinism;
 pub mod formal;
@@ -72,6 +76,7 @@ pub mod spec;
 pub mod system;
 pub mod wrapper;
 
+pub use campaign::{default_threads, run_jobs, CampaignStats};
 pub use iotrace::{SbIoTrace, TraceRow};
 pub use logic::{
     IdleLogic, PackingSource, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,
@@ -84,6 +89,7 @@ pub use wrapper::WrapperMode;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::campaign::{default_threads, run_jobs, CampaignStats};
     pub use crate::iotrace::SbIoTrace;
     pub use crate::logic::{
         IdleLogic, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,

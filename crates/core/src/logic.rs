@@ -319,10 +319,7 @@ impl SyncLogic for IdleLogic {
 mod tests {
     use super::*;
 
-    fn io_fixture<'a>(
-        inputs: &'a [InputView],
-        outputs: &'a mut [OutputSlot],
-    ) -> SbIo<'a> {
+    fn io_fixture<'a>(inputs: &'a [InputView], outputs: &'a mut [OutputSlot]) -> SbIo<'a> {
         SbIo::new(inputs, outputs)
     }
 
@@ -359,10 +356,16 @@ mod tests {
         }];
         src.tick(1, &mut io_fixture(&inputs, &mut outputs));
         assert_eq!(outputs[0].word, Some(100));
-        src.tick(2, &mut io_fixture(&inputs, &mut [OutputSlot {
-            can_send: true,
-            word: None,
-        }]));
+        src.tick(
+            2,
+            &mut io_fixture(
+                &inputs,
+                &mut [OutputSlot {
+                    can_send: true,
+                    word: None,
+                }],
+            ),
+        );
         assert_eq!(src.sent, 2);
     }
 

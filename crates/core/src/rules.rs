@@ -103,7 +103,11 @@ pub struct RuleViolation {
 
 impl fmt::Display for RuleViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} rule violated on {}: {}", self.rule, self.channel, self.detail)
+        write!(
+            f,
+            "{} rule violated on {}: {}",
+            self.rule, self.channel, self.detail
+        )
     }
 }
 
@@ -165,7 +169,10 @@ pub fn check_determinism_rules(spec: &SystemSpec, scales: ScaleRange) -> Vec<Rul
             violations.push(RuleViolation {
                 rule: RuleKind::Capacity,
                 channel: cid,
-                detail: format!("depth {} below transmit hold window {}", ch.fifo_depth, tx_hold),
+                detail: format!(
+                    "depth {} below transmit hold window {}",
+                    ch.fifo_depth, tx_hold
+                ),
             });
         }
     }
@@ -190,7 +197,12 @@ pub fn min_recycle_estimate(
 ) -> u32 {
     let ring = &spec.rings[ring_id.0];
     let (peer, d_out, d_in, peer_hold) = if ring.holder == sb {
-        (ring.peer, ring.delay_fwd, ring.delay_back, ring.peer_node.hold)
+        (
+            ring.peer,
+            ring.delay_fwd,
+            ring.delay_back,
+            ring.peer_node.hold,
+        )
     } else if ring.peer == sb {
         (
             ring.holder,
@@ -301,7 +313,10 @@ mod tests {
     fn throughput_bound_and_width_factor_are_consistent() {
         let tp = synchro_throughput_bound(4, 8);
         let wf = width_compensation_factor(4, 8);
-        assert!((tp * wf - 1.0).abs() < 1e-12, "widening restores 1 word/cycle");
+        assert!(
+            (tp * wf - 1.0).abs() < 1e-12,
+            "widening restores 1 word/cycle"
+        );
         assert!((tp - 1.0 / 3.0).abs() < 1e-12);
     }
 

@@ -205,10 +205,7 @@ impl SyncLogic for MixerLogic {
         }
         for o in 0..io.num_outputs() {
             if io.can_send(o) {
-                let w = self
-                    .counter
-                    .wrapping_add(self.salt)
-                    .wrapping_add(self.acc) & 0xFFFF;
+                let w = self.counter.wrapping_add(self.salt).wrapping_add(self.acc) & 0xFFFF;
                 io.send(o, w);
                 self.counter = self.counter.wrapping_add(1);
                 self.sent += 1;

@@ -342,7 +342,13 @@ impl SystemSpec {
     pub fn describe(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "system: {} SBs, {} rings, {} channels", self.sbs.len(), self.rings.len(), self.channels.len());
+        let _ = writeln!(
+            out,
+            "system: {} SBs, {} rings, {} channels",
+            self.sbs.len(),
+            self.rings.len(),
+            self.channels.len()
+        );
         for (i, sb) in self.sbs.iter().enumerate() {
             let _ = writeln!(out, "  sb{i} \"{}\" period={}", sb.name, sb.period);
         }

@@ -11,7 +11,9 @@ use crate::iotrace::SbIoTrace;
 use crate::logic::{IdleLogic, SyncLogic};
 use crate::node::{NodeFsm, NodePhase};
 use crate::spec::{ChannelId, RingId, SbId, SpecError, SystemSpec};
-use crate::wrapper::{InputBinding, NodeBinding, NodeObserve, OutputBinding, SbWrapper, WrapperMode};
+use crate::wrapper::{
+    InputBinding, NodeBinding, NodeObserve, OutputBinding, SbWrapper, WrapperMode,
+};
 use st_channel::{FifoPorts, SelfTimedFifo};
 use st_clocking::{StoppableClock, StoppableClockSpec};
 use st_sim::prelude::*;
@@ -160,9 +162,7 @@ impl SystemBuilder {
                 let fsm = if holder_side {
                     NodeFsm::new_holder(ring.holder_node)
                 } else {
-                    let initial = ring
-                        .peer_initial_recycle
-                        .unwrap_or(ring.peer_node.recycle);
+                    let initial = ring.peer_initial_recycle.unwrap_or(ring.peer_node.recycle);
                     NodeFsm::new_waiter(ring.peer_node, initial)
                 };
                 let (to_holder, to_peer) = tok_sigs[ring_id.0];
@@ -193,11 +193,19 @@ impl SystemBuilder {
             // Channel endpoints in channel-id order.
             let mut inputs = Vec::new();
             for (cid, ch) in spec.inputs_of(sb) {
-                inputs.push(InputBinding::new(cid, node_index[&ch.ring], fifo_ports[cid.0]));
+                inputs.push(InputBinding::new(
+                    cid,
+                    node_index[&ch.ring],
+                    fifo_ports[cid.0],
+                ));
             }
             let mut outputs = Vec::new();
             for (cid, ch) in spec.outputs_of(sb) {
-                outputs.push(OutputBinding::new(cid, node_index[&ch.ring], fifo_ports[cid.0]));
+                outputs.push(OutputBinding::new(
+                    cid,
+                    node_index[&ch.ring],
+                    fifo_ports[cid.0],
+                ));
             }
 
             let logic = self
@@ -467,7 +475,9 @@ impl System {
     /// node of `sb` — the "holding tokens indefinitely in the Test SB"
     /// mechanism behind deterministic breakpoints.
     pub fn set_hold_tokens(&mut self, sb: SbId, on: bool) {
-        self.sim.get_mut(self.wrappers[sb.0]).set_hold_all_tokens(on);
+        self.sim
+            .get_mut(self.wrappers[sb.0])
+            .set_hold_all_tokens(on);
     }
 
     /// Wall-clock times of `sb`'s rising edges, indexed by local cycle

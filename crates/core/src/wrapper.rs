@@ -234,7 +234,11 @@ impl SbWrapper {
             last_edge: None,
             timing_violations: 0,
             edge_times: Vec::new(),
-            edge_times_cap: if trace_limit == 0 { 1 << 20 } else { trace_limit },
+            edge_times_cap: if trace_limit == 0 {
+                1 << 20
+            } else {
+                trace_limit
+            },
         }
     }
 
@@ -347,9 +351,7 @@ impl SbWrapper {
         // to the deterministic trace comparison — exactly what a shmoo
         // run needs to find the failing frequency.
         let violated = match self.last_edge {
-            Some(prev) if !self.logic_delay.is_zero() => {
-                ctx.now().since(prev) < self.logic_delay
-            }
+            Some(prev) if !self.logic_delay.is_zero() => ctx.now().since(prev) < self.logic_delay,
             _ => false,
         };
         self.last_edge = Some(ctx.now());

@@ -1,0 +1,85 @@
+//! Parallel-campaign equivalence: the E1 sweep fanned across worker
+//! threads must produce a report byte-identical to the sequential
+//! runner's, because the configuration list is enumerated up front and
+//! results merge in canonical config order.
+
+use proptest::prelude::*;
+use synchro_tokens::campaign::{default_threads, run_jobs};
+use synchro_tokens::determinism::{
+    enumerate_configs, run_campaign, run_campaign_threads, CampaignConfig, DelayConfig,
+};
+use synchro_tokens::scenarios::{build_e1, e1_spec};
+use synchro_tokens::spec::SystemSpec;
+
+#[test]
+fn e1_sweep_is_byte_identical_at_1_2_n_threads() {
+    let spec = e1_spec();
+    let cfg = CampaignConfig {
+        runs: 24,
+        compare_cycles: 50,
+        ..CampaignConfig::default()
+    };
+    let build = |s: SystemSpec, seed: u64| build_e1(s, seed, 50);
+    let reference = run_campaign(&spec, &cfg, &build);
+    let reference_report = reference.report();
+    assert!(reference.all_match(), "{reference}");
+
+    for threads in [1, 2, default_threads().max(5)] {
+        let (result, stats) = run_campaign_threads(&spec, &cfg, &build, threads);
+        assert_eq!(
+            result.report(),
+            reference_report,
+            "report differs at {threads} thread(s)"
+        );
+        assert_eq!(result.total, reference.total);
+        assert_eq!(result.matches, reference.matches);
+        assert_eq!(result.incomplete, reference.incomplete);
+        assert_eq!(stats.runs, cfg.runs + 1, "configs + nominal reference");
+        assert!(stats.events_fired > 0);
+        assert!(stats.wakes > 0);
+    }
+}
+
+#[test]
+fn campaign_stats_are_thread_count_invariant_on_kernel_counters() {
+    // Wall time varies per machine; the *work done* must not.
+    let spec = e1_spec();
+    let cfg = CampaignConfig {
+        runs: 6,
+        compare_cycles: 40,
+        ..CampaignConfig::default()
+    };
+    let build = |s: SystemSpec, seed: u64| build_e1(s, seed, 40);
+    let (_, seq) = run_campaign_threads(&spec, &cfg, &build, 1);
+    let (_, par) = run_campaign_threads(&spec, &cfg, &build, 3);
+    assert_eq!(seq.events_fired, par.events_fired);
+    assert_eq!(seq.wakes, par.wakes);
+    assert_eq!(seq.runs, par.runs);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Merging is interleaving-independent: any random subset of the
+    /// campaign's configs, mapped through `run_jobs` at any thread
+    /// count, yields exactly the sequential map.
+    #[test]
+    fn merge_is_interleaving_independent_for_random_subsets(
+        picks in proptest::collection::vec(0usize..60, 1..24),
+        threads in 1usize..9,
+    ) {
+        let spec = e1_spec();
+        let cfg = CampaignConfig { runs: 60, ..CampaignConfig::default() };
+        let all = enumerate_configs(&spec, &cfg);
+        let subset: Vec<DelayConfig> =
+            picks.iter().map(|&i| all[i].clone()).collect();
+        let digest = |i: usize, c: &DelayConfig| {
+            // Deterministic per-job result that also encodes the slot,
+            // so any reordering or misrouting is visible.
+            (i as u64).wrapping_mul(0x517C_C1B7_2722_0A95) ^ c.fingerprint()
+        };
+        let sequential = run_jobs(&subset, 1, digest);
+        let fanned = run_jobs(&subset, threads, digest);
+        prop_assert_eq!(sequential, fanned);
+    }
+}

@@ -13,7 +13,14 @@ use synchro_tokens::spec::NodeParams;
 
 /// Runs `cycles` lockstep steps; token delivery delays are drawn from
 /// `delays` (cycles after each pass; capped so the ring keeps moving).
-fn lockstep(hold: u32, recycle: u32, start_holding: bool, initial: u32, delays: &[u8], cycles: u32) {
+fn lockstep(
+    hold: u32,
+    recycle: u32,
+    start_holding: bool,
+    initial: u32,
+    delays: &[u8],
+    cycles: u32,
+) {
     let params = NodeParams::new(hold, recycle);
     let mut fsm = if start_holding {
         NodeFsm::new_holder(params)

@@ -2,18 +2,14 @@
 //! invariance under arbitrary token timing) and spec validation.
 
 use proptest::prelude::*;
+use st_sim::time::SimDuration;
 use synchro_tokens::formal::{verify_ring_determinism, Verdict};
 use synchro_tokens::node::{NodeFsm, NodePhase};
 use synchro_tokens::spec::{NodeParams, SystemSpec};
-use st_sim::time::SimDuration;
 
 /// Drives a single node FSM with token arrivals at adversarial points
 /// and returns the enabled-cycle schedule over `horizon` cycles.
-fn schedule_with_arrivals(
-    params: NodeParams,
-    arrivals: &[u8],
-    horizon: u32,
-) -> Vec<u32> {
+fn schedule_with_arrivals(params: NodeParams, arrivals: &[u8], horizon: u32) -> Vec<u32> {
     let mut fsm = NodeFsm::new_holder(params);
     let mut enabled = Vec::new();
     let mut arrival_iter = arrivals.iter().copied().cycle();

@@ -5,13 +5,32 @@
 //! same instant fire in the order they were scheduled — this is what makes
 //! the kernel deterministic: there are no ties left for a hash map or
 //! thread scheduler to break.
+//!
+//! # Same-instant fast path
+//!
+//! Discrete-event workloads are bursty: a clock edge or a delta storm
+//! schedules many events *at the current instant*, and the kernel drains
+//! them before simulated time advances. Routing those through the binary
+//! heap costs `O(log n)` sifts per push/pop for no ordering benefit —
+//! sequence numbers are monotonic, so same-instant arrivals are already
+//! FIFO. The queue therefore keeps a FIFO *bucket* for the instant
+//! currently being drained: [`EventQueue::pop_at`] activates the bucket
+//! for its timestamp, and every subsequent [`EventQueue::schedule`] at
+//! that exact instant is an `O(1)` `push_back` instead of a heap push.
+//!
+//! Ordering invariant: any heap event at the bucket's instant was
+//! scheduled *before* the bucket was activated (smaller sequence number
+//! — activation happens only once the instant is being drained, and
+//! later schedules go to the bucket), so `pop_at` drains the heap's
+//! same-instant events before touching the bucket.
 
 use crate::component::ComponentId;
 use crate::kernel::SignalId;
 use crate::time::SimTime;
 use crate::value::Value;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::binary_heap::PeekMut;
+use std::collections::{BinaryHeap, VecDeque};
 
 /// What an event does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,10 +60,15 @@ impl PartialOrd for Event {
     }
 }
 
-/// A deterministic min-heap of events.
+/// A deterministic min-heap of events with a same-instant FIFO bucket.
 #[derive(Debug, Default)]
 pub(crate) struct EventQueue {
     heap: BinaryHeap<Reverse<Event>>,
+    /// FIFO of events at `bucket_time`, in scheduling order.
+    bucket: VecDeque<Event>,
+    /// The instant the bucket collects for (valid while draining that
+    /// instant; stale once `pop_at` moves to a new time).
+    bucket_time: Option<SimTime>,
     next_seq: u64,
     scheduled_total: u64,
 }
@@ -59,29 +83,62 @@ impl EventQueue {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.scheduled_total += 1;
-        self.heap.push(Reverse(Event { time, seq, kind }));
+        let ev = Event { time, seq, kind };
+        if self.bucket_time == Some(time) {
+            // Same-instant burst: FIFO order == seq order, skip the heap.
+            self.bucket.push_back(ev);
+        } else {
+            self.heap.push(Reverse(ev));
+        }
     }
 
     /// The timestamp of the earliest pending event.
     pub fn next_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse(e)| e.time)
+        let heap_t = self.heap.peek().map(|Reverse(e)| e.time);
+        let bucket_t = if self.bucket.is_empty() {
+            None
+        } else {
+            self.bucket_time
+        };
+        match (heap_t, bucket_t) {
+            (Some(h), Some(b)) => Some(h.min(b)),
+            (h, None) => h,
+            (None, b) => b,
+        }
     }
 
     /// Pops the earliest event if it fires at exactly `time`.
+    ///
+    /// Also activates the same-instant bucket for `time`, so events
+    /// scheduled at `time` from now on bypass the heap.
     pub fn pop_at(&mut self, time: SimTime) -> Option<Event> {
-        match self.heap.peek() {
-            Some(Reverse(e)) if e.time == time => self.heap.pop().map(|Reverse(e)| e),
-            _ => None,
+        if self.bucket.is_empty() {
+            self.bucket_time = Some(time);
+        } else if self.bucket_time.is_some_and(|bt| bt < time) {
+            // Earlier-timed bucket entries exist; nothing fires at `time`.
+            return None;
         }
+        // Heap events at `time` predate any bucket events at `time`
+        // (smaller sequence numbers), so they fire first. `peek_mut`
+        // keeps this to a single ordered-head check per event.
+        if let Some(head) = self.heap.peek_mut() {
+            if head.0.time == time {
+                return Some(PeekMut::pop(head).0);
+            }
+        }
+        if self.bucket_time == Some(time) {
+            return self.bucket.pop_front();
+        }
+        None
     }
 
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.heap.is_empty() && self.bucket.is_empty()
     }
 
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.heap.len() + self.bucket.len()
     }
 
     /// Total number of events ever scheduled (for run statistics).
@@ -140,5 +197,61 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop_at(SimTime::ZERO);
         assert_eq!(q.scheduled_total(), 2, "popping must not change the total");
+    }
+
+    #[test]
+    fn bucket_interleaves_with_heap_in_seq_order() {
+        // Events scheduled at `t` before the instant is drained sit in
+        // the heap; events scheduled at `t` *while draining* go to the
+        // bucket. Global order must still be pure scheduling order.
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO + SimDuration::ns(2);
+        q.schedule(t, timer(0, 0));
+        q.schedule(t, timer(0, 1));
+        assert_eq!(q.pop_at(t).unwrap().kind, timer(0, 0)); // activates bucket
+        q.schedule(t, timer(0, 2)); // -> bucket
+        q.schedule(t, timer(0, 3)); // -> bucket
+        assert_eq!(q.pop_at(t).unwrap().kind, timer(0, 1)); // heap first
+        assert_eq!(q.pop_at(t).unwrap().kind, timer(0, 2));
+        q.schedule(t, timer(0, 4));
+        assert_eq!(q.pop_at(t).unwrap().kind, timer(0, 3));
+        assert_eq!(q.pop_at(t).unwrap().kind, timer(0, 4));
+        assert!(q.pop_at(t).is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn bucket_drains_before_later_instants() {
+        let mut q = EventQueue::new();
+        let t = |n| SimTime::ZERO + SimDuration::ns(n);
+        q.schedule(t(1), timer(0, 0));
+        assert_eq!(q.pop_at(t(1)).unwrap().kind, timer(0, 0));
+        // Bucket now active at t=1; schedule both a same-instant and a
+        // future event.
+        q.schedule(t(1), timer(0, 1));
+        q.schedule(t(5), timer(0, 2));
+        assert_eq!(q.next_time(), Some(t(1)));
+        // Asking for the future instant while earlier bucket events are
+        // pending must yield nothing.
+        assert!(q.pop_at(t(5)).is_none());
+        assert_eq!(q.pop_at(t(1)).unwrap().kind, timer(0, 1));
+        assert_eq!(q.next_time(), Some(t(5)));
+        assert_eq!(q.pop_at(t(5)).unwrap().kind, timer(0, 2));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn stale_bucket_time_does_not_misroute() {
+        let mut q = EventQueue::new();
+        let t = |n| SimTime::ZERO + SimDuration::ns(n);
+        q.schedule(t(1), timer(0, 0));
+        assert_eq!(q.pop_at(t(1)).unwrap().kind, timer(0, 0));
+        // Bucket is empty but bucket_time == t(1). A later-instant pop
+        // re-activates the bucket for its own time.
+        q.schedule(t(3), timer(0, 1));
+        assert_eq!(q.pop_at(t(3)).unwrap().kind, timer(0, 1));
+        q.schedule(t(3), timer(0, 2));
+        assert_eq!(q.pop_at(t(3)).unwrap().kind, timer(0, 2));
+        assert!(q.is_empty());
     }
 }

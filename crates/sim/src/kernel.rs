@@ -61,7 +61,7 @@ const MAX_DELTAS: u32 = 10_000;
 pub struct SignalId(u32);
 
 impl SignalId {
-    const fn index(self) -> usize {
+    pub(crate) const fn index(self) -> usize {
         self.0 as usize
     }
 }
@@ -96,13 +96,16 @@ impl WordSignal {
 
 #[derive(Debug)]
 struct SignalState {
-    name: String,
+    name: Box<str>,
     value: Value,
+    /// Set at build time when the signal is enabled for tracing; lets the
+    /// hot loop skip the trace-buffer call entirely for untraced signals.
+    traced: bool,
     watchers: Vec<ComponentId>,
 }
 
 struct ComponentSlot {
-    name: String,
+    name: Box<str>,
     comp: Option<Box<dyn Component>>,
 }
 
@@ -164,6 +167,15 @@ struct Inner {
     stop_requested: bool,
     events_fired: u64,
     wakes: u64,
+    /// Reusable wake-batch buffer (hoisted out of the delta loop so the
+    /// steady state allocates nothing per delta).
+    wake_scratch: Vec<(ComponentId, Wake)>,
+    /// Per-signal batch marks: `sig_mark[s] == batch_epoch` means signal
+    /// `s` already queued its watchers in the current delta batch, so a
+    /// second value change in the same batch must not queue them again
+    /// (the pending wakes observe the final value either way).
+    sig_mark: Vec<u64>,
+    batch_epoch: u64,
 }
 
 impl Inner {
@@ -246,9 +258,10 @@ impl<'a> Ctx<'a> {
 
     /// Wakes this component again after `delay` with `Wake::Timer(tag)`.
     pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
-        self.inner
-            .queue
-            .schedule(self.inner.now + delay, EventKind::Timer { comp: self.me, tag });
+        self.inner.queue.schedule(
+            self.inner.now + delay,
+            EventKind::Timer { comp: self.me, tag },
+        );
     }
 
     /// The kernel's seeded random-number generator.
@@ -299,8 +312,9 @@ impl SimBuilder {
     fn add_signal(&mut self, name: &str, value: Value) -> SignalId {
         let id = SignalId(u32::try_from(self.signals.len()).expect("too many signals"));
         self.signals.push(SignalState {
-            name: name.to_owned(),
+            name: name.into(),
             value,
+            traced: false,
             watchers: Vec::new(),
         });
         id
@@ -329,35 +343,65 @@ impl SimBuilder {
     /// Registers a component and returns a typed handle for later
     /// inspection with [`Simulator::get`].
     pub fn add_component<T: Component>(&mut self, name: &str, comp: T) -> Handle<T> {
-        let id = ComponentId::from_raw(u32::try_from(self.comps.len()).expect("too many components"));
+        let id =
+            ComponentId::from_raw(u32::try_from(self.comps.len()).expect("too many components"));
         self.comps.push(ComponentSlot {
-            name: name.to_owned(),
+            name: name.into(),
             comp: Some(Box::new(comp)),
         });
         Handle::new(id)
     }
 
     /// Makes `comp` sensitive to value changes on `sig`.
+    ///
+    /// Duplicate registrations are tolerated; they collapse into a single
+    /// sensitivity entry at [`build`](SimBuilder::build) time (insertion
+    /// order preserved), so structural netlist builders can register
+    /// freely without quadratic membership scans here.
     pub fn watch(&mut self, comp: ComponentId, sig: SignalId) {
-        let watchers = &mut self.signals[sig.index()].watchers;
-        if !watchers.contains(&comp) {
-            watchers.push(comp);
-        }
+        self.signals[sig.index()].watchers.push(comp);
     }
 
     /// Enables waveform tracing for a signal (records every change).
+    ///
+    /// Duplicate requests collapse at build time, like
+    /// [`watch`](SimBuilder::watch).
     pub fn trace(&mut self, sig: SignalId) {
-        if !self.traced.contains(&sig) {
-            self.traced.push(sig);
-        }
+        self.traced.push(sig);
     }
 
     /// Finishes construction. Components receive `Wake::Start` in
     /// registration order when the run loop first executes.
-    pub fn build(self) -> Simulator {
+    pub fn build(mut self) -> Simulator {
+        // Dedupe watcher lists in one pass, preserving first-occurrence
+        // order. Epoch marking avoids reallocating the seen-set per
+        // signal; component ids outside the arena (stale handles) are
+        // left as-is — `deliver` already ignores them.
+        let mut seen = vec![0u32; self.comps.len()];
+        for (i, st) in self.signals.iter_mut().enumerate() {
+            let epoch = i as u32 + 1;
+            st.watchers.retain(|c| match seen.get_mut(c.index()) {
+                Some(mark) if *mark == epoch => false,
+                Some(mark) => {
+                    *mark = epoch;
+                    true
+                }
+                None => true,
+            });
+        }
+        // Dedupe the traced list the same way.
+        let mut traced_seen = vec![false; self.signals.len()];
+        self.traced.retain(|s| {
+            let mark = &mut traced_seen[s.index()];
+            !std::mem::replace(mark, true)
+        });
+        let n_signals = self.signals.len();
         let mut trace = TraceBuffer::new();
         for sig in &self.traced {
-            trace.enable(*sig, self.signals[sig.index()].name.clone());
+            let st = &mut self.signals[sig.index()];
+            st.traced = true;
+            // Names are cloned only for traced signals.
+            trace.enable(*sig, st.name.clone());
         }
         // Record initial values of traced signals at t=0.
         for sig in &self.traced {
@@ -374,6 +418,9 @@ impl SimBuilder {
                 stop_requested: false,
                 events_fired: 0,
                 wakes: 0,
+                wake_scratch: Vec::new(),
+                sig_mark: vec![0; n_signals],
+                batch_epoch: 0,
             },
             started: false,
         }
@@ -441,7 +488,8 @@ impl Simulator {
         let slot = &self.comps[handle.id().index()];
         let comp = slot.comp.as_deref().expect("component is being woken");
         let any: &dyn Any = comp;
-        any.downcast_ref::<T>().expect("component handle type mismatch")
+        any.downcast_ref::<T>()
+            .expect("component handle type mismatch")
     }
 
     /// Mutable access to a component's state via its typed handle.
@@ -453,7 +501,8 @@ impl Simulator {
         let slot = &mut self.comps[handle.id().index()];
         let comp = slot.comp.as_deref_mut().expect("component is being woken");
         let any: &mut dyn Any = comp;
-        any.downcast_mut::<T>().expect("component handle type mismatch")
+        any.downcast_mut::<T>()
+            .expect("component handle type mismatch")
     }
 
     /// Externally drives a signal at the current time plus `delay`.
@@ -510,6 +559,9 @@ impl Simulator {
         let wakes_before = self.inner.wakes;
         let mut quiescent = false;
         let mut stopped = false;
+        // The wake batch is collected into a scratch buffer owned by the
+        // kernel, so the steady state allocates nothing per delta.
+        let mut wake_list = std::mem::take(&mut self.inner.wake_scratch);
         loop {
             if self.inner.stop_requested {
                 self.inner.stop_requested = false;
@@ -530,11 +582,14 @@ impl Simulator {
             while self.inner.queue.next_time() == Some(t) {
                 deltas += 1;
                 if deltas > MAX_DELTAS {
+                    self.inner.wake_scratch = wake_list;
                     return Err(SimError::CombinationalLoop { time: t });
                 }
                 // Collect the batch currently queued at `t`; wakes are
                 // delivered after the whole batch of value updates.
-                let mut wake_list: Vec<(ComponentId, Wake)> = Vec::new();
+                wake_list.clear();
+                self.inner.batch_epoch += 1;
+                let epoch = self.inner.batch_epoch;
                 while let Some(ev) = self.inner.queue.pop_at(t) {
                     self.inner.events_fired += 1;
                     match ev.kind {
@@ -542,9 +597,19 @@ impl Simulator {
                             let st = &mut self.inner.signals[sig.index()];
                             if st.value != value {
                                 st.value = value;
-                                self.inner.trace.record(t, sig, value);
-                                for w in &st.watchers {
-                                    wake_list.push((*w, Wake::Signal(sig)));
+                                if st.traced {
+                                    self.inner.trace.record(t, sig, value);
+                                }
+                                // If this signal already queued its
+                                // watchers in this batch, the pending
+                                // wakes will observe the final value —
+                                // don't queue duplicates.
+                                let mark = &mut self.inner.sig_mark[sig.index()];
+                                if *mark != epoch {
+                                    *mark = epoch;
+                                    for w in &st.watchers {
+                                        wake_list.push((*w, Wake::Signal(sig)));
+                                    }
                                 }
                             }
                         }
@@ -553,7 +618,7 @@ impl Simulator {
                         }
                     }
                 }
-                for (comp, cause) in wake_list {
+                for &(comp, cause) in &wake_list {
                     self.deliver(comp, cause);
                     if self.inner.stop_requested {
                         break;
@@ -564,6 +629,7 @@ impl Simulator {
                 }
             }
         }
+        self.inner.wake_scratch = wake_list;
         // When the run ends because nothing (more) happens before the
         // deadline, simulated time still passes up to the deadline. A run
         // halted by `Ctx::stop` keeps the stop instant as its end time.
@@ -592,12 +658,22 @@ impl Simulator {
     pub fn events_scheduled(&self) -> u64 {
         self.inner.queue.scheduled_total()
     }
+
+    /// Total events fired across every run segment so far.
+    pub fn events_fired(&self) -> u64 {
+        self.inner.events_fired
+    }
+
+    /// Total component wakes delivered across every run segment so far.
+    pub fn wakes_delivered(&self) -> u64 {
+        self.inner.wakes
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    
+
     use std::cell::RefCell;
     use std::rc::Rc;
 
@@ -707,7 +783,11 @@ mod tests {
         b.watch(c.id(), s.id());
         let mut sim = b.build();
         sim.run_until(SimTime::ZERO + SimDuration::ns(10)).unwrap();
-        assert_eq!(sim.get(c).rising, 1, "only the first drive changes the value");
+        assert_eq!(
+            sim.get(c).rising,
+            1,
+            "only the first drive changes the value"
+        );
     }
 
     #[test]
@@ -750,9 +830,115 @@ mod tests {
         let l = b.add_component("loop", Loop { a });
         b.watch(l.id(), a.id());
         let mut sim = b.build();
-        let err = sim.run_until(SimTime::ZERO + SimDuration::ns(1)).unwrap_err();
-        assert_eq!(err, SimError::CombinationalLoop { time: SimTime::ZERO });
+        let err = sim
+            .run_until(SimTime::ZERO + SimDuration::ns(1))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            SimError::CombinationalLoop {
+                time: SimTime::ZERO
+            }
+        );
         assert!(err.to_string().contains("combinational loop"));
+    }
+
+    #[test]
+    fn same_batch_double_change_wakes_watcher_once() {
+        // Two drives to the same signal in one batch: the watcher must be
+        // woken exactly once (it would observe the final value twice
+        // otherwise — pure overhead), and the value it reads is final.
+        struct Glitcher {
+            out: BitSignal,
+        }
+        impl Component for Glitcher {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                if matches!(cause, Wake::Start) {
+                    ctx.drive_bit(self.out, Bit::One, SimDuration::ns(1));
+                    ctx.drive_bit(self.out, Bit::Zero, SimDuration::ns(1));
+                    ctx.drive_bit(self.out, Bit::One, SimDuration::ns(1));
+                }
+            }
+        }
+        struct WakeCounter {
+            sig: BitSignal,
+            wakes: u32,
+            last: Bit,
+        }
+        impl Component for WakeCounter {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                if let Wake::Signal(_) = cause {
+                    self.wakes += 1;
+                    self.last = ctx.bit(self.sig);
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let s = b.add_bit_signal_init("s", Bit::Zero);
+        b.add_component("g", Glitcher { out: s });
+        let c = b.add_component(
+            "w",
+            WakeCounter {
+                sig: s,
+                wakes: 0,
+                last: Bit::X,
+            },
+        );
+        b.watch(c.id(), s.id());
+        let mut sim = b.build();
+        let summary = sim.run_until(SimTime::ZERO + SimDuration::ns(2)).unwrap();
+        assert_eq!(sim.get(c).wakes, 1, "batch-duplicate wakes must collapse");
+        assert_eq!(sim.get(c).last, Bit::One, "watcher sees the final value");
+        // The segment delivered exactly the one collapsed signal wake
+        // (Start wakes precede the summary window); cumulatively the
+        // kernel saw both Start wakes too.
+        assert_eq!(summary.wakes, 1);
+        assert_eq!(sim.wakes_delivered(), 3);
+    }
+
+    #[test]
+    fn duplicate_watch_registrations_collapse() {
+        struct WakeCounter {
+            wakes: u32,
+        }
+        impl Component for WakeCounter {
+            fn wake(&mut self, _ctx: &mut Ctx<'_>, cause: Wake) {
+                if let Wake::Signal(_) = cause {
+                    self.wakes += 1;
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let s = b.add_bit_signal_init("s", Bit::Zero);
+        let c = b.add_component("w", WakeCounter { wakes: 0 });
+        for _ in 0..5 {
+            b.watch(c.id(), s.id());
+        }
+        let mut sim = b.build();
+        sim.drive(s.id(), Value::from(true), SimDuration::ns(1));
+        sim.run_until(SimTime::ZERO + SimDuration::ns(2)).unwrap();
+        assert_eq!(sim.get(c).wakes, 1, "five registrations, one wake");
+    }
+
+    #[test]
+    fn cumulative_counters_accumulate_across_segments() {
+        let mut b = SimBuilder::new();
+        let clk = b.add_bit_signal_init("clk", Bit::Zero);
+        b.add_component(
+            "p",
+            Pulser {
+                out: clk,
+                period: SimDuration::ns(5),
+                count: 0,
+            },
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO + SimDuration::ns(20)).unwrap();
+        let fired_mid = sim.events_fired();
+        assert!(fired_mid > 0);
+        sim.run_until(SimTime::ZERO + SimDuration::ns(40)).unwrap();
+        assert!(sim.events_fired() > fired_mid);
+        assert!(sim.wakes_delivered() > 0);
+        assert!(sim.events_scheduled() >= sim.events_fired());
     }
 
     #[test]

@@ -55,7 +55,9 @@ pub mod trace;
 pub mod value;
 
 pub use component::{Component, ComponentId, Handle, Wake};
-pub use kernel::{BitSignal, Ctx, RunSummary, SimBuilder, SimError, SignalId, Simulator, WordSignal};
+pub use kernel::{
+    BitSignal, Ctx, RunSummary, SignalId, SimBuilder, SimError, Simulator, WordSignal,
+};
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceBuffer;
 pub use value::{Bit, Value};
@@ -64,7 +66,7 @@ pub use value::{Bit, Value};
 pub mod prelude {
     pub use crate::component::{Component, ComponentId, Handle, Wake};
     pub use crate::kernel::{
-        BitSignal, Ctx, RunSummary, SimBuilder, SimError, SignalId, Simulator, WordSignal,
+        BitSignal, Ctx, RunSummary, SignalId, SimBuilder, SimError, Simulator, WordSignal,
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::value::{Bit, Value};

@@ -154,7 +154,11 @@ impl AddAssign<SimDuration> for SimTime {
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
     fn sub(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.checked_sub(rhs.0).expect("simulation time underflow"))
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("simulation time underflow"),
+        )
     }
 }
 
@@ -252,7 +256,10 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::ns(5);
         assert_eq!(t.since(SimTime::ZERO), SimDuration::ns(5));
         assert_eq!((t - SimDuration::ns(2)).as_fs(), 3_000_000);
-        assert_eq!(t.saturating_since(t + SimDuration::ns(1)), SimDuration::ZERO);
+        assert_eq!(
+            t.saturating_since(t + SimDuration::ns(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -12,7 +12,11 @@ use std::fmt::Write as _;
 pub struct TraceBuffer {
     /// Per-signal change lists, each sorted by time (recording order).
     changes: BTreeMap<SignalId, Vec<(SimTime, Value)>>,
-    names: BTreeMap<SignalId, String>,
+    names: BTreeMap<SignalId, Box<str>>,
+    /// Bitset over signal indices: bit set ⇔ signal enabled for tracing.
+    /// Lets [`record`](TraceBuffer::record) reject untraced signals in
+    /// O(1) without walking the tree.
+    enabled: Vec<u64>,
 }
 
 impl TraceBuffer {
@@ -21,12 +25,28 @@ impl TraceBuffer {
         Self::default()
     }
 
-    pub(crate) fn enable(&mut self, sig: SignalId, name: String) {
+    fn is_enabled(&self, sig: SignalId) -> bool {
+        let i = sig.index();
+        self.enabled
+            .get(i / 64)
+            .is_some_and(|w| w >> (i % 64) & 1 == 1)
+    }
+
+    pub(crate) fn enable(&mut self, sig: SignalId, name: Box<str>) {
+        let i = sig.index();
+        if self.enabled.len() <= i / 64 {
+            self.enabled.resize(i / 64 + 1, 0);
+        }
+        self.enabled[i / 64] |= 1 << (i % 64);
         self.changes.entry(sig).or_default();
         self.names.insert(sig, name);
     }
 
     pub(crate) fn record(&mut self, time: SimTime, sig: SignalId, value: Value) {
+        // Untraced signals exit before the tree lookup.
+        if !self.is_enabled(sig) {
+            return;
+        }
         if let Some(list) = self.changes.get_mut(&sig) {
             // Within one timestamp only the final value matters.
             if let Some(last) = list.last_mut() {
@@ -51,7 +71,7 @@ impl TraceBuffer {
 
     /// The declared name of a traced signal.
     pub fn name(&self, sig: SignalId) -> Option<&str> {
-        self.names.get(&sig).map(String::as_str)
+        self.names.get(&sig).map(AsRef::as_ref)
     }
 
     /// The value a traced signal held at `time` (last change at or before).
@@ -99,7 +119,7 @@ impl TraceBuffer {
             .map(|(i, sig)| (*sig, idcode(i)))
             .collect();
         for (sig, code) in &ids {
-            let name = self.names.get(sig).map_or("unnamed", String::as_str);
+            let name = self.names.get(sig).map_or("unnamed", AsRef::as_ref);
             let sanitized: String = name
                 .chars()
                 .map(|c| if c.is_whitespace() { '_' } else { c })
@@ -155,12 +175,12 @@ impl TraceBuffer {
         let name_w = self
             .names
             .values()
-            .map(String::len)
+            .map(|n| n.len())
             .max()
             .unwrap_or(4)
             .max(4);
         for sig in self.changes.keys() {
-            let name = self.names.get(sig).map_or("?", String::as_str);
+            let name = self.names.get(sig).map_or("?", AsRef::as_ref);
             let _ = write!(out, "{name:>name_w$} ");
             let mut t = from;
             for _ in 0..cols {
@@ -168,9 +188,7 @@ impl TraceBuffer {
                     Some(Value::Bit(Bit::One)) => '█',
                     Some(Value::Bit(Bit::Zero)) => '_',
                     Some(Value::Bit(Bit::X)) | None => '·',
-                    Some(Value::Word(w)) => {
-                        char::from_digit((w % 16) as u32, 16).unwrap_or('?')
-                    }
+                    Some(Value::Word(w)) => char::from_digit((w % 16) as u32, 16).unwrap_or('?'),
                     Some(Value::WordX) => '·',
                 };
                 out.push(ch);
@@ -221,16 +239,28 @@ mod tests {
         // The initial X at t=0 collapses with the drive to 0 at t=0.
         assert_eq!(ch.len(), 3);
         assert_eq!(ch[0], (SimTime::ZERO, Value::Bit(Bit::Zero)));
-        assert_eq!(ch[1], (SimTime::ZERO + SimDuration::ns(2), Value::Bit(Bit::One)));
-        assert_eq!(ch[2], (SimTime::ZERO + SimDuration::ns(4), Value::Bit(Bit::Zero)));
+        assert_eq!(
+            ch[1],
+            (SimTime::ZERO + SimDuration::ns(2), Value::Bit(Bit::One))
+        );
+        assert_eq!(
+            ch[2],
+            (SimTime::ZERO + SimDuration::ns(4), Value::Bit(Bit::Zero))
+        );
     }
 
     #[test]
     fn value_at_interpolates() {
         let (sim, bs, ws) = traced_sim();
         let t = |n| SimTime::ZERO + SimDuration::ns(n);
-        assert_eq!(sim.trace().value_at(bs.id(), t(3)), Some(Value::Bit(Bit::One)));
-        assert_eq!(sim.trace().value_at(bs.id(), t(5)), Some(Value::Bit(Bit::Zero)));
+        assert_eq!(
+            sim.trace().value_at(bs.id(), t(3)),
+            Some(Value::Bit(Bit::One))
+        );
+        assert_eq!(
+            sim.trace().value_at(bs.id(), t(5)),
+            Some(Value::Bit(Bit::Zero))
+        );
         assert_eq!(sim.trace().value_at(ws.id(), t(2)), Some(Value::Word(0xAB)));
         assert_eq!(sim.trace().value_at(ws.id(), t(0)), Some(Value::WordX));
     }
@@ -260,7 +290,7 @@ mod tests {
         assert!(vcd.contains("$enddefinitions $end"));
         assert!(vcd.contains("#0"));
         assert!(vcd.contains("b10101011 ")); // 0xAB
-        // Strictly increasing timestamps.
+                                             // Strictly increasing timestamps.
         let stamps: Vec<u64> = vcd
             .lines()
             .filter_map(|l| l.strip_prefix('#'))

@@ -42,7 +42,11 @@ impl Lfsr {
     /// bijection).
     pub fn new(seed: u64, taps: u64, width: u32) -> Self {
         assert!((2..=64).contains(&width), "width 2-64");
-        let mask = if width == 64 { u64::MAX } else { (1 << width) - 1 };
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1 << width) - 1
+        };
         assert!(seed & mask != 0, "seed must be non-zero");
         assert!(taps & 1 == 1, "bit 0 must be tapped");
         Lfsr {
@@ -274,8 +278,22 @@ mod tests {
             NodeParams::new(4, 1),
             SimDuration::ns(30).percent(ring_pct),
         );
-        s.add_channel(eng, cut, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
-        s.add_channel(cut, eng, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
+        s.add_channel(
+            eng,
+            cut,
+            ring,
+            16,
+            4,
+            SimDuration::ps(300).percent(fifo_pct),
+        );
+        s.add_channel(
+            cut,
+            eng,
+            ring,
+            16,
+            4,
+            SimDuration::ps(300).percent(fifo_pct),
+        );
         matched_ring_recycles(&mut s, 0);
         s
     }
@@ -324,7 +342,10 @@ mod tests {
             .unwrap()
             .with_logic(eng, BistEngine::new(0xACE1, 64))
             // Fault: output bit 0 stuck at 1.
-            .with_logic(cut, PipeTransform::new(8, |w| (w ^ 0x5A5A).rotate_left(3) | 1))
+            .with_logic(
+                cut,
+                PipeTransform::new(8, |w| (w ^ 0x5A5A).rotate_left(3) | 1),
+            )
             .with_trace_limit(1)
             .build();
         let mut budget = 0;

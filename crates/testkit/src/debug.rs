@@ -193,9 +193,8 @@ impl TestAccess {
         let step = SimDuration::ns(200);
         while sys.now() < deadline {
             sys.run_for(step)?;
-            let done = (0..sys.spec().sbs.len()).all(|i| {
-                SbId(i) == self.test_sb || sys.cycles(SbId(i)) >= start[i] + cycles
-            });
+            let done = (0..sys.spec().sbs.len())
+                .all(|i| SbId(i) == self.test_sb || sys.cycles(SbId(i)) >= start[i] + cycles);
             if done {
                 break;
             }
@@ -216,7 +215,11 @@ impl TestAccess {
             .transact(Instruction::HoldReg, u64::from(params.hold));
         self.tap
             .transact(Instruction::RecycleReg, u64::from(params.recycle));
-        let hold = self.tap.registers().register(Instruction::HoldReg).update_value();
+        let hold = self
+            .tap
+            .registers()
+            .register(Instruction::HoldReg)
+            .update_value();
         let recycle = self
             .tap
             .registers()
@@ -348,7 +351,9 @@ mod tests {
         access.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
         let frozen = sys.cycles(SbId(1));
         access.resume(&mut sys);
-        let out = sys.run_until_cycles(frozen + 50, SimDuration::us(2000)).unwrap();
+        let out = sys
+            .run_until_cycles(frozen + 50, SimDuration::us(2000))
+            .unwrap();
         assert_eq!(out, RunOutcome::Reached);
     }
 
@@ -381,7 +386,8 @@ mod tests {
         let read = access.scan_state_word(counter);
         assert_eq!(read, counter);
         // Write modified state back in (deterministic injection).
-        sys.logic_mut::<MixerLogic>(SbId(1)).set_state(counter + 100, acc);
+        sys.logic_mut::<MixerLogic>(SbId(1))
+            .set_state(counter + 100, acc);
         assert_eq!(sys.logic::<MixerLogic>(SbId(1)).state().0, counter + 100);
     }
 
@@ -402,10 +408,7 @@ mod tests {
         let new = NodeParams::new(before.hold + 1, before.recycle + 2);
         access.write_node_params(&mut sys, SbId(0), RingId(0), new);
         assert_eq!(sys.node(SbId(0), RingId(0)).unwrap().params(), new);
-        assert!(access
-            .tap()
-            .update_log()
-            .contains(&Instruction::RecycleReg));
+        assert!(access.tap().update_log().contains(&Instruction::RecycleReg));
     }
 
     #[test]
@@ -413,8 +416,10 @@ mod tests {
         // Give beta a 6 ns critical path; sweep its period across it.
         let mut spec = e1_spec();
         spec.sbs[1].logic_delay = SimDuration::ns(6);
-        let periods: Vec<SimDuration> =
-            [4u64, 5, 6, 8, 10, 12].iter().map(|n| SimDuration::ns(*n)).collect();
+        let periods: Vec<SimDuration> = [4u64, 5, 6, 8, 10, 12]
+            .iter()
+            .map(|n| SimDuration::ns(*n))
+            .collect();
         let result = shmoo(&spec, SbId(1), &periods, 60, &|s, seed| {
             build_e1(s, seed, 60)
         });

@@ -252,7 +252,9 @@ mod tests {
         for v in [1u64, 2, 3, 0xFFFF] {
             tap.transact(Instruction::HoldReg, v);
             assert_eq!(
-                tap.registers().register(Instruction::HoldReg).update_value(),
+                tap.registers()
+                    .register(Instruction::HoldReg)
+                    .update_value(),
                 v & 0xFFFF
             );
         }

@@ -36,7 +36,10 @@ fn pipeline_spec(ring_pct: u64, fifo_pct: u64) -> SystemSpec {
     spec
 }
 
-fn run_corner(ring_pct: u64, fifo_pct: u64) -> Result<(u64, u64, Vec<u64>), Box<dyn std::error::Error>> {
+fn run_corner(
+    ring_pct: u64,
+    fifo_pct: u64,
+) -> Result<(u64, u64, Vec<u64>), Box<dyn std::error::Error>> {
     let spec = pipeline_spec(ring_pct, fifo_pct);
     let (src, flt, dac) = (SbId(0), SbId(1), SbId(2));
     let mut sys = SystemBuilder::new(spec)?
@@ -56,14 +59,24 @@ fn run_corner(ring_pct: u64, fifo_pct: u64) -> Result<(u64, u64, Vec<u64>), Box<
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", pipeline_spec(100, 100).describe());
-    let corners = [(100u64, 100u64), (50, 100), (200, 100), (100, 50), (100, 200), (200, 200)];
+    let corners = [
+        (100u64, 100u64),
+        (50, 100),
+        (200, 100),
+        (100, 50),
+        (100, 200),
+        (200, 200),
+    ];
     let nominal = run_corner(100, 100)?;
     println!(
         "nominal: dac received {} filtered samples, first 6 = {:?}",
         nominal.2.len(),
         &nominal.2[..6.min(nominal.2.len())]
     );
-    println!("\n{:>10} {:>10} | {:>18} {:>18} {:>7}", "ring %", "fifo %", "fir digest", "dac digest", "match");
+    println!(
+        "\n{:>10} {:>10} | {:>18} {:>18} {:>7}",
+        "ring %", "fifo %", "fir digest", "dac digest", "match"
+    );
     for (rp, fp) in corners {
         let got = run_corner(rp, fp)?;
         let same = got.0 == nominal.0 && got.1 == nominal.1 && got.2 == nominal.2;

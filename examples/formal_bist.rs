@@ -19,7 +19,11 @@ use synchro_tokens_repro::synchro_tokens::scenarios::matched_ring_recycles;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Part 1: exhaustive bounded verification -----------------------
     println!("bounded formal verification of ring determinism:");
-    for (ha, ra, hb, rb, init) in [(4u32, 6u32, 4u32, 6u32, 5u32), (2, 7, 5, 3, 2), (1, 1, 1, 1, 1)] {
+    for (ha, ra, hb, rb, init) in [
+        (4u32, 6u32, 4u32, 6u32, 5u32),
+        (2, 7, 5, 3, 2),
+        (1, 1, 1, 1, 1),
+    ] {
         let verdict = verify_ring_determinism(
             NodeParams::new(ha, ra),
             NodeParams::new(hb, rb),
@@ -43,8 +47,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             NodeParams::new(4, 1),
             SimDuration::ns(30).percent(ring_pct),
         );
-        s.add_channel(eng, cut, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
-        s.add_channel(cut, eng, ring, 16, 4, SimDuration::ps(300).percent(fifo_pct));
+        s.add_channel(
+            eng,
+            cut,
+            ring,
+            16,
+            4,
+            SimDuration::ps(300).percent(fifo_pct),
+        );
+        s.add_channel(
+            cut,
+            eng,
+            ring,
+            16,
+            4,
+            SimDuration::ps(300).percent(fifo_pct),
+        );
         matched_ring_recycles(&mut s, 0);
         let mut sys = SystemBuilder::new(s)
             .expect("bist spec")
@@ -59,11 +77,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let golden = run_bist(100, 100);
     println!("  golden signature (nominal delays): {golden:#010x}");
-    for (rp, fp) in [(50u64, 100u64), (200, 100), (100, 50), (100, 200), (75, 150)] {
+    for (rp, fp) in [
+        (50u64, 100u64),
+        (200, 100),
+        (100, 50),
+        (100, 200),
+        (75, 150),
+    ] {
         let sig = run_bist(rp, fp);
         println!(
             "  ring {rp:>3} %, fifo {fp:>3} %: {sig:#010x}  {}",
-            if sig == golden { "== golden" } else { "MISMATCH" }
+            if sig == golden {
+                "== golden"
+            } else {
+                "MISMATCH"
+            }
         );
         assert_eq!(sig, golden);
     }

@@ -56,7 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut spec = e1_spec();
     spec.sbs[2].logic_delay = SimDuration::ns(9); // gamma's critical path
     let periods: Vec<SimDuration> = (5..=14).map(SimDuration::ns).collect();
-    let result = shmoo(&spec, SbId(2), &periods, 60, &|s, seed| build_e1(s, seed, 60));
+    let result = shmoo(&spec, SbId(2), &periods, 60, &|s, seed| {
+        build_e1(s, seed, 60)
+    });
     println!("\nshmoo of gamma (injected 9 ns critical path):");
     for p in &result.points {
         println!(

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# CI gate: lint, format, build, test, and a release smoke run of the E1
+# determinism campaign with a reduced budget (60 synchro runs, 20 bypass
+# runs — seconds, not the paper-scale 16,200).
+#
+# Usage: scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all -- --check
+
+echo "== build (release) =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace -q
+
+echo "== E1 determinism smoke (reduced budget) =="
+cargo run --release -p st-bench --bin repro_determinism -- 60 20
+
+echo "CI OK"

@@ -18,18 +18,26 @@ fn breakpoint_scan_step_resume_round_trip() {
     // Scan out, mutate, scan back in.
     let (ctr, acc) = sys.logic::<MixerLogic>(SbId(2)).state();
     assert_eq!(tester.scan_state_word(ctr), ctr);
-    sys.logic_mut::<MixerLogic>(SbId(2)).set_state(ctr ^ 0xFF, acc);
+    sys.logic_mut::<MixerLogic>(SbId(2))
+        .set_state(ctr ^ 0xFF, acc);
     assert_eq!(sys.logic::<MixerLogic>(SbId(2)).state().0, ctr ^ 0xFF);
     sys.logic_mut::<MixerLogic>(SbId(2)).set_state(ctr, acc);
 
     // Step twice, then resume to full speed.
-    let s1 = tester.single_step(&mut sys, 2, SimDuration::us(200)).unwrap();
-    let s2 = tester.single_step(&mut sys, 2, SimDuration::us(200)).unwrap();
+    let s1 = tester
+        .single_step(&mut sys, 2, SimDuration::us(200))
+        .unwrap();
+    let s2 = tester
+        .single_step(&mut sys, 2, SimDuration::us(200))
+        .unwrap();
     assert!(s2.cycles[1] > s1.cycles[1]);
     tester.resume(&mut sys);
     let c_before = sys.cycles(SbId(1));
     sys.run_for(SimDuration::us(10)).unwrap();
-    assert!(sys.cycles(SbId(1)) > c_before + 100, "resume restores speed");
+    assert!(
+        sys.cycles(SbId(1)) > c_before + 100,
+        "resume restores speed"
+    );
 }
 
 #[test]
@@ -41,7 +49,9 @@ fn interlocked_data_exchange_is_deterministic_but_independent_is_not_guaranteed(
         sys.run_until_cycles(60, SimDuration::us(2000)).unwrap();
         let mut tester = TestAccess::new(SbId(0), 1);
         let b = tester.breakpoint(&mut sys, SimDuration::us(100)).unwrap();
-        let s = tester.single_step(&mut sys, 3, SimDuration::us(200)).unwrap();
+        let s = tester
+            .single_step(&mut sys, 3, SimDuration::us(200))
+            .unwrap();
         (b.cycles, s.cycles)
     };
     assert_eq!(session(), session());
@@ -65,7 +75,9 @@ fn shmoo_brackets_an_injected_critical_path_exactly() {
     let mut spec = e1_spec();
     spec.sbs[0].logic_delay = SimDuration::ns(7);
     let periods: Vec<SimDuration> = (5..=11).map(SimDuration::ns).collect();
-    let r = shmoo(&spec, SbId(0), &periods, 50, &|s, seed| build_e1(s, seed, 50));
+    let r = shmoo(&spec, SbId(0), &periods, 50, &|s, seed| {
+        build_e1(s, seed, 50)
+    });
     assert_eq!(r.min_passing_period(), Some(SimDuration::ns(7)));
     assert_eq!(r.max_failing_period(), Some(SimDuration::ns(6)));
 }

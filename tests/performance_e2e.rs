@@ -35,7 +35,10 @@ fn latencies_scale_linearly_with_h_for_both_disciplines() {
         let syn_ratio = s1.latency.as_fs() as f64 / s0.latency.as_fs() as f64;
         let stari_ratio = t1.latency.as_fs() as f64 / t0.latency.as_fs() as f64;
         assert!((1.2..2.8).contains(&syn_ratio), "synchro ratio {syn_ratio}");
-        assert!((1.2..2.8).contains(&stari_ratio), "stari ratio {stari_ratio}");
+        assert!(
+            (1.2..2.8).contains(&stari_ratio),
+            "stari ratio {stari_ratio}"
+        );
     }
 }
 
@@ -46,7 +49,10 @@ fn synchro_latency_model_brackets_measurement() {
     // upper bound of the same order.
     let p = measure_synchro(SimDuration::ns(10), SimDuration::ns(1), 4, 120);
     assert!(p.latency <= p.model_latency);
-    assert!(p.latency.as_fs() * 4 >= p.model_latency.as_fs(), "same order");
+    assert!(
+        p.latency.as_fs() * 4 >= p.model_latency.as_fs(),
+        "same order"
+    );
 }
 
 #[test]
