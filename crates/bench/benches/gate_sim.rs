@@ -1,0 +1,84 @@
+//! Gate-level simulation throughput on the synchro-token node circuit:
+//! the scalar interpreter, the compiled op tape driven as a single
+//! configuration, and the compiled tape with all 64 bit-parallel lanes
+//! carrying independent token schedules.
+//!
+//! Throughput is counted in **configuration-cycles** (simulated clock
+//! cycles × configurations evaluated per pass), so the per-element
+//! medians of `scalar_node` and `lanes64_node` are directly comparable:
+//! their ratio is the per-configuration speedup the compiled lane
+//! engine buys for sweep workloads like `gate_equiv`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use st_cells::{build_node_circuit, CompiledCircuit, LANES};
+use std::hint::black_box;
+
+const CYCLES: usize = 1_000;
+
+/// Per-cycle token-pulse masks: lane `L` gets its own sparse schedule,
+/// so the 64-lane pass genuinely simulates 64 distinct configurations.
+fn pulse_masks() -> Vec<u64> {
+    (0..CYCLES)
+        .map(|cycle| {
+            let mut mask = 0u64;
+            for lane in 0..LANES {
+                if (cycle + lane) % (7 + lane % 5) == 0 {
+                    mask |= 1 << lane;
+                }
+            }
+            mask
+        })
+        .collect()
+}
+
+fn bench_gate_sim(c: &mut Criterion) {
+    let nc = build_node_circuit(8, 4, 6, true, 6);
+    let cc = CompiledCircuit::compile(&nc.circuit);
+    let masks = pulse_masks();
+
+    let mut g = c.benchmark_group("gate_sim");
+
+    // Scalar interpreter: one configuration per pass (lane 0's schedule).
+    g.throughput(Throughput::Elements(CYCLES as u64));
+    g.bench_function("scalar_node", |b| {
+        b.iter(|| {
+            let mut st = nc.circuit.reset_state();
+            for mask in &masks {
+                nc.circuit.set_input(&mut st, nc.token_pulse, mask & 1 == 1);
+                nc.circuit.clock_edge(&mut st);
+            }
+            black_box(nc.circuit.value(&st, nc.sbena))
+        })
+    });
+
+    // Compiled tape, still counted as one configuration: isolates the
+    // flat-tape win from the lane-parallel win.
+    g.bench_function("compiled_node", |b| {
+        b.iter(|| {
+            let mut st = cc.reset_state();
+            for mask in &masks {
+                cc.drive(&mut st, nc.token_pulse, if mask & 1 == 1 { !0 } else { 0 });
+                cc.clock_edge(&mut st);
+            }
+            black_box(cc.value(&st, nc.sbena))
+        })
+    });
+
+    // Same tape, 64 independent configurations per pass.
+    g.throughput(Throughput::Elements((CYCLES * LANES) as u64));
+    g.bench_function("lanes64_node", |b| {
+        b.iter(|| {
+            let mut st = cc.reset_state();
+            for mask in &masks {
+                cc.drive(&mut st, nc.token_pulse, *mask);
+                cc.clock_edge(&mut st);
+            }
+            black_box(cc.value(&st, nc.sbena))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_gate_sim);
+criterion_main!(benches);

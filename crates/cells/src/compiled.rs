@@ -1,0 +1,491 @@
+//! Compiled 64-lane bit-parallel gate-level simulation.
+//!
+//! [`Circuit`]'s interpreter walks a `Vec<Gate>` of heap-allocated input
+//! lists and branches per gate per input — fine for building circuits,
+//! slow for sweeping them. [`CompiledCircuit`] lowers a built circuit
+//! into a flat tape of fixed-arity ops (opcode plus dense operand
+//! indices, construction/topological order preserved) evaluated over a
+//! `Vec<u64>` where **each of the 64 bits of a word is an independent
+//! simulation lane**: one pass over the tape advances 64 stimulus
+//! configurations at once, with no per-gate heap indirection and no
+//! branch per input. This is the classic SIMD-within-a-word batching of
+//! compiled logic simulators, applied to the paper's gate-level wrapper
+//! models so equivalence sweeps and shmoo-style campaigns scale.
+//!
+//! Stateful cells (C-elements, transparent latches) read their own
+//! output slot, exactly like the interpreter; flops sample two-phase on
+//! [`CompiledCircuit::clock_edge`]. Because the tape preserves the
+//! interpreter's evaluation order and per-cell semantics bit-for-bit,
+//! lane *k* of a compiled run is cycle-accurate against a scalar
+//! interpreter run fed the same stimulus — asserted by the differential
+//! proptests in `tests/compiled_props.rs`.
+//!
+//! # Example
+//!
+//! ```
+//! use st_cells::compiled::CompiledCircuit;
+//! use st_cells::{Cell, Circuit};
+//!
+//! let mut c = Circuit::new("toggle");
+//! let q = c.flop_placeholder(false);
+//! let nq = c.gate(Cell::Inv, &[q]);
+//! c.bind_flop(q, nq, None);
+//! let cc = CompiledCircuit::compile(&c);
+//! let mut st = cc.reset_state();
+//! assert_eq!(cc.value(&st, q), 0, "all 64 lanes reset low");
+//! cc.clock_edge(&mut st);
+//! assert_eq!(cc.value(&st, q), u64::MAX, "all 64 lanes toggled high");
+//! ```
+
+use crate::library::Cell;
+use crate::structural::{Circuit, Net};
+
+/// Number of independent simulation lanes per state word.
+pub const LANES: usize = 64;
+
+/// Fixed-arity word-wide opcode. Unused operand slots alias operand `a`
+/// so every op loads exactly three words — no branch per input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+enum OpKind {
+    Inv,
+    Buf,
+    Nand2,
+    Nor2,
+    And2,
+    Or2,
+    Xor2,
+    Xnor2,
+    /// Two-input Muller C-element; state lives in its output slot.
+    CElem,
+    /// Transparent latch, operands (enable, d); holds its output slot
+    /// while opaque.
+    DLatch,
+    /// 2:1 mux, operands (sel, a, b).
+    Mux2,
+    Aoi21,
+    Oai21,
+}
+
+/// One tape entry: opcode plus dense operand/output word indices.
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    kind: OpKind,
+    a: u32,
+    b: u32,
+    c: u32,
+    out: u32,
+}
+
+/// A compiled flop: output word, data word, enable word (`u32::MAX` =
+/// always enabled) and a per-lane reset mask (all lanes share the reset
+/// value, so it is `0` or `!0`).
+#[derive(Debug, Clone, Copy)]
+struct CFlop {
+    q: u32,
+    d: u32,
+    enable: u32,
+    reset: u64,
+}
+
+const NO_ENABLE: u32 = u32::MAX;
+
+/// 64-lane state for a [`CompiledCircuit`]: one `u64` per net, bit *k*
+/// of each word is lane *k*'s value of that net.
+///
+/// Raw lane accessors here do **not** re-settle the circuit; they exist
+/// for loading stimulus and probing. Use
+/// [`CompiledCircuit::drive`]/[`CompiledCircuit::drive_many`] for the
+/// checked drive-and-settle path.
+#[derive(Debug, Clone)]
+pub struct LaneState {
+    words: Vec<u64>,
+    /// Flop-sample scratch, kept here so `clock_edge` never allocates.
+    scratch: Vec<u64>,
+}
+
+impl LaneState {
+    /// The raw 64-lane word of a net.
+    pub fn word(&self, net: Net) -> u64 {
+        self.words[net.0]
+    }
+
+    /// Overwrites the raw 64-lane word of a net (no settle, no input
+    /// check — stimulus loading only).
+    pub fn set_word(&mut self, net: Net, word: u64) {
+        self.words[net.0] = word;
+    }
+
+    /// Reads one lane of a net.
+    pub fn lane(&self, net: Net, lane: usize) -> bool {
+        assert!(lane < LANES, "lane {lane} out of range");
+        (self.words[net.0] >> lane) & 1 == 1
+    }
+
+    /// Sets one lane of a net (no settle, no input check).
+    pub fn set_lane(&mut self, net: Net, lane: usize, value: bool) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        let bit = 1u64 << lane;
+        if value {
+            self.words[net.0] |= bit;
+        } else {
+            self.words[net.0] &= !bit;
+        }
+    }
+
+    /// Extracts one lane as a scalar state vector, directly comparable
+    /// with the interpreter's `Vec<bool>` state.
+    pub fn extract_lane(&self, lane: usize) -> Vec<bool> {
+        assert!(lane < LANES, "lane {lane} out of range");
+        self.words.iter().map(|w| (w >> lane) & 1 == 1).collect()
+    }
+
+    /// Loads a scalar state vector (e.g. the interpreter's) into one
+    /// lane of every net.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalar` has the wrong net count.
+    pub fn load_lane(&mut self, lane: usize, scalar: &[bool]) {
+        assert!(lane < LANES, "lane {lane} out of range");
+        assert_eq!(scalar.len(), self.words.len(), "net count mismatch");
+        let bit = 1u64 << lane;
+        for (w, &v) in self.words.iter_mut().zip(scalar) {
+            if v {
+                *w |= bit;
+            } else {
+                *w &= !bit;
+            }
+        }
+    }
+}
+
+/// A [`Circuit`] lowered to a flat op tape evaluated 64 lanes at a time.
+#[derive(Debug, Clone)]
+pub struct CompiledCircuit {
+    name: String,
+    net_count: usize,
+    ops: Vec<Op>,
+    flops: Vec<CFlop>,
+    /// Tie-offs as (word index, lane mask) — `0` or `!0`.
+    constants: Vec<(u32, u64)>,
+    is_input: Vec<bool>,
+}
+
+impl CompiledCircuit {
+    /// Lowers a built circuit into the op tape, preserving the
+    /// interpreter's (topological) evaluation order.
+    pub fn compile(circuit: &Circuit) -> Self {
+        let net_count = circuit.net_count();
+        let idx = |n: Net| u32::try_from(n.0).expect("net index fits u32");
+        let ops = circuit
+            .gates
+            .iter()
+            .map(|g| {
+                let a = idx(g.inputs[0]);
+                let b = g.inputs.get(1).copied().map_or(a, idx);
+                let c = g.inputs.get(2).copied().map_or(a, idx);
+                let kind = match g.kind {
+                    Cell::Inv => OpKind::Inv,
+                    Cell::TriBuf => OpKind::Buf,
+                    Cell::Nand2 => OpKind::Nand2,
+                    Cell::Nor2 => OpKind::Nor2,
+                    Cell::And2 => OpKind::And2,
+                    Cell::Or2 => OpKind::Or2,
+                    Cell::Xor2 => OpKind::Xor2,
+                    Cell::Xnor2 => OpKind::Xnor2,
+                    Cell::CElement => OpKind::CElem,
+                    Cell::DLatch => OpKind::DLatch,
+                    Cell::Mux2 => OpKind::Mux2,
+                    Cell::Aoi21 => OpKind::Aoi21,
+                    Cell::Oai21 => OpKind::Oai21,
+                    other => unreachable!("{other} rejected at construction"),
+                };
+                Op {
+                    kind,
+                    a,
+                    b,
+                    c,
+                    out: idx(g.output),
+                }
+            })
+            .collect();
+        let flops = circuit
+            .flops
+            .iter()
+            .map(|f| CFlop {
+                q: idx(f.q),
+                d: idx(f.d),
+                enable: f.enable.map_or(NO_ENABLE, idx),
+                reset: if f.reset { !0 } else { 0 },
+            })
+            .collect();
+        let constants = circuit
+            .constants
+            .iter()
+            .map(|&(n, v)| (idx(n), if v { !0 } else { 0 }))
+            .collect();
+        CompiledCircuit {
+            name: circuit.name().to_owned(),
+            net_count,
+            ops,
+            flops,
+            constants,
+            is_input: (0..net_count).map(|i| circuit.is_input(Net(i))).collect(),
+        }
+    }
+
+    /// The source circuit's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of nets (state words).
+    pub fn net_count(&self) -> usize {
+        self.net_count
+    }
+
+    /// Number of ops on the tape (= gates in the source circuit).
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// A 64-lane state with every lane at reset: inputs low, constants
+    /// applied, flops at their reset values, combinational logic
+    /// settled.
+    pub fn reset_state(&self) -> LaneState {
+        let mut st = LaneState {
+            words: vec![0; self.net_count],
+            scratch: Vec::with_capacity(self.flops.len()),
+        };
+        for &(n, mask) in &self.constants {
+            st.words[n as usize] = mask;
+        }
+        for f in &self.flops {
+            st.words[f.q as usize] = f.reset;
+        }
+        self.settle(&mut st);
+        st
+    }
+
+    /// The 64-lane word of a net (bit *k* = lane *k*).
+    pub fn value(&self, st: &LaneState, net: Net) -> u64 {
+        st.words[net.0]
+    }
+
+    /// One lane of a net.
+    pub fn value_lane(&self, st: &LaneState, net: Net, lane: usize) -> bool {
+        st.lane(net, lane)
+    }
+
+    /// Drives a primary input's 64 lanes from a mask and re-settles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is not a primary input.
+    pub fn drive(&self, st: &mut LaneState, net: Net, lanes: u64) {
+        assert!(self.is_input[net.0], "{net} is not a primary input");
+        st.words[net.0] = lanes;
+        self.settle(st);
+    }
+
+    /// Drives several primary inputs and settles once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net is not a primary input.
+    pub fn drive_many(&self, st: &mut LaneState, assignments: &[(Net, u64)]) {
+        for &(net, lanes) in assignments {
+            assert!(self.is_input[net.0], "{net} is not a primary input");
+            st.words[net.0] = lanes;
+        }
+        self.settle(st);
+    }
+
+    /// Evaluates the whole tape once, word-wide, in tape order.
+    pub fn settle(&self, st: &mut LaneState) {
+        let w = &mut st.words[..];
+        for op in &self.ops {
+            let a = w[op.a as usize];
+            let b = w[op.b as usize];
+            let c = w[op.c as usize];
+            let out = op.out as usize;
+            w[out] = match op.kind {
+                OpKind::Inv => !a,
+                OpKind::Buf => a,
+                OpKind::Nand2 => !(a & b),
+                OpKind::Nor2 => !(a | b),
+                OpKind::And2 => a & b,
+                OpKind::Or2 => a | b,
+                OpKind::Xor2 => a ^ b,
+                OpKind::Xnor2 => !(a ^ b),
+                OpKind::CElem => {
+                    // Per lane: a == b chooses a, else holds.
+                    let agree = !(a ^ b);
+                    (a & agree) | (w[out] & !agree)
+                }
+                OpKind::DLatch => (a & b) | (!a & w[out]),
+                OpKind::Mux2 => (a & b) | (!a & c),
+                OpKind::Aoi21 => !((a & b) | c),
+                OpKind::Oai21 => !((a | b) & c),
+            };
+        }
+    }
+
+    /// One rising clock edge in every lane: all (enabled) flops sample
+    /// their D two-phase, then the tape settles.
+    pub fn clock_edge(&self, st: &mut LaneState) {
+        st.scratch.clear();
+        for f in &self.flops {
+            let d = st.words[f.d as usize];
+            let q = st.words[f.q as usize];
+            let en = if f.enable == NO_ENABLE {
+                !0
+            } else {
+                st.words[f.enable as usize]
+            };
+            st.scratch.push((d & en) | (q & !en));
+        }
+        for (f, &v) in self.flops.iter().zip(&st.scratch) {
+            st.words[f.q as usize] = v;
+        }
+        self.settle(st);
+    }
+
+    /// True when every net agrees across all 64 lanes — the invariant a
+    /// lane-replicated stimulus must preserve.
+    pub fn all_lanes_equal(&self, st: &LaneState) -> bool {
+        st.words.iter().all(|&w| w == 0 || w == !0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Input-lane packing for exhaustive sweeps: input `i` of lane `L`
+    /// carries bit `(L >> i) & 1`, so 64 lanes enumerate all values of
+    /// up to 6 inputs in one pass.
+    fn sweep_mask(input_index: usize) -> u64 {
+        (0..LANES)
+            .map(|lane| (((lane >> input_index) as u64) & 1) << lane)
+            .sum()
+    }
+
+    #[test]
+    fn combinational_lanes_sweep_exhaustively() {
+        let mut c = Circuit::new("comb");
+        let a = c.input("a");
+        let b = c.input("b");
+        let nand = c.gate(Cell::Nand2, &[a, b]);
+        let xor = c.gate(Cell::Xor2, &[a, b]);
+        let aoi = c.gate(Cell::Aoi21, &[a, b, xor]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        cc.drive_many(&mut st, &[(a, sweep_mask(0)), (b, sweep_mask(1))]);
+        for lane in 0..4 {
+            let (va, vb) = (lane & 1 == 1, lane & 2 == 2);
+            assert_eq!(st.lane(nand, lane), !(va && vb), "lane {lane} nand");
+            assert_eq!(st.lane(xor, lane), va ^ vb, "lane {lane} xor");
+            assert_eq!(
+                st.lane(aoi, lane),
+                !((va && vb) || (va ^ vb)),
+                "lane {lane} aoi"
+            );
+        }
+    }
+
+    #[test]
+    fn c_element_holds_per_lane() {
+        let mut c = Circuit::new("celem");
+        let a = c.input("a");
+        let b = c.input("b");
+        let y = c.gate(Cell::CElement, &[a, b]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        // Lane 0: both rise. Lane 1: only a rises (holds low).
+        cc.drive_many(&mut st, &[(a, 0b11), (b, 0b01)]);
+        assert_eq!(cc.value(&st, y) & 0b11, 0b01);
+        // Both drop a; lane 0 holds high at mismatch.
+        cc.drive_many(&mut st, &[(a, 0b00), (b, 0b01)]);
+        assert_eq!(cc.value(&st, y) & 0b11, 0b01, "lane 0 holds");
+        cc.drive(&mut st, b, 0);
+        assert_eq!(cc.value(&st, y) & 0b11, 0b00, "clears when both low");
+    }
+
+    #[test]
+    fn latch_transparency_per_lane() {
+        let mut c = Circuit::new("latch");
+        let en = c.input("en");
+        let d = c.input("d");
+        let q = c.gate(Cell::DLatch, &[en, d]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        cc.drive_many(&mut st, &[(en, 0b01), (d, 0b11)]);
+        assert_eq!(cc.value(&st, q) & 0b11, 0b01, "only open lane follows");
+        cc.drive_many(&mut st, &[(en, 0b00), (d, 0b00)]);
+        assert_eq!(cc.value(&st, q) & 0b11, 0b01, "opaque lanes hold");
+    }
+
+    #[test]
+    fn flop_enable_and_reset_lanes() {
+        let mut c = Circuit::new("dffe");
+        let d = c.input("d");
+        let en = c.input("en");
+        let q = c.flop_placeholder(true);
+        c.bind_flop(q, d, Some(en));
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        assert_eq!(cc.value(&st, q), !0, "reset high in every lane");
+        // Lanes 0..32 enabled, all D low.
+        cc.drive_many(&mut st, &[(d, 0), (en, 0xFFFF_FFFF)]);
+        cc.clock_edge(&mut st);
+        assert_eq!(cc.value(&st, q), !0u64 << 32, "only enabled lanes sample");
+    }
+
+    #[test]
+    fn constants_and_lane_state_helpers() {
+        let mut c = Circuit::new("consts");
+        let a = c.input("a");
+        let one = c.constant(true);
+        let y = c.gate(Cell::And2, &[a, one]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        assert_eq!(cc.value(&st, one), !0);
+        st.set_lane(a, 5, true);
+        cc.settle(&mut st);
+        assert!(st.lane(y, 5));
+        assert!(!st.lane(y, 4));
+        let scalar = st.extract_lane(5);
+        assert!(scalar[y.0]);
+        let mut st2 = cc.reset_state();
+        st2.load_lane(9, &scalar);
+        assert!(st2.lane(a, 9));
+        assert_eq!(st2.extract_lane(9), scalar);
+    }
+
+    #[test]
+    fn all_lanes_equal_detects_divergence() {
+        let mut c = Circuit::new("div");
+        let a = c.input("a");
+        let _ = c.gate(Cell::Inv, &[a]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        assert!(cc.all_lanes_equal(&st));
+        cc.drive(&mut st, a, 1);
+        assert!(!cc.all_lanes_equal(&st));
+        cc.drive(&mut st, a, !0);
+        assert!(cc.all_lanes_equal(&st));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a primary input")]
+    fn drive_rejects_non_inputs() {
+        let mut c = Circuit::new("bad");
+        let a = c.input("a");
+        let y = c.gate(Cell::Inv, &[a]);
+        let cc = CompiledCircuit::compile(&c);
+        let mut st = cc.reset_state();
+        cc.drive(&mut st, y, 1);
+    }
+}

@@ -13,6 +13,9 @@
 //! * [`structural`] / [`node_circuit`] — *wired* gate-level circuits
 //!   with cycle-accurate evaluation, including a complete gate-level
 //!   node checked against the behavioural FSM,
+//! * [`compiled`] — the same circuits lowered to a flat op tape and
+//!   evaluated 64 bit-parallel lanes at a time (one word bit per
+//!   independent stimulus configuration),
 //! * [`Table1`] — the fitted per-component area models.
 //!
 //! ## Example
@@ -29,6 +32,7 @@
 //! ```
 
 pub mod area;
+pub mod compiled;
 pub mod library;
 pub mod netlist;
 pub mod node_circuit;
@@ -37,6 +41,7 @@ pub mod wrapper_circuits;
 pub mod wrappers;
 
 pub use area::{LinearModel, Table1};
+pub use compiled::{CompiledCircuit, LaneState, LANES};
 pub use library::{average_two_input_transistors, Cell};
 pub use netlist::Netlist;
 pub use node_circuit::{build_node_circuit, NodeCircuit};

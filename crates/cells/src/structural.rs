@@ -18,7 +18,7 @@ use std::fmt;
 
 /// A net (single-bit wire) in a [`Circuit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Net(usize);
+pub struct Net(pub(crate) usize);
 
 impl fmt::Display for Net {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -27,19 +27,19 @@ impl fmt::Display for Net {
 }
 
 #[derive(Debug, Clone)]
-struct Gate {
-    kind: Cell,
-    inputs: Vec<Net>,
-    output: Net,
+pub(crate) struct Gate {
+    pub(crate) kind: Cell,
+    pub(crate) inputs: Vec<Net>,
+    pub(crate) output: Net,
 }
 
 #[derive(Debug, Clone)]
-struct Flop {
-    d: Net,
-    q: Net,
-    reset: bool,
+pub(crate) struct Flop {
+    pub(crate) d: Net,
+    pub(crate) q: Net,
+    pub(crate) reset: bool,
     /// Optional clock-enable net (DFFE).
-    enable: Option<Net>,
+    pub(crate) enable: Option<Net>,
 }
 
 /// A wired gate-level circuit with primary inputs, combinational gates
@@ -67,13 +67,16 @@ pub struct Circuit {
     name: String,
     net_names: Vec<String>,
     inputs: Vec<Net>,
-    gates: Vec<Gate>,
-    flops: Vec<Flop>,
+    /// Input-membership bitset indexed by net id — O(1) primary-input
+    /// checks in the per-cycle drive path.
+    is_input: Vec<bool>,
+    pub(crate) gates: Vec<Gate>,
+    pub(crate) flops: Vec<Flop>,
     /// For each net: Some(gate index) if driven by a gate, None if a
     /// primary input or flop output.
     driven_by_gate: Vec<Option<usize>>,
     /// Tie-off nets with fixed values (register straps, ROM bits).
-    constants: Vec<(Net, bool)>,
+    pub(crate) constants: Vec<(Net, bool)>,
 }
 
 impl Circuit {
@@ -94,6 +97,7 @@ impl Circuit {
         let id = Net(self.net_names.len());
         self.net_names.push(name);
         self.driven_by_gate.push(None);
+        self.is_input.push(false);
         id
     }
 
@@ -101,7 +105,18 @@ impl Circuit {
     pub fn input(&mut self, name: &str) -> Net {
         let n = self.new_net(name.to_owned());
         self.inputs.push(n);
+        self.is_input[n.0] = true;
         n
+    }
+
+    /// True if `net` is a primary input.
+    pub fn is_input(&self, net: Net) -> bool {
+        self.is_input[net.0]
+    }
+
+    /// The primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[Net] {
+        &self.inputs
     }
 
     /// Declares a tie-off net with a fixed value (how the hold/recycle
@@ -244,8 +259,24 @@ impl Circuit {
     ///
     /// Panics if `net` is not a primary input.
     pub fn set_input(&self, state: &mut [bool], net: Net, value: bool) {
-        assert!(self.inputs.contains(&net), "{net} is not a primary input");
+        assert!(self.is_input[net.0], "{net} is not a primary input");
         state[net.0] = value;
+        self.settle(state);
+    }
+
+    /// Drives several primary inputs at once and settles the
+    /// combinational logic a single time — the per-cycle stimulus path
+    /// for multi-input testbenches (one settle per cycle instead of one
+    /// per driven bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any net is not a primary input.
+    pub fn set_inputs(&self, state: &mut [bool], assignments: &[(Net, bool)]) {
+        for &(net, value) in assignments {
+            assert!(self.is_input[net.0], "{net} is not a primary input");
+            state[net.0] = value;
+        }
         self.settle(state);
     }
 

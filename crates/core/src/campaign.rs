@@ -26,12 +26,21 @@ use std::thread;
 /// Resolves the worker-thread count for campaign runners.
 ///
 /// `ST_THREADS` (a positive integer) overrides the machine's available
-/// parallelism; anything unparsable falls back to it.
+/// parallelism. An unparsable or zero value falls back to available
+/// parallelism, with a one-time stderr warning naming the rejected
+/// value — a silently ignored knob is worse than a noisy one.
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("ST_THREADS") {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
+        match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: ignoring ST_THREADS={v:?} (want a positive integer); \
+                         falling back to available parallelism"
+                    );
+                });
             }
         }
     }

@@ -5,11 +5,29 @@
 //! This closes the loop the paper leaves implicit: the same node that
 //! the area model counts gates for (Table 1) provably implements the
 //! state machine the simulator runs (Figure 2).
+//!
+//! Two lockstep drivers share the checking logic:
+//! * [`lockstep`] walks the scalar interpreter one configuration at a
+//!   time (the four deterministic corner tests);
+//! * [`lockstep_lanes`] runs the compiled bit-parallel engine with **64
+//!   independent adversarial token-delay schedules, one per lane**, so
+//!   each random sweep case now covers 64 configurations for roughly
+//!   the cost the scalar driver paid for one.
 
 use proptest::prelude::*;
 use st_cells::build_node_circuit;
+use st_cells::compiled::{CompiledCircuit, LANES};
 use synchro_tokens::node::{NodeFsm, NodePhase, TokenAction};
 use synchro_tokens::spec::NodeParams;
+
+fn make_fsm(hold: u32, recycle: u32, start_holding: bool, initial: u32) -> NodeFsm {
+    let params = NodeParams::new(hold, recycle);
+    if start_holding {
+        NodeFsm::new_holder(params)
+    } else {
+        NodeFsm::new_waiter(params, initial)
+    }
+}
 
 /// Runs `cycles` lockstep steps; token delivery delays are drawn from
 /// `delays` (cycles after each pass; capped so the ring keeps moving).
@@ -21,12 +39,7 @@ fn lockstep(
     delays: &[u8],
     cycles: u32,
 ) {
-    let params = NodeParams::new(hold, recycle);
-    let mut fsm = if start_holding {
-        NodeFsm::new_holder(params)
-    } else {
-        NodeFsm::new_waiter(params, initial)
-    };
+    let mut fsm = make_fsm(hold, recycle, start_holding, initial);
     let nc = build_node_circuit(8, hold, recycle, start_holding, initial);
     let mut st = nc.circuit.reset_state();
 
@@ -54,7 +67,7 @@ fn lockstep(
                 in_flight = Some(d - 1);
             }
         }
-        nc.circuit.set_input(&mut st, nc.token_pulse, pulse);
+        nc.circuit.set_inputs(&mut st, &[(nc.token_pulse, pulse)]);
 
         // Pre-edge observables.
         let fsm_enabled = fsm.interfaces_enabled();
@@ -103,6 +116,119 @@ fn lockstep(
     }
 }
 
+/// 64-lane lockstep: one compiled circuit pass per cycle checks 64
+/// behavioural FSM copies, each fed its own adversarial delay schedule
+/// from `lane_delays` (empty schedules behave like always-immediate).
+fn lockstep_lanes(
+    hold: u32,
+    recycle: u32,
+    start_holding: bool,
+    initial: u32,
+    lane_delays: &[Vec<u8>],
+    cycles: u32,
+) {
+    let lanes = lane_delays.len().min(LANES);
+    assert!(lanes >= 1, "need at least one lane schedule");
+    let next_delay = |lane: usize, pos: &mut usize| -> u8 {
+        let seq = &lane_delays[lane];
+        if seq.is_empty() {
+            return 0;
+        }
+        let d = seq[*pos % seq.len()];
+        *pos += 1;
+        d
+    };
+
+    let mut fsms: Vec<NodeFsm> = (0..lanes)
+        .map(|_| make_fsm(hold, recycle, start_holding, initial))
+        .collect();
+    let nc = build_node_circuit(8, hold, recycle, start_holding, initial);
+    let cc = CompiledCircuit::compile(&nc.circuit);
+    let mut st = cc.reset_state();
+
+    let mut delay_pos = vec![0usize; lanes];
+    let mut in_flight: Vec<Option<u8>> = (0..lanes)
+        .map(|lane| (!start_holding).then(|| next_delay(lane, &mut delay_pos[lane])))
+        .collect();
+
+    for cycle in 0..cycles {
+        let mut pulse_mask = 0u64;
+        for lane in 0..lanes {
+            if let Some(d) = in_flight[lane] {
+                if d == 0 || fsms[lane].phase() == NodePhase::Stopped {
+                    pulse_mask |= 1 << lane;
+                    in_flight[lane] = None;
+                    let _ = fsms[lane].token_arrived();
+                } else {
+                    in_flight[lane] = Some(d - 1);
+                }
+            }
+        }
+        cc.drive(&mut st, nc.token_pulse, pulse_mask);
+
+        // Pre-edge observables, all lanes from single word reads.
+        let sbena = cc.value(&st, nc.sbena);
+        let pass = cc.value(&st, nc.pass);
+        let stop = cc.value(&st, nc.will_stop);
+        for (lane, fsm) in fsms.iter().enumerate() {
+            assert_eq!(
+                fsm.interfaces_enabled(),
+                (sbena >> lane) & 1 == 1,
+                "cycle {cycle} lane {lane}: sbena mismatch"
+            );
+        }
+
+        cc.clock_edge(&mut st);
+        for (lane, fsm) in fsms.iter_mut().enumerate() {
+            let action = fsm.on_posedge();
+            assert_eq!(
+                action.pass_token,
+                (pass >> lane) & 1 == 1,
+                "cycle {cycle} lane {lane}: pass mismatch"
+            );
+            assert_eq!(
+                action.stop_clock,
+                (stop >> lane) & 1 == 1,
+                "cycle {cycle} lane {lane}: stop mismatch"
+            );
+            if action.pass_token {
+                assert!(in_flight[lane].is_none(), "single token per ring");
+                in_flight[lane] = Some(next_delay(lane, &mut delay_pos[lane]));
+            }
+        }
+
+        // Post-edge state equivalence: decode the phase exactly as the
+        // scalar driver does — sbena with the pulse still applied OR'd
+        // with sbena after clearing it.
+        let sbena_pulsed = cc.value(&st, nc.sbena);
+        cc.drive(&mut st, nc.token_pulse, 0);
+        let holding = sbena_pulsed | cc.value(&st, nc.sbena);
+        let clken = cc.value(&st, nc.clken);
+        for (lane, fsm) in fsms.iter().enumerate() {
+            let gate_phase = match ((clken >> lane) & 1 == 1, (holding >> lane) & 1 == 1) {
+                (false, _) => NodePhase::Stopped,
+                (true, true) => NodePhase::Holding,
+                (true, false) => NodePhase::Recycling,
+            };
+            assert_eq!(
+                fsm.phase(),
+                gate_phase,
+                "cycle {cycle} lane {lane}: phase mismatch"
+            );
+            assert_eq!(
+                fsm.hold_ctr(),
+                nc.counter_value_lane(&st, &nc.hold_bits, lane),
+                "cycle {cycle} lane {lane}: hold counter mismatch"
+            );
+            assert_eq!(
+                fsm.recycle_ctr(),
+                nc.counter_value_lane(&st, &nc.recycle_bits, lane),
+                "cycle {cycle} lane {lane}: recycle counter mismatch"
+            );
+        }
+    }
+}
+
 #[test]
 fn holder_equivalence_nominal_timing() {
     lockstep(4, 6, true, 6, &[2], 80);
@@ -125,19 +251,42 @@ fn equivalence_with_immediate_tokens() {
     lockstep(1, 1, true, 1, &[0], 60);
 }
 
+/// The compiled driver is checked against the same corners the scalar
+/// driver covers, with the corner schedule in lane 0 and progressively
+/// shifted schedules in the remaining lanes.
+#[test]
+fn lane_equivalence_covers_the_scalar_corners() {
+    for (hold, recycle, start, initial, base) in [
+        (4u32, 6u32, true, 6u32, 2u8),
+        (3, 5, false, 4, 1),
+        (2, 2, true, 2, 9),
+        (1, 1, true, 1, 0),
+    ] {
+        let schedules: Vec<Vec<u8>> = (0..LANES)
+            .map(|lane| vec![base.saturating_add((lane % 5) as u8)])
+            .collect();
+        lockstep_lanes(hold, recycle, start, initial, &schedules, 80);
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
 
     /// The gate-level node and the behavioural FSM agree cycle-for-cycle
-    /// for random parameters and random adversarial token timing.
+    /// for random parameters and random adversarial token timing —
+    /// 64 independent delay schedules per case via the compiled lanes,
+    /// so each case covers 64 configurations.
     #[test]
     fn gate_level_node_equals_behavioural_fsm(
         hold in 1u32..10,
         recycle in 1u32..12,
         start_holding in any::<bool>(),
         initial in 1u32..12,
-        delays in proptest::collection::vec(0u8..14, 1..8),
+        lane_delays in proptest::collection::vec(
+            proptest::collection::vec(0u8..14, 1..8),
+            64,
+        ),
     ) {
-        lockstep(hold, recycle, start_holding, initial, &delays, 120);
+        lockstep_lanes(hold, recycle, start_holding, initial, &lane_delays, 120);
     }
 }

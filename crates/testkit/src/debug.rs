@@ -255,12 +255,18 @@ impl TestAccess {
 /// period scaling *until* the SB's modelled critical path is violated,
 /// so the pass/fail edge locates the critical path, exactly as §4.2
 /// promises.
+///
+/// The points are independent single-threaded simulations, so after the
+/// golden run they fan out across
+/// [`run_jobs`](synchro_tokens::campaign::run_jobs) worker threads
+/// (`ST_THREADS` applies); results merge in sweep order, keeping the
+/// [`ShmooResult`] byte-identical at any thread count.
 pub fn shmoo(
     spec: &SystemSpec,
     sb: SbId,
     periods: &[SimDuration],
     cycles: u64,
-    build: &dyn Fn(SystemSpec, u64) -> System,
+    build: &(dyn Fn(SystemSpec, u64) -> System + Sync),
 ) -> ShmooResult {
     let golden: Vec<u64> = {
         let mut sys = build(spec.clone(), 0);
@@ -270,8 +276,8 @@ pub fn shmoo(
             .map(|i| sys.io_trace(SbId(i)).digest())
             .collect()
     };
-    let mut points = Vec::new();
-    for &period in periods {
+    let threads = synchro_tokens::campaign::default_threads();
+    let points = synchro_tokens::campaign::run_jobs(periods, threads, |_, &period| {
         let mut s = spec.clone();
         s.sbs[sb.0].period = period;
         let mut sys = build(s, 0);
@@ -282,12 +288,12 @@ pub fn shmoo(
         let digests: Vec<u64> = (0..spec.sbs.len())
             .map(|i| sys.io_trace(SbId(i)).digest())
             .collect();
-        points.push(ShmooPoint {
+        ShmooPoint {
             period,
             pass: completed && digests == golden,
             violations: sys.timing_violations(sb),
-        });
-    }
+        }
+    });
     ShmooResult { points }
 }
 
@@ -433,5 +439,27 @@ mod tests {
         }
         assert_eq!(result.min_passing_period(), Some(SimDuration::ns(6)));
         assert_eq!(result.max_failing_period(), Some(SimDuration::ns(5)));
+    }
+
+    #[test]
+    fn shmoo_is_repeatable_across_parallel_runs() {
+        // The points fan across run_jobs worker threads (default count:
+        // one per core on this machine); the merged result must be
+        // byte-identical on every invocation regardless of completion
+        // interleaving.
+        let mut spec = e1_spec();
+        spec.sbs[1].logic_delay = SimDuration::ns(6);
+        let periods: Vec<SimDuration> = [4u64, 5, 6, 7, 8, 9, 10, 11, 12]
+            .iter()
+            .map(|n| SimDuration::ns(*n))
+            .collect();
+        let sweep = || {
+            shmoo(&spec, SbId(1), &periods, 60, &|s, seed| {
+                build_e1(s, seed, 60)
+            })
+        };
+        let first = sweep();
+        assert_eq!(first, sweep(), "shmoo result must be deterministic");
+        assert_eq!(first.points.len(), periods.len());
     }
 }

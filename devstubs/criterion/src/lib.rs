@@ -1,0 +1,139 @@
+//! Offline dev stub for `criterion`: really measures (monotonic clock,
+//! warmup + sampled batches, median ns/iter) and writes
+//! `target/criterion/<id>/new/estimates.json` in the upstream layout so
+//! `scripts/bench_snapshot.sh` parses either implementation's output.
+//! See devstubs/README.md.
+
+use std::fs;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (reported as a rate next to the median).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-iteration timer handed to `bench_function` closures.
+pub struct Bencher {
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: ~0.5 s warmup, then 15 sampled batches sized to
+    /// ~50 ms each; records the median per-iteration time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let warmup_end = Instant::now() + Duration::from_millis(500);
+        let mut warm_iters = 0u64;
+        let mut warm_spent = Duration::ZERO;
+        while Instant::now() < warmup_end {
+            let t0 = Instant::now();
+            black_box(routine());
+            warm_spent += t0.elapsed();
+            warm_iters += 1;
+        }
+        let per_iter = warm_spent.as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((0.05 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+        let mut samples: Vec<f64> = (0..15)
+            .map(|_| {
+                let t0 = Instant::now();
+                for _ in 0..batch {
+                    black_box(routine());
+                }
+                t0.elapsed().as_secs_f64() * 1e9 / batch as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn target_criterion_dir() -> Option<PathBuf> {
+    let exe = std::env::current_exe().ok()?;
+    let target = exe.ancestors().find(|p| p.ends_with("target"))?;
+    Some(target.join("criterion"))
+}
+
+fn record(id: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
+            format!("  ({:.2} M elem/s)", n as f64 / median_ns * 1e3)
+        }
+        None => String::new(),
+    };
+    println!("{id:<40} median {median_ns:>12.1} ns/iter{rate}");
+    if let Some(dir) = target_criterion_dir() {
+        let out = dir.join(id).join("new");
+        if fs::create_dir_all(&out).is_ok() {
+            let json = format!(
+                "{{\"median\":{{\"point_estimate\":{median_ns}}},\"mean\":{{\"point_estimate\":{median_ns}}}}}"
+            );
+            let _ = fs::write(out.join("estimates.json"), json);
+        }
+    }
+}
+
+/// Top-level bench context.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        record(id, b.median_ns, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group; benches land under `<group>/<id>` like upstream.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { median_ns: 0.0 };
+        f(&mut b);
+        record(&format!("{}/{id}", self.name), b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,11 @@
+//! Offline dev stub for `serde`: trait names only, with inert derives.
+//! See devstubs/README.md.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker-only stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker-only stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

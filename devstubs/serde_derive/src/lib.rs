@@ -1,0 +1,15 @@
+//! Offline dev stub for `serde_derive`: the derives expand to nothing,
+//! and `#[serde(...)]` helper attributes become inert. Nothing in this
+//! workspace serializes at runtime — the derives only need to parse.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

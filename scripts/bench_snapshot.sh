@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Benchmark snapshot: runs the criterion benches and collects every
+# median ns/iter from target/criterion/**/new/estimates.json into a
+# committed BENCH_<n>.json, so perf trajectories survive in git history.
+#
+# Usage: scripts/bench_snapshot.sh <n> [bench-name ...]
+#   <n>          snapshot index (BENCH_<n>.json at the repo root)
+#   bench-name   optional criterion bench targets (default: gate_sim kernel)
+#
+# Works against real criterion and the devstubs shim alike — both write
+# estimates.json with a median.point_estimate field.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: scripts/bench_snapshot.sh <n> [bench-name ...]" >&2
+    exit 2
+fi
+n="$1"
+shift
+benches=("$@")
+if [[ ${#benches[@]} -eq 0 ]]; then
+    benches=(gate_sim kernel)
+fi
+
+for b in "${benches[@]}"; do
+    echo "== cargo bench: $b =="
+    cargo bench -p st-bench --bench "$b"
+done
+
+out="BENCH_${n}.json"
+{
+    echo "{"
+    echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+    echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"median_ns_per_iter\": {"
+    first=1
+    # Sorted for a stable diff between snapshots.
+    while IFS= read -r est; do
+        id="${est#target/criterion/}"
+        id="${id%/new/estimates.json}"
+        median=$(sed -n 's/.*"median":{"point_estimate":\([0-9.eE+-]*\).*/\1/p' "$est")
+        [[ -z "$median" ]] && continue
+        [[ $first -eq 0 ]] && echo ","
+        first=0
+        printf '    "%s": %s' "$id" "$median"
+    done < <(find target/criterion -name estimates.json -path '*/new/*' | sort)
+    echo ""
+    echo "  }"
+    echo "}"
+} >"$out"
+echo "wrote $out"

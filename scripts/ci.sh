@@ -19,6 +19,9 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== benches compile =="
+cargo bench --workspace --no-run
+
 echo "== E1 determinism smoke (reduced budget) =="
 cargo run --release -p st-bench --bin repro_determinism -- 60 20
 
