@@ -1,0 +1,61 @@
+//! Quick command-line profiler for the system backends — a coarse
+//! wall-clock companion to the `system_sim` criterion bench, handy for
+//! perf/flamegraph runs. Mode is picked by substring of the first arg:
+//! `event` selects the event backend (default compiled), `dense` the
+//! bidirectional ping-pong (default one-way pair), `idle` drops the
+//! logic so only clocks and tokens run.
+
+use st_sim::prelude::*;
+use synchro_tokens::prelude::*;
+use synchro_tokens::scenarios::{build_pingpong_backend, pingpong_spec, producer_consumer_spec};
+
+fn build_pair(backend: Backend) -> AnySystem {
+    SystemBuilder::new(producer_consumer_spec())
+        .expect("valid spec")
+        .with_logic(SbId(0), SequenceSource::new(100, 1))
+        .with_logic(SbId(1), SinkCollect::new())
+        .with_trace_limit(100)
+        .build_backend(backend)
+}
+
+fn build_idle(spec: SystemSpec, backend: Backend) -> AnySystem {
+    SystemBuilder::new(spec)
+        .expect("valid spec")
+        .with_trace_limit(100)
+        .build_backend(backend)
+}
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    let idle = arg.contains("idle");
+    let dense = arg.contains("dense");
+    let backend = if arg.contains("event") {
+        Backend::Event
+    } else {
+        Backend::Compiled
+    };
+    let build = || match (dense, idle) {
+        (true, true) => build_idle(pingpong_spec(), backend),
+        (true, false) => build_pingpong_backend(100, backend),
+        (false, true) => build_idle(producer_consumer_spec(), backend),
+        (false, false) => build_pair(backend),
+    };
+    let t0 = std::time::Instant::now();
+    let mut total = 0u64;
+    for _ in 0..2000 {
+        let mut sys = build();
+        sys.run_until_cycles(2000, SimDuration::us(3000)).unwrap();
+        total += sys.cycles(SbId(0));
+    }
+    let el = t0.elapsed();
+    println!(
+        "{backend:?}: {total} cycles in {el:?} ({:.1} ns/SB-cycle)",
+        el.as_nanos() as f64 / (2.0 * total as f64)
+    );
+    let t1 = std::time::Instant::now();
+    for _ in 0..2000 {
+        let sys = build();
+        std::hint::black_box(&sys);
+    }
+    println!("build only: {:?}/2000", t1.elapsed());
+}

@@ -20,7 +20,8 @@
 //! available parallelism.
 
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::thread;
 
 /// Resolves the worker-thread count for campaign runners.
@@ -58,10 +59,15 @@ pub fn default_threads() -> usize {
 ///
 /// # Panics
 ///
-/// Propagates a panic from any worker thread.
+/// A panicking worker aborts the campaign: remaining workers stop
+/// claiming jobs, and the panic is re-raised on the calling thread
+/// annotated with the failing job's index and `Debug` rendering (which
+/// for campaign jobs carries the configuration/seed that crashed). When
+/// several workers panic concurrently, the lowest failing job index is
+/// reported, so the message is deterministic.
 pub fn run_jobs<T, R, F>(jobs: &[T], threads: usize, worker: F) -> Vec<R>
 where
-    T: Sync,
+    T: Sync + fmt::Debug,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
@@ -70,33 +76,57 @@ where
         return jobs
             .iter()
             .enumerate()
-            .map(|(i, job)| worker(i, job))
+            .map(
+                |(i, job)| match catch_unwind(AssertUnwindSafe(|| worker(i, job))) {
+                    Ok(r) => r,
+                    Err(payload) => rethrow(i, job, payload),
+                },
+            )
             .collect();
     }
     let cursor = AtomicUsize::new(0);
-    let buckets: Vec<Vec<(usize, R)>> = thread::scope(|s| {
+    let failed = AtomicBool::new(false);
+    type Fail = (usize, Box<dyn std::any::Any + Send>);
+    let buckets: Vec<Result<Vec<(usize, R)>, Fail>> = thread::scope(|s| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 s.spawn(|| {
                     let mut out = Vec::new();
                     loop {
+                        if failed.load(Ordering::Relaxed) {
+                            break;
+                        }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= jobs.len() {
                             break;
                         }
-                        out.push((i, worker(i, &jobs[i])));
+                        match catch_unwind(AssertUnwindSafe(|| worker(i, &jobs[i]))) {
+                            Ok(r) => out.push((i, r)),
+                            Err(payload) => {
+                                failed.store(true, Ordering::Relaxed);
+                                return Err((i, payload));
+                            }
+                        }
                     }
-                    out
+                    Ok(out)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("campaign worker panicked"))
+            .map(|h| h.join().expect("campaign worker thread died outside a job"))
             .collect()
     });
+    if failed.load(Ordering::Relaxed) {
+        let (i, payload) = buckets
+            .into_iter()
+            .filter_map(Result::err)
+            .min_by_key(|(i, _)| *i)
+            .expect("a failure was flagged");
+        rethrow(i, &jobs[i], payload);
+    }
     let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-    for (i, r) in buckets.into_iter().flatten() {
+    for (i, r) in buckets.into_iter().flatten().flatten() {
         debug_assert!(slots[i].is_none(), "job {i} executed twice");
         slots[i] = Some(r);
     }
@@ -104,6 +134,26 @@ where
         .into_iter()
         .map(|o| o.expect("every job executed exactly once"))
         .collect()
+}
+
+/// Re-raises a caught worker panic annotated with the failing job. A
+/// string payload is folded into the new message; any other payload is
+/// resumed as-is after printing the job context to stderr (so the
+/// original typed payload — e.g. from `panic_any` — is preserved for
+/// callers that downcast it).
+fn rethrow<T: fmt::Debug>(i: usize, job: &T, payload: Box<dyn std::any::Any + Send>) -> ! {
+    let msg = payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .map(str::to_owned)
+        .or_else(|| payload.downcast_ref::<String>().cloned());
+    match msg {
+        Some(m) => panic!("campaign worker panicked on job {i} ({job:?}): {m}"),
+        None => {
+            eprintln!("campaign worker panicked on job {i} ({job:?}) with a non-string payload");
+            resume_unwind(payload)
+        }
+    }
 }
 
 /// Wall-clock and kernel-throughput counters for a completed campaign.
@@ -177,6 +227,34 @@ mod tests {
         let empty: Vec<u32> = Vec::new();
         assert!(run_jobs(&empty, 4, |_, x| *x).is_empty());
         assert_eq!(run_jobs(&[9u32], 4, |i, x| (i, *x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn worker_panic_reports_failing_job() {
+        // The panic must carry the job's index and identity (the
+        // config/seed in a real campaign), at every thread count.
+        let jobs: Vec<u64> = (0..20).map(|i| 0x5EED ^ i).collect();
+        for threads in [1, 4] {
+            let jobs = &jobs;
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                run_jobs(jobs, threads, |i, j: &u64| {
+                    if i == 13 {
+                        panic!("bad seed {j:#x}");
+                    }
+                    *j
+                })
+            }))
+            .expect_err("the worker panic must propagate");
+            let msg = caught
+                .downcast_ref::<String>()
+                .expect("annotated panics carry a String payload");
+            assert!(msg.contains("job 13"), "{threads} threads: {msg}");
+            assert!(msg.contains("bad seed"), "{threads} threads: {msg}");
+            assert!(
+                msg.contains(&format!("{:?}", jobs[13])),
+                "{threads} threads: {msg}"
+            );
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! making the report byte-identical to the sequential runner.
 
 use crate::campaign::{run_jobs, CampaignStats};
+use crate::compiled_system::AnySystem;
 use crate::spec::{SbId, SystemSpec};
 use crate::system::{RunOutcome, System};
 use rand::rngs::SmallRng;
@@ -222,6 +223,12 @@ impl fmt::Display for CampaignResult {
 /// function; each call still builds a fully independent [`System`].
 pub type BuildFn<'a> = dyn Fn(SystemSpec, u64) -> System + Sync + 'a;
 
+/// Backend-polymorphic build function: returns an [`AnySystem`], so a
+/// campaign can run on the compiled fast path (see
+/// [`crate::scenarios::build_e1_backend`]). [`BuildFn`] campaigns are
+/// forwarded through this with the event backend.
+pub type AnyBuildFn<'a> = dyn Fn(SystemSpec, u64) -> AnySystem + Sync + 'a;
+
 /// Enumerates the campaign's configuration list in canonical order:
 /// exhaustive one-factor-at-a-time corners first, then seeded random
 /// multi-factor configurations, `cfg.runs` entries in total.
@@ -263,7 +270,7 @@ fn run_one(
     base: &SystemSpec,
     config: &DelayConfig,
     cfg: &CampaignConfig,
-    build: &BuildFn<'_>,
+    build: &AnyBuildFn<'_>,
     nominal: &[crate::iotrace::SbIoTrace],
 ) -> (RunComparison, u64, u64) {
     let spec = config.apply(base);
@@ -287,7 +294,7 @@ fn run_one(
         divergences,
         completed,
     };
-    (cmp, sys.sim().events_fired(), sys.sim().wakes_delivered())
+    (cmp, sys.events_fired(), sys.wakes_delivered())
 }
 
 /// Runs the full campaign sequentially: nominal reference, exhaustive
@@ -316,6 +323,21 @@ pub fn run_campaign_threads(
     build: &BuildFn<'_>,
     threads: usize,
 ) -> (CampaignResult, CampaignStats) {
+    run_campaign_threads_any(base, cfg, &|s, seed| build(s, seed).into(), threads)
+}
+
+/// Backend-polymorphic variant of [`run_campaign_threads`]: the build
+/// function chooses the engine per run (typically
+/// `SystemBuilder::build_backend` with a fixed [`crate::Backend`]).
+/// Because both backends are byte-identical, the [`CampaignResult`] is
+/// independent of the backend choice — only the wall-clock in
+/// [`CampaignStats`] changes.
+pub fn run_campaign_threads_any(
+    base: &SystemSpec,
+    cfg: &CampaignConfig,
+    build: &AnyBuildFn<'_>,
+    threads: usize,
+) -> (CampaignResult, CampaignStats) {
     let started = std::time::Instant::now();
 
     // Reference run.
@@ -334,8 +356,8 @@ pub fn run_campaign_threads(
     let nominal: Vec<_> = (0..base.sbs.len())
         .map(|i| nominal_sys.io_trace(SbId(i)).clone())
         .collect();
-    let mut events_fired = nominal_sys.sim().events_fired();
-    let mut wakes = nominal_sys.sim().wakes_delivered();
+    let mut events_fired = nominal_sys.events_fired();
+    let mut wakes = nominal_sys.wakes_delivered();
     drop(nominal_sys);
 
     let configs = enumerate_configs(base, cfg);

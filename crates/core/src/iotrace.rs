@@ -46,6 +46,12 @@ impl SbIoTrace {
         }
     }
 
+    /// True when the limit is reached and further rows would be dropped
+    /// (lets callers skip assembling rows that cannot be recorded).
+    pub fn is_full(&self) -> bool {
+        self.limit != 0 && self.rows.len() >= self.limit
+    }
+
     /// The recorded rows.
     pub fn rows(&self) -> &[TraceRow] {
         &self.rows

@@ -36,7 +36,10 @@
 //!   `std::thread::scope` job fan-out whose canonical-order merge keeps
 //!   reports byte-identical to sequential runs,
 //! * [`scenarios`] — the canonical systems used across tests, examples
-//!   and benches (including the paper's 3-SB / 6-FIFO test case).
+//!   and benches (including the paper's 3-SB / 6-FIFO test case),
+//! * [`compiled_system`] — the compiled fast-path backend: a built
+//!   system lowered once to a flat typed-event engine, byte-identical
+//!   to the event kernel and roughly an order of magnitude faster.
 //!
 //! ## Example
 //!
@@ -64,6 +67,7 @@
 //! ```
 
 pub mod campaign;
+pub mod compiled_system;
 pub mod deadlock;
 pub mod determinism;
 pub mod formal;
@@ -77,6 +81,7 @@ pub mod system;
 pub mod wrapper;
 
 pub use campaign::{default_threads, run_jobs, CampaignStats};
+pub use compiled_system::{AnySystem, Backend, CompiledSystem};
 pub use iotrace::{SbIoTrace, TraceRow};
 pub use logic::{
     IdleLogic, PackingSource, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,
@@ -90,6 +95,7 @@ pub use wrapper::WrapperMode;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::campaign::{default_threads, run_jobs, CampaignStats};
+    pub use crate::compiled_system::{AnySystem, Backend, CompiledSystem};
     pub use crate::iotrace::SbIoTrace;
     pub use crate::logic::{
         IdleLogic, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,

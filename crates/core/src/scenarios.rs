@@ -21,6 +21,36 @@ pub fn producer_consumer_spec() -> SystemSpec {
     s
 }
 
+/// A bidirectional two-SB ping-pong: one token ring carrying a channel
+/// in each direction, with high interface duty (hold 12 of a 26-cycle
+/// rotation, short ring wires) so words bounce between the SBs on most
+/// enabled cycles. This is the dense counterpart to
+/// [`producer_consumer_spec`] — the workload a chip-level test session
+/// sustains once the token schedule is warmed up — and the reference
+/// workload of the `system_sim` benchmark.
+pub fn pingpong_spec() -> SystemSpec {
+    let mut s = SystemSpec::default();
+    let a = s.add_sb("ping", SimDuration::ns(10));
+    let b = s.add_sb("pong", SimDuration::ns(10));
+    let r = s.add_ring(a, b, NodeParams::new(12, 14), SimDuration::ns(2));
+    s.add_channel(a, b, r, 16, 16, SimDuration::ns(1));
+    s.add_channel(b, a, r, 16, 16, SimDuration::ns(1));
+    s
+}
+
+/// Builds the [`pingpong_spec`] workload behind a chosen backend: a
+/// sequence source on `ping`, an echo pipe on `pong`, words flowing
+/// both ways.
+pub fn build_pingpong_backend(trace_cycles: usize, backend: crate::Backend) -> crate::AnySystem {
+    use crate::logic::{PipeTransform, SequenceSource};
+    SystemBuilder::new(pingpong_spec())
+        .expect("ping-pong spec is valid")
+        .with_logic(SbId(0), SequenceSource::new(100, 1))
+        .with_logic(SbId(1), PipeTransform::new(64, |w| w.wrapping_add(1)))
+        .with_trace_limit(trace_cycles)
+        .build_backend(backend)
+}
+
 /// The §5 validation platform: three SBs with pairwise token rings and
 /// six FIFO channels (one per direction per pair). Local clock periods
 /// are deliberately unequal (10/12/14 ns). Recycle registers are the
@@ -217,6 +247,21 @@ impl SyncLogic for MixerLogic {
 /// Builds the E1 system (synchro-tokens mode) over `spec` with mixers on
 /// every SB.
 pub fn build_e1(spec: SystemSpec, seed: u64, trace_cycles: usize) -> System {
+    e1_builder(spec, seed, trace_cycles).build()
+}
+
+/// Builds the E1 system behind a chosen backend (see
+/// [`crate::Backend`]); behaviourally identical to [`build_e1`].
+pub fn build_e1_backend(
+    spec: SystemSpec,
+    seed: u64,
+    trace_cycles: usize,
+    backend: crate::Backend,
+) -> crate::AnySystem {
+    e1_builder(spec, seed, trace_cycles).build_backend(backend)
+}
+
+fn e1_builder(spec: SystemSpec, seed: u64, trace_cycles: usize) -> SystemBuilder {
     let n = spec.sbs.len();
     let mut builder = SystemBuilder::new(spec)
         .expect("E1 spec is valid")
@@ -225,7 +270,7 @@ pub fn build_e1(spec: SystemSpec, seed: u64, trace_cycles: usize) -> System {
     for i in 0..n {
         builder = builder.with_logic(SbId(i), MixerLogic::new(0x1000 * i as u64));
     }
-    builder.build()
+    builder
 }
 
 /// Builds the E1 system in nondeterministic bypass mode.

@@ -25,12 +25,12 @@ use std::collections::BTreeMap;
 ///
 /// See the crate-level documentation for a complete two-SB example.
 pub struct SystemBuilder {
-    spec: SystemSpec,
-    logics: BTreeMap<usize, Box<dyn SyncLogic>>,
-    seed: u64,
-    trace_limit: usize,
-    mode: WrapperMode,
-    observe_nodes: bool,
+    pub(crate) spec: SystemSpec,
+    pub(crate) logics: BTreeMap<usize, Box<dyn SyncLogic>>,
+    pub(crate) seed: u64,
+    pub(crate) trace_limit: usize,
+    pub(crate) mode: WrapperMode,
+    pub(crate) observe_nodes: bool,
 }
 
 impl std::fmt::Debug for SystemBuilder {

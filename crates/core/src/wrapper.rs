@@ -29,7 +29,7 @@ use std::any::Any;
 
 /// Delay from driving bundled data to toggling the matching request, and
 /// from reading a head word to toggling the acknowledge.
-const BUNDLE_DELAY: SimDuration = SimDuration::fs(1000);
+pub(crate) const BUNDLE_DELAY: SimDuration = SimDuration::fs(1000);
 
 /// Placeholder word recorded when bypass mode reads a bus that is not
 /// actually carrying valid data (a metastability ghost read).

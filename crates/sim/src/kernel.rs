@@ -176,6 +176,10 @@ struct Inner {
     /// (the pending wakes observe the final value either way).
     sig_mark: Vec<u64>,
     batch_epoch: u64,
+    /// True when at least one signal is traced. Hoisted out of the drive
+    /// hot path: the common no-tracing run skips the per-signal `traced`
+    /// check on every value change.
+    any_traced: bool,
 }
 
 impl Inner {
@@ -186,6 +190,39 @@ impl Inner {
     fn schedule_drive(&mut self, sig: SignalId, value: Value, delay: SimDuration) {
         self.queue
             .schedule(self.now + delay, EventKind::Drive { sig, value });
+    }
+
+    /// Applies one drive event: updates the signal, records the trace
+    /// (only when `any_traced`, pre-checked once per run instead of per
+    /// drive) and queues the watchers once per signal per batch.
+    #[inline]
+    fn apply_drive(
+        &mut self,
+        t: SimTime,
+        sig: SignalId,
+        value: Value,
+        epoch: u64,
+        any_traced: bool,
+        wake_list: &mut Vec<(ComponentId, Wake)>,
+    ) {
+        let st = &mut self.signals[sig.index()];
+        if st.value == value {
+            return;
+        }
+        st.value = value;
+        if any_traced && st.traced {
+            self.trace.record(t, sig, value);
+        }
+        // If this signal already queued its watchers in this batch, the
+        // pending wakes will observe the final value — don't queue
+        // duplicates.
+        let mark = &mut self.sig_mark[sig.index()];
+        if *mark != epoch {
+            *mark = epoch;
+            for w in &st.watchers {
+                wake_list.push((*w, Wake::Signal(sig)));
+            }
+        }
     }
 }
 
@@ -421,6 +458,7 @@ impl SimBuilder {
                 wake_scratch: Vec::new(),
                 sig_mark: vec![0; n_signals],
                 batch_epoch: 0,
+                any_traced: !self.traced.is_empty(),
             },
             started: false,
         }
@@ -562,6 +600,8 @@ impl Simulator {
         // The wake batch is collected into a scratch buffer owned by the
         // kernel, so the steady state allocates nothing per delta.
         let mut wake_list = std::mem::take(&mut self.inner.wake_scratch);
+        // Hoisted: whether tracing can ever apply this run.
+        let any_traced = self.inner.any_traced;
         loop {
             if self.inner.stop_requested {
                 self.inner.stop_requested = false;
@@ -594,24 +634,14 @@ impl Simulator {
                     self.inner.events_fired += 1;
                     match ev.kind {
                         EventKind::Drive { sig, value } => {
-                            let st = &mut self.inner.signals[sig.index()];
-                            if st.value != value {
-                                st.value = value;
-                                if st.traced {
-                                    self.inner.trace.record(t, sig, value);
-                                }
-                                // If this signal already queued its
-                                // watchers in this batch, the pending
-                                // wakes will observe the final value —
-                                // don't queue duplicates.
-                                let mark = &mut self.inner.sig_mark[sig.index()];
-                                if *mark != epoch {
-                                    *mark = epoch;
-                                    for w in &st.watchers {
-                                        wake_list.push((*w, Wake::Signal(sig)));
-                                    }
-                                }
-                            }
+                            self.inner.apply_drive(
+                                t,
+                                sig,
+                                value,
+                                epoch,
+                                any_traced,
+                                &mut wake_list,
+                            );
                         }
                         EventKind::Timer { comp, tag } => {
                             wake_list.push((comp, Wake::Timer(tag)));

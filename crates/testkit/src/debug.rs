@@ -16,6 +16,7 @@
 use crate::player::TapPort;
 use crate::registers::Instruction;
 use st_sim::time::SimDuration;
+use synchro_tokens::compiled_system::AnySystem;
 use synchro_tokens::spec::{NodeParams, RingId, SbId, SystemSpec};
 use synchro_tokens::system::System;
 
@@ -267,6 +268,20 @@ pub fn shmoo(
     periods: &[SimDuration],
     cycles: u64,
     build: &(dyn Fn(SystemSpec, u64) -> System + Sync),
+) -> ShmooResult {
+    shmoo_any(spec, sb, periods, cycles, &|s, seed| build(s, seed).into())
+}
+
+/// Backend-polymorphic variant of [`shmoo`]: the build function returns
+/// an [`AnySystem`], so sweeps can run on the compiled fast-path backend
+/// (`SystemBuilder::build_backend`). Both backends are byte-identical,
+/// so the [`ShmooResult`] does not depend on the backend choice.
+pub fn shmoo_any(
+    spec: &SystemSpec,
+    sb: SbId,
+    periods: &[SimDuration],
+    cycles: u64,
+    build: &(dyn Fn(SystemSpec, u64) -> AnySystem + Sync),
 ) -> ShmooResult {
     let golden: Vec<u64> = {
         let mut sys = build(spec.clone(), 0);

@@ -233,8 +233,17 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
+            // Like real proptest, `PROPTEST_CASES` overrides the default
+            // case count (CI pins a reduced budget; local soak runs can
+            // raise it) — but not an explicit `cases` in the test's own
+            // `ProptestConfig { cases: N, .. }`.
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .filter(|n| *n > 0)
+                .unwrap_or(256);
             Config {
-                cases: 256,
+                cases,
                 max_shrink_iters: 0,
             }
         }

@@ -5,7 +5,8 @@
 #
 # Usage: scripts/bench_snapshot.sh <n> [bench-name ...]
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
-#   bench-name   optional criterion bench targets (default: gate_sim kernel)
+#   bench-name   optional criterion bench targets
+#                (default: gate_sim kernel system_sim)
 #
 # Works against real criterion and the devstubs shim alike — both write
 # estimates.json with a median.point_estimate field.
@@ -20,7 +21,7 @@ n="$1"
 shift
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
-    benches=(gate_sim kernel)
+    benches=(gate_sim kernel system_sim)
 fi
 
 for b in "${benches[@]}"; do

@@ -19,6 +19,9 @@ cargo build --workspace --release
 echo "== tests =="
 cargo test --workspace -q
 
+echo "== compiled-backend differential proptests (fixed reduced budget) =="
+PROPTEST_CASES=16 cargo test --release -p synchro-tokens --test compiled_equiv -q
+
 echo "== benches compile =="
 cargo bench --workspace --no-run
 
