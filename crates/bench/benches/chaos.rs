@@ -1,0 +1,43 @@
+//! Chaos-campaign throughput: fault plans exercised per second.
+//!
+//! One "plan" is a full differential configuration — golden run plus an
+//! attacked run on *each* backend, classified against the oracle — so
+//! this tracks the cost of the robustness campaign ci.sh smokes and
+//! EXPERIMENTS.md reports, as plans/s via `Throughput::Elements`.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use st_sim::time::SimDuration;
+use st_testkit::chaos::{chaos_jobs, run_chaos_campaign};
+use synchro_tokens::scenarios::pingpong_spec;
+
+const SEEDS: u64 = 8;
+const CYCLES: u64 = 60;
+
+fn bench_chaos(c: &mut Criterion) {
+    let spec = pingpong_spec();
+    let jobs = chaos_jobs(SEEDS);
+
+    let mut g = c.benchmark_group("chaos");
+    g.throughput(Throughput::Elements(jobs.len() as u64));
+
+    g.bench_function("campaign_pingpong_1thread", |b| {
+        b.iter(|| {
+            let report = run_chaos_campaign(&spec, &jobs, CYCLES, SimDuration::us(2000), 1);
+            assert!(report.violations().is_empty());
+            report.runs.len()
+        })
+    });
+
+    g.bench_function("campaign_pingpong_4threads", |b| {
+        b.iter(|| {
+            let report = run_chaos_campaign(&spec, &jobs, CYCLES, SimDuration::us(2000), 4);
+            assert!(report.violations().is_empty());
+            report.runs.len()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_chaos);
+criterion_main!(benches);

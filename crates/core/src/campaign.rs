@@ -27,15 +27,24 @@ use std::thread;
 /// Resolves the worker-thread count for campaign runners.
 ///
 /// `ST_THREADS` (a positive integer) overrides the machine's available
-/// parallelism. An unparsable or zero value falls back to available
-/// parallelism, with a one-time stderr warning naming the rejected
-/// value — a silently ignored knob is worse than a noisy one.
+/// parallelism. `ST_THREADS=0` clamps to 1 — the user asked for "as
+/// little parallelism as possible", and handing 0 to a runner would be
+/// an invalid thread count — while an unparsable value falls back to
+/// available parallelism. Both emit a one-time stderr warning naming
+/// the rejected value: a silently ignored knob is worse than a noisy
+/// one.
 pub fn default_threads() -> usize {
     if let Ok(v) = std::env::var("ST_THREADS") {
+        static WARNED: std::sync::Once = std::sync::Once::new();
         match v.trim().parse::<usize>() {
             Ok(n) if n >= 1 => return n,
-            _ => {
-                static WARNED: std::sync::Once = std::sync::Once::new();
+            Ok(_) => {
+                WARNED.call_once(|| {
+                    eprintln!("warning: clamping ST_THREADS=0 to 1 (want a positive integer)");
+                });
+                return 1;
+            }
+            Err(_) => {
                 WARNED.call_once(|| {
                     eprintln!(
                         "warning: ignoring ST_THREADS={v:?} (want a positive integer); \
@@ -276,5 +285,22 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn st_threads_zero_clamps_to_one() {
+        // One test fn owns all ST_THREADS mutation: parallel test
+        // threads must not race on the process environment.
+        let prev = std::env::var("ST_THREADS").ok();
+        std::env::set_var("ST_THREADS", "0");
+        assert_eq!(default_threads(), 1, "ST_THREADS=0 must clamp, not panic");
+        std::env::set_var("ST_THREADS", "3");
+        assert_eq!(default_threads(), 3);
+        std::env::set_var("ST_THREADS", "banana");
+        assert!(default_threads() >= 1, "garbage falls back to parallelism");
+        match prev {
+            Some(v) => std::env::set_var("ST_THREADS", v),
+            None => std::env::remove_var("ST_THREADS"),
+        }
     }
 }

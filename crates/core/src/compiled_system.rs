@@ -47,6 +47,9 @@
 //! backend — callers never observe a behavioural difference, only a
 //! speed difference.
 
+use crate::faults::{
+    DataAction, FaultInjector, JitterCounters, TokenPassAction, CLASS_CLK, CLASS_DATA, CLASS_TOKEN,
+};
 use crate::iotrace::{SbIoTrace, TraceRow};
 use crate::logic::{IdleLogic, InputView, OutputSlot, SbIo, SyncLogic};
 use crate::node::{NodeFsm, NodePhase, TokenAction};
@@ -66,6 +69,81 @@ pub enum Backend {
     /// The flat typed-event engine, when the spec is in its support
     /// envelope; transparently the event kernel otherwise.
     Compiled,
+}
+
+/// Which engine *actually* executes a built [`AnySystem`] — unlike
+/// [`Backend`], this distinguishes an explicitly requested event build
+/// from a silent fallback out of the compiled envelope, so differential
+/// tests can assert the fast path really was exercised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// The event kernel, as explicitly requested.
+    Event,
+    /// The flat typed-event engine.
+    Compiled,
+    /// The event kernel, reached by falling back from a
+    /// [`Backend::Compiled`] request outside the support envelope.
+    EventFallback,
+}
+
+/// The compiled engine's fault-injection mirror: the same
+/// [`JitterCounters`] draws the event backend's `DelayModel` makes (per
+/// delivered drive, same `(class, unit, occurrence)` keys) and the same
+/// [`FaultInjector`] occurrence matching, applied at the equivalent
+/// scheduling sites.
+struct ChaosState {
+    jitter: Option<JitterCounters>,
+    injector: Option<FaultInjector>,
+}
+
+impl ChaosState {
+    #[inline]
+    fn clk_jitter(&mut self, sb: u32) -> SimDuration {
+        match self.jitter.as_mut() {
+            Some(j) => j.next(CLASS_CLK, sb),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    #[inline]
+    fn token_jitter(&mut self, unit: u32) -> SimDuration {
+        match self.jitter.as_mut() {
+            Some(j) => j.next(CLASS_TOKEN, unit),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    #[inline]
+    fn data_jitter(&mut self, unit: u32) -> SimDuration {
+        match self.jitter.as_mut() {
+            Some(j) => j.next(CLASS_DATA, unit),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    #[inline]
+    fn on_push(&mut self, ch: ChannelId) -> DataAction {
+        match self.injector.as_mut() {
+            Some(i) => i.on_push(ch),
+            None => DataAction::Deliver,
+        }
+    }
+
+    #[inline]
+    fn on_ack(&mut self, ch: ChannelId) -> DataAction {
+        match self.injector.as_mut() {
+            Some(i) => i.on_ack(ch),
+            None => DataAction::Deliver,
+        }
+    }
+
+    #[inline]
+    fn on_token_pass(&mut self, ring: RingId, to_holder: bool) -> TokenPassAction {
+        match self.injector.as_mut() {
+            Some(i) => i.on_token_pass(ring, to_holder),
+            None => TokenPassAction::Deliver,
+        }
+    }
 }
 
 /// A typed event. `u32` indices keep the heap payload at two words
@@ -127,6 +205,10 @@ struct CompiledNode {
     dest_node: u32,
     /// Node output delay + ring wire delay to the peer.
     pass_delay: SimDuration,
+    /// True when outgoing passes travel toward the ring's initial
+    /// holder (i.e. this node sits on the peer side) — the token
+    /// fault-injection direction bit.
+    to_holder: bool,
 }
 
 /// Flattened per-SB state: clock, wrapper and scratch in one place.
@@ -295,6 +377,8 @@ pub struct CompiledSystem {
     now: SimTime,
     seq: u64,
     events: u64,
+    /// Fault-injection mirror, present only when a plan is attached.
+    chaos: Option<Box<ChaosState>>,
 }
 
 impl std::fmt::Debug for CompiledSystem {
@@ -341,6 +425,16 @@ impl CompiledSystem {
         }
         let spec = builder.spec.clone();
         let trace_limit = builder.trace_limit;
+        let chaos = builder.faults.take().and_then(|p| {
+            let jitter = p
+                .analog
+                .is_active()
+                .then(|| JitterCounters::new(p.analog, p.seed));
+            let injector = (!p.protocol.is_empty())
+                .then(|| FaultInjector::new(p.protocol, spec.rings.len(), spec.channels.len()));
+            (jitter.is_some() || injector.is_some())
+                .then(|| Box::new(ChaosState { jitter, injector }))
+        });
 
         let fifos: Vec<FifoState> = spec
             .channels
@@ -396,6 +490,7 @@ impl CompiledSystem {
                     dest_sb: dest.0 as u32,
                     dest_node: node_index(dest.0, ring_id),
                     pass_delay,
+                    to_holder: !holder_side,
                 });
             }
             let inputs: Vec<(u32, u32)> = spec
@@ -460,6 +555,7 @@ impl CompiledSystem {
             now: SimTime::ZERO,
             seq: 0,
             events: 0,
+            chaos,
         };
         // First phase boundary of every clock, in SB (registration)
         // order — the same relative order the kernel's start timers get.
@@ -628,7 +724,13 @@ impl CompiledSystem {
     /// Clock phase boundary (mirrors `StoppableClock`'s phase timer).
     fn on_phase(&mut self, sbi: usize) {
         let now = self.now;
-        let Self { sbs, clk, seq, .. } = self;
+        let Self {
+            sbs,
+            clk,
+            seq,
+            chaos,
+            ..
+        } = self;
         let sb = &mut sbs[sbi];
         if sb.parked {
             // Stale phase while parked cannot happen (parking consumes
@@ -644,10 +746,18 @@ impl CompiledSystem {
         } else if sb.clken {
             sb.clk_high = true;
             sb.edges += 1;
+            // Analog faults jitter the rising drive only; the phase
+            // timer (and so the falling edge) stays on the oscillator's
+            // nominal grid, mirroring the event backend's `DelayModel`
+            // perturbing the `clk <- One` drive and nothing else.
+            let j = match chaos.as_deref_mut() {
+                Some(c) => c.clk_jitter(sbi as u32),
+                None => SimDuration::ZERO,
+            };
             // The rising edge reaches the wrapper "one delta later":
             // the fresh seq puts it after every event already queued at
             // this instant, exactly like the kernel's zero-delay drive.
-            clk[sbi].posedge = slot_key(now, *seq);
+            clk[sbi].posedge = slot_key(now + j, *seq);
             *seq += 1;
             clk[sbi].phase = slot_key(now + sb.half, *seq);
             *seq += 1;
@@ -662,7 +772,13 @@ impl CompiledSystem {
     /// values are suppressed, a rise while parked restarts the clock).
     fn on_clken(&mut self, sbi: usize, ena: bool) {
         let now = self.now;
-        let Self { sbs, clk, seq, .. } = self;
+        let Self {
+            sbs,
+            clk,
+            seq,
+            chaos,
+            ..
+        } = self;
         let sb = &mut sbs[sbi];
         if ena == sb.clken {
             return;
@@ -670,10 +786,16 @@ impl CompiledSystem {
         sb.clken = ena;
         if sb.parked && ena {
             // Asynchronous restart: full high phase, no runt pulse.
+            // The restart rise is a jittered drive like any other; the
+            // phase boundary stays nominal.
             sb.parked = false;
             sb.clk_high = true;
             sb.edges += 1;
-            clk[sbi].posedge = slot_key(now + sb.restart_delay, *seq);
+            let j = match chaos.as_deref_mut() {
+                Some(c) => c.clk_jitter(sbi as u32),
+                None => SimDuration::ZERO,
+            };
+            clk[sbi].posedge = slot_key(now + sb.restart_delay + j, *seq);
             *seq += 1;
             clk[sbi].phase = slot_key(now + sb.restart_delay + sb.half, *seq);
             *seq += 1;
@@ -833,6 +955,7 @@ impl CompiledSystem {
             heap,
             seq,
             events,
+            chaos,
             ..
         } = self;
         let sb = &mut sbs[sbi];
@@ -920,7 +1043,40 @@ impl CompiledSystem {
                 .map(|w| if violated { w ^ 0x5A5A } else { w })
             {
                 Some(w) if sb.slots[k].can_send => {
-                    sched(heap, seq, now + BUNDLE_DELAY, EvKind::Push { ch, word: w });
+                    let action = match chaos.as_deref_mut() {
+                        Some(c) => c.on_push(ChannelId(ch as usize)),
+                        None => DataAction::Deliver,
+                    };
+                    match action {
+                        DataAction::Drop => {
+                            // Request toggle lost on the wire; the trace
+                            // still records the transmit.
+                        }
+                        DataAction::Delay(extra) => {
+                            let j = match chaos.as_deref_mut() {
+                                Some(c) => c.data_jitter(ch * 2),
+                                None => SimDuration::ZERO,
+                            };
+                            sched(
+                                heap,
+                                seq,
+                                now + BUNDLE_DELAY + extra + j,
+                                EvKind::Push { ch, word: w },
+                            );
+                        }
+                        DataAction::Deliver => {
+                            let j = match chaos.as_deref_mut() {
+                                Some(c) => c.data_jitter(ch * 2),
+                                None => SimDuration::ZERO,
+                            };
+                            sched(
+                                heap,
+                                seq,
+                                now + BUNDLE_DELAY + j,
+                                EvKind::Push { ch, word: w },
+                            );
+                        }
+                    }
                     if recording {
                         writes.push(Some(w));
                     }
@@ -942,7 +1098,34 @@ impl CompiledSystem {
         // 6. Acknowledge consumed words.
         for (i, &(ch, _)) in sb.inputs.iter().enumerate() {
             if sb.pops[i] {
-                sched(heap, seq, now + BUNDLE_DELAY, EvKind::Pop { ch });
+                let action = match chaos.as_deref_mut() {
+                    Some(c) => c.on_ack(ChannelId(ch as usize)),
+                    None => DataAction::Deliver,
+                };
+                match action {
+                    DataAction::Drop => {
+                        // Acknowledge toggle lost: the head never pops.
+                    }
+                    DataAction::Delay(extra) => {
+                        let j = match chaos.as_deref_mut() {
+                            Some(c) => c.data_jitter(ch * 2 + 1),
+                            None => SimDuration::ZERO,
+                        };
+                        sched(
+                            heap,
+                            seq,
+                            now + BUNDLE_DELAY + extra + j,
+                            EvKind::Pop { ch },
+                        );
+                    }
+                    DataAction::Deliver => {
+                        let j = match chaos.as_deref_mut() {
+                            Some(c) => c.data_jitter(ch * 2 + 1),
+                            None => SimDuration::ZERO,
+                        };
+                        sched(heap, seq, now + BUNDLE_DELAY + j, EvKind::Pop { ch });
+                    }
+                }
             }
         }
 
@@ -951,15 +1134,47 @@ impl CompiledSystem {
         for n in &mut sb.nodes {
             let action = n.fsm.on_posedge();
             if action.pass_token {
-                sched(
-                    heap,
-                    seq,
-                    now + n.pass_delay,
-                    EvKind::Token {
-                        sb: n.dest_sb,
-                        node: n.dest_node,
-                    },
-                );
+                let dest = EvKind::Token {
+                    sb: n.dest_sb,
+                    node: n.dest_node,
+                };
+                let unit = (n.ring.0 * 2 + usize::from(n.to_holder)) as u32;
+                let pass = match chaos.as_deref_mut() {
+                    Some(c) => c.on_token_pass(n.ring, n.to_holder),
+                    None => TokenPassAction::Deliver,
+                };
+                match pass {
+                    TokenPassAction::Drop => {
+                        // Toggle lost on the ring: no arrival, and (as on
+                        // the event backend, where no drive happens) no
+                        // jitter draw.
+                    }
+                    TokenPassAction::Delay(extra) => {
+                        let j = match chaos.as_deref_mut() {
+                            Some(c) => c.token_jitter(unit),
+                            None => SimDuration::ZERO,
+                        };
+                        sched(heap, seq, now + n.pass_delay + extra + j, dest);
+                    }
+                    TokenPassAction::Duplicate(extra) => {
+                        // Two toggles = two arrivals = two drive draws,
+                        // exactly like the event backend's pair of
+                        // perturbed drives.
+                        let (j1, j2) = match chaos.as_deref_mut() {
+                            Some(c) => (c.token_jitter(unit), c.token_jitter(unit)),
+                            None => (SimDuration::ZERO, SimDuration::ZERO),
+                        };
+                        sched(heap, seq, now + n.pass_delay + j1, dest);
+                        sched(heap, seq, now + n.pass_delay + extra + j2, dest);
+                    }
+                    TokenPassAction::Deliver => {
+                        let j = match chaos.as_deref_mut() {
+                            Some(c) => c.token_jitter(unit),
+                            None => SimDuration::ZERO,
+                        };
+                        sched(heap, seq, now + n.pass_delay + j, dest);
+                    }
+                }
             }
             any_stop |= action.stop_clock;
         }
@@ -1046,6 +1261,15 @@ impl CompiledSystem {
             .map(|n| &n.fsm)
     }
 
+    /// Mutable node access (debug hooks, SEU injection).
+    pub fn node_mut(&mut self, sb: SbId, ring: RingId) -> Option<&mut NodeFsm> {
+        self.sbs[sb.0]
+            .nodes
+            .iter_mut()
+            .find(|n| n.ring == ring)
+            .map(|n| &mut n.fsm)
+    }
+
     /// SBs whose clocks are currently parked.
     pub fn stopped_sbs(&self) -> Vec<SbId> {
         self.sbs
@@ -1113,12 +1337,17 @@ pub enum AnySystem {
     Event(System),
     /// The flat typed-event backend.
     Compiled(CompiledSystem),
+    /// The event-kernel backend, reached by silent fallback from a
+    /// [`Backend::Compiled`] request (behaviourally identical to
+    /// `Event`; kept distinct so tests can detect an unexercised fast
+    /// path through [`AnySystem::backend_kind`]).
+    EventFallback(System),
 }
 
 impl std::fmt::Debug for AnySystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            AnySystem::Event(s) => s.fmt(f),
+            AnySystem::Event(s) | AnySystem::EventFallback(s) => s.fmt(f),
             AnySystem::Compiled(s) => s.fmt(f),
         }
     }
@@ -1139,18 +1368,33 @@ impl From<CompiledSystem> for AnySystem {
 macro_rules! delegate {
     ($self:ident, $sys:ident => $e:expr) => {
         match $self {
-            AnySystem::Event($sys) => $e,
+            AnySystem::Event($sys) | AnySystem::EventFallback($sys) => $e,
             AnySystem::Compiled($sys) => $e,
         }
     };
 }
 
 impl AnySystem {
-    /// Which backend is executing this system.
+    /// Which backend is executing this system. A fallback out of the
+    /// compiled envelope reports [`Backend::Event`] (it *is* the event
+    /// engine); use [`backend_kind`](Self::backend_kind) to tell the
+    /// two apart.
     pub fn backend(&self) -> Backend {
         match self {
-            AnySystem::Event(_) => Backend::Event,
+            AnySystem::Event(_) | AnySystem::EventFallback(_) => Backend::Event,
             AnySystem::Compiled(_) => Backend::Compiled,
+        }
+    }
+
+    /// Which engine actually runs, distinguishing a requested event
+    /// build from a silent fallback. Differential suites assert
+    /// [`BackendKind::Compiled`] so they never end up comparing the
+    /// event backend against itself.
+    pub fn backend_kind(&self) -> BackendKind {
+        match self {
+            AnySystem::Event(_) => BackendKind::Event,
+            AnySystem::Compiled(_) => BackendKind::Compiled,
+            AnySystem::EventFallback(_) => BackendKind::EventFallback,
         }
     }
 
@@ -1217,6 +1461,11 @@ impl AnySystem {
         delegate!(self, s => s.node(sb, ring))
     }
 
+    /// Mutable node access (debug hooks, SEU injection).
+    pub fn node_mut(&mut self, sb: SbId, ring: RingId) -> Option<&mut NodeFsm> {
+        delegate!(self, s => s.node_mut(sb, ring))
+    }
+
     /// SBs whose clocks are currently parked.
     pub fn stopped_sbs(&self) -> Vec<SbId> {
         delegate!(self, s => s.stopped_sbs())
@@ -1261,7 +1510,7 @@ impl AnySystem {
     /// machine-local work counters, not comparable across backends).
     pub fn events_fired(&self) -> u64 {
         match self {
-            AnySystem::Event(s) => s.sim().events_fired(),
+            AnySystem::Event(s) | AnySystem::EventFallback(s) => s.sim().events_fired(),
             AnySystem::Compiled(s) => s.events_processed(),
         }
     }
@@ -1269,7 +1518,7 @@ impl AnySystem {
     /// Wakes delivered so far (each compiled event wakes one handler).
     pub fn wakes_delivered(&self) -> u64 {
         match self {
-            AnySystem::Event(s) => s.sim().wakes_delivered(),
+            AnySystem::Event(s) | AnySystem::EventFallback(s) => s.sim().wakes_delivered(),
             AnySystem::Compiled(s) => s.events_processed(),
         }
     }
@@ -1287,7 +1536,7 @@ impl SystemBuilder {
             Backend::Event => AnySystem::Event(self.build()),
             Backend::Compiled => match CompiledSystem::lower(self) {
                 Ok(sys) => AnySystem::Compiled(sys),
-                Err(builder) => AnySystem::Event(builder.build()),
+                Err(builder) => AnySystem::EventFallback(builder.build()),
             },
         }
     }
@@ -1329,6 +1578,25 @@ mod tests {
             .bypass(SimDuration::ps(200))
             .build_backend(Backend::Compiled);
         assert_eq!(sys.backend(), Backend::Event);
+    }
+
+    #[test]
+    fn backend_kind_distinguishes_fallback_from_explicit_event() {
+        assert_eq!(
+            build_pair(Backend::Compiled).backend_kind(),
+            BackendKind::Compiled
+        );
+        assert_eq!(
+            build_pair(Backend::Event).backend_kind(),
+            BackendKind::Event
+        );
+        let fallback = SystemBuilder::new(pair_spec())
+            .unwrap()
+            .bypass(SimDuration::ps(200))
+            .build_backend(Backend::Compiled);
+        assert_eq!(fallback.backend_kind(), BackendKind::EventFallback);
+        // `backend()` keeps reporting the engine that actually runs.
+        assert_eq!(fallback.backend(), Backend::Event);
     }
 
     #[test]

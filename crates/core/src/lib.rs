@@ -39,7 +39,11 @@
 //!   and benches (including the paper's 3-SB / 6-FIFO test case),
 //! * [`compiled_system`] — the compiled fast-path backend: a built
 //!   system lowered once to a flat typed-event engine, byte-identical
-//!   to the event kernel and roughly an order of magnitude faster.
+//!   to the event kernel and roughly an order of magnitude faster,
+//! * [`faults`] — deterministic fault injection (analog jitter/drift,
+//!   protocol token/handshake attacks, state SEUs) and the chaos
+//!   oracle that turns the paper's determinism claim into an
+//!   executable check.
 //!
 //! ## Example
 //!
@@ -70,6 +74,7 @@ pub mod campaign;
 pub mod compiled_system;
 pub mod deadlock;
 pub mod determinism;
+pub mod faults;
 pub mod formal;
 pub mod iotrace;
 pub mod logic;
@@ -81,7 +86,11 @@ pub mod system;
 pub mod wrapper;
 
 pub use campaign::{default_threads, run_jobs, CampaignStats};
-pub use compiled_system::{AnySystem, Backend, CompiledSystem};
+pub use compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
+pub use faults::{
+    classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,
+    SeuTarget,
+};
 pub use iotrace::{SbIoTrace, TraceRow};
 pub use logic::{
     IdleLogic, PackingSource, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,
@@ -95,7 +104,11 @@ pub use wrapper::WrapperMode;
 /// Convenient glob import.
 pub mod prelude {
     pub use crate::campaign::{default_threads, run_jobs, CampaignStats};
-    pub use crate::compiled_system::{AnySystem, Backend, CompiledSystem};
+    pub use crate::compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
+    pub use crate::faults::{
+        classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,
+        SeuTarget,
+    };
     pub use crate::iotrace::SbIoTrace;
     pub use crate::logic::{
         IdleLogic, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,

@@ -253,6 +253,27 @@ impl NodeFsm {
         action
     }
 
+    /// Fault injection: flips bit `bit % 8` of the running hold counter,
+    /// clamping the result to at least 1 so the FSM's non-zero-counter
+    /// invariant survives the upset (a real counter would wrap; the clamp
+    /// keeps the modelled outcome classifiable instead of UB-like).
+    pub fn seu_flip_hold(&mut self, bit: u32) {
+        self.hold_ctr = (self.hold_ctr ^ (1 << (bit % 8))).max(1);
+    }
+
+    /// Fault injection: flips bit `bit % 8` of the running recycle
+    /// counter, clamped to at least 1 (see [`seu_flip_hold`](Self::seu_flip_hold)).
+    pub fn seu_flip_recycle(&mut self, bit: u32) {
+        self.recycle_ctr = (self.recycle_ctr ^ (1 << (bit % 8))).max(1);
+    }
+
+    /// Fault injection: flips the token latch. Setting it conjures a
+    /// phantom token (recognized at recycle expiry); clearing it loses a
+    /// latched early token, which eventually parks the whole ring.
+    pub fn seu_flip_token_latch(&mut self) {
+        self.has_token = !self.has_token;
+    }
+
     /// Reacts to the token arriving from the ring (event A or K).
     ///
     /// Safe at any wall-clock time; an early token is latched and only
@@ -421,6 +442,34 @@ mod tests {
             fsm.on_posedge(); // recycle hits 0 with token -> holding
         }
         assert_eq!(fsm.passes(), 5);
+        assert_eq!(fsm.stops(), 0);
+    }
+
+    #[test]
+    fn seu_flips_are_clamped_and_reversible() {
+        let mut fsm = NodeFsm::new_holder(params(1, 4));
+        fsm.seu_flip_hold(0); // 1 ^ 1 = 0 -> clamped to 1
+        assert_eq!(fsm.hold_ctr(), 1);
+        fsm.seu_flip_hold(2);
+        assert_eq!(fsm.hold_ctr(), 5);
+        fsm.seu_flip_recycle(1); // 4 ^ 2 = 6
+        assert_eq!(fsm.recycle_ctr(), 6);
+        fsm.seu_flip_recycle(9); // bit 9 % 8 = 1: 6 ^ 2 = 4
+        assert_eq!(fsm.recycle_ctr(), 4);
+        assert!(!fsm.has_token_latched());
+        fsm.seu_flip_token_latch();
+        assert!(fsm.has_token_latched());
+        fsm.seu_flip_token_latch();
+        assert!(!fsm.has_token_latched());
+    }
+
+    #[test]
+    fn seu_phantom_token_is_recognized_at_expiry() {
+        let mut fsm = NodeFsm::new_holder(params(1, 3));
+        fsm.on_posedge(); // pass, recycling with recycle=3
+        fsm.seu_flip_token_latch(); // phantom token
+        run_edges(&mut fsm, 3);
+        assert_eq!(fsm.phase(), NodePhase::Holding, "phantom token recognized");
         assert_eq!(fsm.stops(), 0);
     }
 

@@ -7,6 +7,7 @@
 //! experiments need (I/O traces, cycle counts, node phases, FIFO and
 //! clock statistics).
 
+use crate::faults::{AnalogDelayModel, FaultInjector, FaultPlan};
 use crate::iotrace::SbIoTrace;
 use crate::logic::{IdleLogic, SyncLogic};
 use crate::node::{NodeFsm, NodePhase};
@@ -17,7 +18,9 @@ use crate::wrapper::{
 use st_channel::{FifoPorts, SelfTimedFifo};
 use st_clocking::{StoppableClock, StoppableClockSpec};
 use st_sim::prelude::*;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 
 /// Constructs a runnable [`System`] from a [`SystemSpec`].
 ///
@@ -31,6 +34,7 @@ pub struct SystemBuilder {
     pub(crate) trace_limit: usize,
     pub(crate) mode: WrapperMode,
     pub(crate) observe_nodes: bool,
+    pub(crate) faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -57,6 +61,7 @@ impl SystemBuilder {
             trace_limit: 0,
             mode: WrapperMode::SynchroTokens,
             observe_nodes: false,
+            faults: None,
         })
     }
 
@@ -89,6 +94,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches a fault plan: analog perturbations install a
+    /// [`DelayModel`] over the clock/token/req/ack wires, protocol
+    /// faults install a shared [`FaultInjector`] consulted at every
+    /// transmit/acknowledge/token-pass. SEUs in the plan are *not*
+    /// applied here — [`crate::faults::run_with_plan`] schedules them by
+    /// local cycle at run time.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Exposes per-node `sbena` and counter values as traced signals
     /// (used to regenerate Figure 2); also traces clocks, enables and
     /// token wires.
@@ -102,6 +118,23 @@ impl SystemBuilder {
         let spec = self.spec.clone();
         let mut b = SimBuilder::new().with_seed(self.seed);
 
+        let mut analog_model = self
+            .faults
+            .as_ref()
+            .filter(|p| p.analog.is_active())
+            .map(|p| AnalogDelayModel::new(p.analog, p.seed));
+        let injector = self
+            .faults
+            .as_ref()
+            .filter(|p| !p.protocol.is_empty())
+            .map(|p| {
+                Rc::new(RefCell::new(FaultInjector::new(
+                    p.protocol.clone(),
+                    spec.rings.len(),
+                    spec.channels.len(),
+                )))
+            });
+
         // Per-SB clock signals.
         let mut clk_sigs = Vec::new();
         let mut clken_sigs = Vec::new();
@@ -111,6 +144,9 @@ impl SystemBuilder {
             if self.observe_nodes {
                 b.trace(clk.id());
                 b.trace(clken.id());
+            }
+            if let Some(m) = analog_model.as_mut() {
+                m.classify_clk(clk.id(), clk_sigs.len() as u32);
             }
             clk_sigs.push(clk);
             clken_sigs.push(clken);
@@ -131,6 +167,10 @@ impl SystemBuilder {
                 b.trace(to_holder.id());
                 b.trace(to_peer.id());
             }
+            if let Some(m) = analog_model.as_mut() {
+                m.classify_token(to_holder.id(), (i * 2 + 1) as u32);
+                m.classify_token(to_peer.id(), (i * 2) as u32);
+            }
             tok_sigs.push((to_holder, to_peer));
         }
 
@@ -144,6 +184,10 @@ impl SystemBuilder {
             );
             let ports = FifoPorts::declare(&mut b, &name);
             let h = SelfTimedFifo::new(ports, ch.fifo_depth, ch.stage_delay).install(&mut b, &name);
+            if let Some(m) = analog_model.as_mut() {
+                m.classify_data(ports.put_req.id(), (i * 2) as u32);
+                m.classify_data(ports.get_ack.id(), (i * 2 + 1) as u32);
+            }
             fifo_ports.push(ports);
             fifo_handles.push(h);
         }
@@ -171,8 +215,16 @@ impl SystemBuilder {
                 } else {
                     (to_peer, to_holder, ring.delay_back)
                 };
-                let mut binding =
-                    NodeBinding::new(ring_id, fsm, token_in, peer_token_in, pass_delay);
+                let mut binding = NodeBinding::new(
+                    ring_id,
+                    fsm,
+                    token_in,
+                    peer_token_in,
+                    pass_delay,
+                    // This node's outgoing passes travel toward the
+                    // holder iff it sits on the peer side.
+                    !holder_side,
+                );
                 if self.observe_nodes {
                     let prefix = format!("{}.{ring_id}", sb_spec.name);
                     let obs = NodeObserve {
@@ -212,7 +264,7 @@ impl SystemBuilder {
                 .logics
                 .remove(&i)
                 .unwrap_or_else(|| Box::new(IdleLogic));
-            let wrapper = SbWrapper::new(
+            let mut wrapper = SbWrapper::new(
                 sb,
                 self.mode,
                 logic,
@@ -224,6 +276,9 @@ impl SystemBuilder {
                 self.trace_limit,
             )
             .with_logic_delay(sb_spec.logic_delay);
+            if let Some(inj) = &injector {
+                wrapper = wrapper.with_faults(Rc::clone(inj));
+            }
             let input_valid_sigs: Vec<SignalId> = spec
                 .inputs_of(sb)
                 .map(|(cid, _)| fifo_ports[cid.0].head_valid.id())
@@ -259,6 +314,10 @@ impl SystemBuilder {
             let ch = b.add_component(&format!("{}.clock", sb_spec.name), clock);
             b.watch(ch.id(), clken_sigs[i].id());
             clocks.push(ch);
+        }
+
+        if let Some(m) = analog_model.take() {
+            b.set_delay_model(Box::new(m));
         }
 
         System {
@@ -431,6 +490,11 @@ impl System {
     /// The node FSM itself (token statistics etc.).
     pub fn node(&self, sb: SbId, ring: RingId) -> Option<&NodeFsm> {
         self.sim.get(self.wrappers[sb.0]).node(ring)
+    }
+
+    /// Mutable node access (debug hooks, SEU injection).
+    pub fn node_mut(&mut self, sb: SbId, ring: RingId) -> Option<&mut NodeFsm> {
+        self.sim.get_mut(self.wrappers[sb.0]).node_mut(ring)
     }
 
     /// SBs whose clocks are currently parked.

@@ -19,6 +19,7 @@
 //! always enabled, the clock never stops) and the FIFO `head_valid` is
 //! sampled through a modelled two-flop synchronizer.
 
+use crate::faults::{DataAction, FaultInjector, TokenPassAction};
 use crate::iotrace::{SbIoTrace, TraceRow};
 use crate::logic::{InputView, OutputSlot, SbIo, SyncLogic};
 use crate::node::{NodeFsm, TokenAction};
@@ -26,6 +27,8 @@ use crate::spec::{ChannelId, RingId, SbId};
 use st_channel::FifoPorts;
 use st_sim::prelude::*;
 use std::any::Any;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Delay from driving bundled data to toggling the matching request, and
 /// from reading a head word to toggling the acknowledge.
@@ -62,6 +65,10 @@ pub(crate) struct NodeBinding {
     /// Node output delay + ring wire delay to the peer.
     pub pass_delay: SimDuration,
     pass_parity: bool,
+    /// True when this node's *outgoing* passes travel toward the ring's
+    /// initial holder (i.e. this is the peer-side node). Identifies the
+    /// fault-injection unit for token faults.
+    pub to_holder: bool,
     /// Optional per-node observability signals (Figure 2 waveforms).
     pub observe: Option<NodeObserve>,
 }
@@ -73,6 +80,7 @@ impl NodeBinding {
         token_in: BitSignal,
         peer_token_in: BitSignal,
         pass_delay: SimDuration,
+        to_holder: bool,
     ) -> Self {
         NodeBinding {
             ring,
@@ -82,6 +90,7 @@ impl NodeBinding {
             peer_token_in,
             pass_delay,
             pass_parity: false,
+            to_holder,
             observe: None,
         }
     }
@@ -186,6 +195,9 @@ pub struct SbWrapper {
     /// pairs with trace rows to time-stamp transmitted/received words.
     edge_times: Vec<SimTime>,
     edge_times_cap: usize,
+    /// Protocol-layer fault injector, shared by every wrapper of the
+    /// system so occurrence counters are global per unit.
+    faults: Option<Rc<RefCell<FaultInjector>>>,
 }
 
 impl std::fmt::Debug for SbWrapper {
@@ -239,7 +251,14 @@ impl SbWrapper {
             } else {
                 trace_limit
             },
+            faults: None,
         }
+    }
+
+    /// Attaches the system-wide protocol fault injector (builder-time).
+    pub(crate) fn with_faults(mut self, faults: Rc<RefCell<FaultInjector>>) -> Self {
+        self.faults = Some(faults);
+        self
     }
 
     /// Wall-clock times of the recorded rising edges (indexed by local
@@ -446,13 +465,31 @@ impl SbWrapper {
         }
 
         // 5. Transmit accepted words (bundled data before request).
+        let faults = self.faults.as_ref();
         let mut writes = Vec::with_capacity(self.outputs.len());
         for (out, slot) in self.outputs.iter_mut().zip(&slots) {
             match slot.word.map(|w| if violated { w ^ 0x5A5A } else { w }) {
                 Some(w) if slot.can_send => {
-                    ctx.drive_word(out.ports.put_data, w, SimDuration::ZERO);
-                    out.req_parity = !out.req_parity;
-                    ctx.drive_bit(out.ports.put_req, out.req_parity, BUNDLE_DELAY);
+                    let action = faults
+                        .map(|f| f.borrow_mut().on_push(out.channel))
+                        .unwrap_or(DataAction::Deliver);
+                    match action {
+                        DataAction::Drop => {
+                            // Request toggle lost on the wire: the logic
+                            // believes it sent (the trace says so), the
+                            // FIFO never sees it.
+                        }
+                        DataAction::Delay(extra) => {
+                            ctx.drive_word(out.ports.put_data, w, extra);
+                            out.req_parity = !out.req_parity;
+                            ctx.drive_bit(out.ports.put_req, out.req_parity, BUNDLE_DELAY + extra);
+                        }
+                        DataAction::Deliver => {
+                            ctx.drive_word(out.ports.put_data, w, SimDuration::ZERO);
+                            out.req_parity = !out.req_parity;
+                            ctx.drive_bit(out.ports.put_req, out.req_parity, BUNDLE_DELAY);
+                        }
+                    }
                     writes.push(Some(w));
                 }
                 Some(_) => {
@@ -466,8 +503,23 @@ impl SbWrapper {
         // 6. Acknowledge consumed words.
         for (inp, pop) in self.inputs.iter_mut().zip(&pops) {
             if *pop {
-                inp.ack_parity = !inp.ack_parity;
-                ctx.drive_bit(inp.ports.get_ack, inp.ack_parity, BUNDLE_DELAY);
+                let action = faults
+                    .map(|f| f.borrow_mut().on_ack(inp.channel))
+                    .unwrap_or(DataAction::Deliver);
+                match action {
+                    DataAction::Drop => {
+                        // Acknowledge toggle lost: the FIFO head never
+                        // pops, so the same word will be read again.
+                    }
+                    DataAction::Delay(extra) => {
+                        inp.ack_parity = !inp.ack_parity;
+                        ctx.drive_bit(inp.ports.get_ack, inp.ack_parity, BUNDLE_DELAY + extra);
+                    }
+                    DataAction::Deliver => {
+                        inp.ack_parity = !inp.ack_parity;
+                        ctx.drive_bit(inp.ports.get_ack, inp.ack_parity, BUNDLE_DELAY);
+                    }
+                }
             }
         }
 
@@ -477,8 +529,29 @@ impl SbWrapper {
             for n in &mut self.nodes {
                 let action = n.fsm.on_posedge();
                 if action.pass_token {
-                    n.pass_parity = !n.pass_parity;
-                    ctx.drive_bit(n.peer_token_in, n.pass_parity, n.pass_delay);
+                    let pass = faults
+                        .map(|f| f.borrow_mut().on_token_pass(n.ring, n.to_holder))
+                        .unwrap_or(TokenPassAction::Deliver);
+                    match pass {
+                        TokenPassAction::Drop => {
+                            // Toggle lost on the ring: parity untouched, so
+                            // the *next* pass still toggles the wire.
+                        }
+                        TokenPassAction::Delay(extra) => {
+                            n.pass_parity = !n.pass_parity;
+                            ctx.drive_bit(n.peer_token_in, n.pass_parity, n.pass_delay + extra);
+                        }
+                        TokenPassAction::Duplicate(extra) => {
+                            // Two toggles = two arrivals at the receiver;
+                            // net parity on this side is unchanged.
+                            ctx.drive_bit(n.peer_token_in, !n.pass_parity, n.pass_delay);
+                            ctx.drive_bit(n.peer_token_in, n.pass_parity, n.pass_delay + extra);
+                        }
+                        TokenPassAction::Deliver => {
+                            n.pass_parity = !n.pass_parity;
+                            ctx.drive_bit(n.peer_token_in, n.pass_parity, n.pass_delay);
+                        }
+                    }
                 }
                 any_stop |= action.stop_clock;
             }

@@ -1,0 +1,127 @@
+//! Fault-layer oracle tests at the core level: analog invariance,
+//! protocol/state classification, and the token-loss → deadlock
+//! diagnosis property, differentially on both backends.
+
+use proptest::prelude::*;
+use st_sim::time::SimDuration;
+use synchro_tokens::prelude::*;
+use synchro_tokens::scenarios::{build_e1_backend, chain_spec, pingpong_spec};
+use synchro_tokens::{classify, run_with_plan, ChaosOutcome, Fault, FaultClass, FaultPlan};
+
+const BUDGET: SimDuration = SimDuration::us(2000);
+
+/// Golden traces for `spec` on the event backend.
+fn golden(spec: &SystemSpec, cycles: u64) -> Vec<SbIoTrace> {
+    let mut sys = build_e1_backend(spec.clone(), 0, cycles as usize, Backend::Event);
+    assert_eq!(
+        sys.run_until_cycles(cycles, BUDGET).unwrap(),
+        RunOutcome::Reached
+    );
+    (0..spec.sbs.len())
+        .map(|i| sys.io_trace(SbId(i)).clone())
+        .collect()
+}
+
+/// Builds, attacks and classifies one `(spec, plan, backend)` run.
+fn attack(
+    spec: &SystemSpec,
+    plan: &FaultPlan,
+    cycles: u64,
+    backend: Backend,
+    gold: &[SbIoTrace],
+) -> ChaosOutcome {
+    let n = spec.sbs.len();
+    let mut b = SystemBuilder::new(spec.clone())
+        .unwrap()
+        .with_trace_limit(cycles as usize)
+        .with_fault_plan(plan.clone());
+    for i in 0..n {
+        b = b.with_logic(
+            SbId(i),
+            synchro_tokens::scenarios::MixerLogic::new(0x1000 * i as u64),
+        );
+    }
+    let mut sys = b.build_backend(backend);
+    let outcome = run_with_plan(&mut sys, plan, cycles, BUDGET).unwrap();
+    classify(gold, &sys, &outcome)
+}
+
+#[test]
+fn analog_faults_leave_traces_byte_identical() {
+    for spec in [pingpong_spec(), chain_spec(3)] {
+        let gold = golden(&spec, 80);
+        for seed in 0..6 {
+            let plan = FaultPlan::generate(FaultClass::Analog, &spec, seed);
+            assert!(plan.is_analog_only());
+            for backend in [Backend::Event, Backend::Compiled] {
+                let out = attack(&spec, &plan, 80, backend, &gold);
+                assert_eq!(
+                    out,
+                    ChaosOutcome::TraceIdentical,
+                    "seed {seed} on {backend:?}: {out}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn protocol_and_state_plans_classify_identically_on_both_backends() {
+    for class in [FaultClass::Protocol, FaultClass::State] {
+        let spec = pingpong_spec();
+        let gold = golden(&spec, 80);
+        for seed in 0..16 {
+            let plan = FaultPlan::generate(class, &spec, seed);
+            let event = attack(&spec, &plan, 80, Backend::Event, &gold);
+            let compiled = attack(&spec, &plan, 80, Backend::Compiled, &gold);
+            assert_eq!(event, compiled, "{class} seed {seed}");
+            assert_ne!(event, ChaosOutcome::Timeout, "{class} seed {seed} hung");
+        }
+    }
+}
+
+#[test]
+fn budget_exhaustion_classifies_as_timeout() {
+    let spec = pingpong_spec();
+    let gold = golden(&spec, 60);
+    let plan = FaultPlan::default();
+    let mut sys = build_e1_backend(spec.clone(), 0, 60, Backend::Event);
+    let outcome = run_with_plan(&mut sys, &plan, 1_000_000, SimDuration::ns(50)).unwrap();
+    assert_eq!(classify(&gold, &sys, &outcome), ChaosOutcome::Timeout);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Satellite property: *every* injected token loss is diagnosed as a
+    /// deadlock that names the owning ring's SBs — never a silent wrong
+    /// trace, never a hang (the budget bounds the run, and `Timeout`
+    /// would fail the assertion).
+    #[test]
+    fn token_loss_is_always_diagnosed_as_deadlock(
+        chain in any::<bool>(),
+        ring_pick in 0usize..4,
+        to_holder in any::<bool>(),
+        nth in 0u64..3,
+    ) {
+        let spec = if chain { chain_spec(3) } else { pingpong_spec() };
+        let ring = RingId(ring_pick % spec.rings.len());
+        let plan = FaultPlan {
+            protocol: vec![Fault::TokenLoss { ring, to_holder, nth }],
+            ..FaultPlan::default()
+        };
+        let gold = golden(&spec, 120);
+        for backend in [Backend::Event, Backend::Compiled] {
+            let out = attack(&spec, &plan, 120, backend, &gold);
+            let ChaosOutcome::Deadlock { stopped } = &out else {
+                panic!("token loss on {ring} ({backend:?}) classified {out}, not deadlock");
+            };
+            let owner = &spec.rings[ring.0];
+            prop_assert!(
+                stopped.contains(&owner.holder) && stopped.contains(&owner.peer),
+                "{backend:?}: deadlock report {stopped:?} misses the owning SBs \
+                 {:?}/{:?}", owner.holder, owner.peer
+            );
+        }
+    }
+}

@@ -154,6 +154,28 @@ pub struct RunSummary {
     pub quiescent: bool,
 }
 
+/// A hook that perturbs the latency of scheduled signal drives.
+///
+/// The kernel consults the installed model once per drive, *at the
+/// moment the drive is scheduled*, and uses the returned duration in
+/// place of the nominal one. Timers ([`Ctx::set_timer`]) are never
+/// perturbed — they model a component's internal bookkeeping, not a
+/// physical wire. A model must be deterministic in its inputs and call
+/// history to keep seeded runs reproducible; the fault-injection layer
+/// in the core crate builds its analog jitter/drift models on top of
+/// this hook.
+pub trait DelayModel {
+    /// Returns the delay to use for a drive of `value` onto `sig`,
+    /// scheduled at `now` with nominal latency `nominal`.
+    fn perturb(
+        &mut self,
+        sig: SignalId,
+        value: &Value,
+        now: SimTime,
+        nominal: SimDuration,
+    ) -> SimDuration;
+}
+
 /// Everything the kernel owns apart from the component boxes.
 ///
 /// Splitting this out lets [`Ctx`] borrow the world mutably while one
@@ -180,6 +202,9 @@ struct Inner {
     /// hot path: the common no-tracing run skips the per-signal `traced`
     /// check on every value change.
     any_traced: bool,
+    /// Optional per-drive latency perturbation (fault injection). `None`
+    /// in ordinary runs, so the hot path pays one branch.
+    delay_model: Option<Box<dyn DelayModel>>,
 }
 
 impl Inner {
@@ -188,6 +213,10 @@ impl Inner {
     }
 
     fn schedule_drive(&mut self, sig: SignalId, value: Value, delay: SimDuration) {
+        let delay = match self.delay_model.as_mut() {
+            Some(m) => m.perturb(sig, &value, self.now, delay),
+            None => delay,
+        };
         self.queue
             .schedule(self.now + delay, EventKind::Drive { sig, value });
     }
@@ -323,6 +352,7 @@ pub struct SimBuilder {
     comps: Vec<ComponentSlot>,
     traced: Vec<SignalId>,
     seed: u64,
+    delay_model: Option<Box<dyn DelayModel>>,
 }
 
 impl fmt::Debug for SimBuilder {
@@ -344,6 +374,13 @@ impl SimBuilder {
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
+    }
+
+    /// Installs a [`DelayModel`] that perturbs every scheduled signal
+    /// drive. At most one model is active; a second call replaces the
+    /// first.
+    pub fn set_delay_model(&mut self, model: Box<dyn DelayModel>) {
+        self.delay_model = Some(model);
     }
 
     fn add_signal(&mut self, name: &str, value: Value) -> SignalId {
@@ -459,6 +496,7 @@ impl SimBuilder {
                 sig_mark: vec![0; n_signals],
                 batch_epoch: 0,
                 any_traced: !self.traced.is_empty(),
+                delay_model: self.delay_model,
             },
             started: false,
         }
@@ -1021,6 +1059,95 @@ mod tests {
         sim.drive(s.id(), Value::from(true), SimDuration::ns(1));
         sim.run_until(SimTime::ZERO + SimDuration::ns(2)).unwrap();
         assert_eq!(sim.get(c).rising, 1);
+    }
+
+    #[test]
+    fn delay_model_perturbs_scheduled_drives() {
+        struct Skew {
+            target: SignalId,
+            extra: SimDuration,
+        }
+        impl DelayModel for Skew {
+            fn perturb(
+                &mut self,
+                sig: SignalId,
+                _value: &Value,
+                _now: SimTime,
+                nominal: SimDuration,
+            ) -> SimDuration {
+                if sig == self.target {
+                    nominal + self.extra
+                } else {
+                    nominal
+                }
+            }
+        }
+        let mut b = SimBuilder::new();
+        let a = b.add_bit_signal_init("a", Bit::Zero);
+        let u = b.add_bit_signal_init("u", Bit::Zero);
+        b.trace(a.id());
+        b.trace(u.id());
+        b.set_delay_model(Box::new(Skew {
+            target: a.id(),
+            extra: SimDuration::ns(2),
+        }));
+        let mut sim = b.build();
+        sim.drive(a.id(), Value::from(true), SimDuration::ns(1));
+        sim.drive(u.id(), Value::from(true), SimDuration::ns(1));
+        sim.run_until(SimTime::ZERO + SimDuration::ns(10)).unwrap();
+        let edge = |sim: &Simulator, sig: SignalId| {
+            sim.trace()
+                .changes(sig)
+                .find(|(_, v)| *v == Value::Bit(Bit::One))
+                .map(|(t, _)| t)
+                .expect("signal must rise")
+        };
+        // The targeted signal lands 2ns late; the other is untouched.
+        assert_eq!(edge(&sim, a.id()), SimTime::ZERO + SimDuration::ns(3));
+        assert_eq!(edge(&sim, u.id()), SimTime::ZERO + SimDuration::ns(1));
+    }
+
+    #[test]
+    fn delay_model_does_not_perturb_timers() {
+        struct TimedDriver {
+            out: BitSignal,
+        }
+        impl Component for TimedDriver {
+            fn wake(&mut self, ctx: &mut Ctx<'_>, cause: Wake) {
+                match cause {
+                    Wake::Start => ctx.set_timer(SimDuration::ns(5), 0),
+                    Wake::Timer(0) => ctx.drive_bit(self.out, Bit::One, SimDuration::ZERO),
+                    _ => {}
+                }
+            }
+        }
+        struct AddOne;
+        impl DelayModel for AddOne {
+            fn perturb(
+                &mut self,
+                _sig: SignalId,
+                _value: &Value,
+                _now: SimTime,
+                nominal: SimDuration,
+            ) -> SimDuration {
+                nominal + SimDuration::ns(1)
+            }
+        }
+        let mut b = SimBuilder::new();
+        let s = b.add_bit_signal_init("s", Bit::Zero);
+        b.trace(s.id());
+        b.add_component("d", TimedDriver { out: s });
+        b.set_delay_model(Box::new(AddOne));
+        let mut sim = b.build();
+        sim.run_until(SimTime::ZERO + SimDuration::ns(10)).unwrap();
+        // Timer fires at the nominal 5ns; only the drive gains 1ns.
+        let t = sim
+            .trace()
+            .changes(s.id())
+            .find(|(_, v)| *v == Value::Bit(Bit::One))
+            .map(|(t, _)| t)
+            .expect("signal must rise");
+        assert_eq!(t, SimTime::ZERO + SimDuration::ns(6));
     }
 
     #[test]

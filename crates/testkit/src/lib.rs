@@ -19,7 +19,11 @@
 //!   path by watching the deterministic I/O traces break,
 //! * [`bist`] — LFSR pattern generation and MISR signature compaction;
 //!   across GALS boundaries a golden signature is only meaningful
-//!   because synchro-tokens makes response arrival cycles deterministic.
+//!   because synchro-tokens makes response arrival cycles deterministic,
+//! * [`chaos`] — differential fault-injection campaigns that attack the
+//!   determinism invariant (analog jitter, protocol token/handshake
+//!   faults, state SEUs) on both simulation backends and hold every run
+//!   to a classified-outcome oracle.
 //!
 //! ## Example
 //!
@@ -43,6 +47,7 @@
 //! ```
 
 pub mod bist;
+pub mod chaos;
 pub mod debug;
 pub mod player;
 pub mod registers;
@@ -50,6 +55,9 @@ pub mod scan;
 pub mod tap;
 
 pub use bist::{BistEngine, Lfsr, Misr};
+pub use chaos::{
+    chaos_jobs, configs_from_env, run_chaos_campaign, ChaosJob, ChaosReport, ChaosRun,
+};
 pub use debug::{shmoo, BreakpointReport, ShmooPoint, ShmooResult, TckMode, TestAccess};
 pub use player::TapPort;
 pub use registers::{DataRegister, Instruction, P1500Mode, P1500Wrapper, RegisterFile};

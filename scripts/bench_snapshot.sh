@@ -6,7 +6,7 @@
 # Usage: scripts/bench_snapshot.sh <n> [bench-name ...]
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
 #   bench-name   optional criterion bench targets
-#                (default: gate_sim kernel system_sim)
+#                (default: gate_sim kernel system_sim chaos)
 #
 # Works against real criterion and the devstubs shim alike — both write
 # estimates.json with a median.point_estimate field.
@@ -21,7 +21,9 @@ n="$1"
 shift
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
-    benches=(gate_sim kernel system_sim)
+    # chaos records the robustness-campaign throughput (plans/s) next to
+    # the raw simulation benches.
+    benches=(gate_sim kernel system_sim chaos)
 fi
 
 for b in "${benches[@]}"; do
