@@ -22,39 +22,140 @@
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
+
+/// Parses a positive-integer thread-count knob from the environment,
+/// with the clamp-and-warn policy shared by every `*_THREADS` variable
+/// in this workspace (`ST_THREADS`, `ST_SERVE_THREADS`, …):
+///
+/// * unset → `None` (caller picks its own fallback),
+/// * a positive integer → `Some(n)`,
+/// * `0` → `Some(1)` — the user asked for "as little parallelism as
+///   possible", and handing 0 to a runner would be an invalid thread
+///   count,
+/// * unparsable → `None`, falling through to the caller's fallback.
+///
+/// The clamp and the parse failure each emit a one-time-per-variable
+/// stderr warning naming the rejected value: a silently ignored knob is
+/// worse than a noisy one.
+pub fn threads_from_env(var: &str) -> Option<usize> {
+    fn warn_once(var: &str, msg: String) {
+        static WARNED: Mutex<Vec<String>> = Mutex::new(Vec::new());
+        let mut seen = WARNED.lock().expect("thread-knob warning registry");
+        if !seen.iter().any(|v| v == var) {
+            seen.push(var.to_owned());
+            eprintln!("{msg}");
+        }
+    }
+    let v = std::env::var(var).ok()?;
+    match v.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        Ok(_) => {
+            warn_once(
+                var,
+                format!("warning: clamping {var}=0 to 1 (want a positive integer)"),
+            );
+            Some(1)
+        }
+        Err(_) => {
+            warn_once(
+                var,
+                format!(
+                    "warning: ignoring {var}={v:?} (want a positive integer); \
+                     falling back to the default"
+                ),
+            );
+            None
+        }
+    }
+}
 
 /// Resolves the worker-thread count for campaign runners.
 ///
 /// `ST_THREADS` (a positive integer) overrides the machine's available
-/// parallelism. `ST_THREADS=0` clamps to 1 — the user asked for "as
-/// little parallelism as possible", and handing 0 to a runner would be
-/// an invalid thread count — while an unparsable value falls back to
-/// available parallelism. Both emit a one-time stderr warning naming
-/// the rejected value: a silently ignored knob is worse than a noisy
-/// one.
+/// parallelism, with the [`threads_from_env`] clamp-and-warn policy;
+/// unset or unparsable falls back to available parallelism.
 pub fn default_threads() -> usize {
-    if let Ok(v) = std::env::var("ST_THREADS") {
-        static WARNED: std::sync::Once = std::sync::Once::new();
-        match v.trim().parse::<usize>() {
-            Ok(n) if n >= 1 => return n,
-            Ok(_) => {
-                WARNED.call_once(|| {
-                    eprintln!("warning: clamping ST_THREADS=0 to 1 (want a positive integer)");
-                });
-                return 1;
-            }
-            Err(_) => {
-                WARNED.call_once(|| {
-                    eprintln!(
-                        "warning: ignoring ST_THREADS={v:?} (want a positive integer); \
-                         falling back to available parallelism"
-                    );
-                });
-            }
-        }
+    threads_from_env("ST_THREADS")
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
+}
+
+/// A cooperative cancellation flag shared between a campaign's caller
+/// and its workers.
+///
+/// Cloning is cheap (an `Arc` bump) and every clone observes the same
+/// flag. Cancellation is *cooperative at job granularity*: a worker
+/// checks the token before claiming each job, so an in-flight job runs
+/// to completion but nothing new starts. That is the right grain for
+/// this codebase — individual simulation runs are budget-bounded and
+/// short, while campaigns are thousands of them.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
     }
-    thread::available_parallelism().map_or(1, usize::from)
+
+    /// Requests cancellation. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// True once [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+/// Optional observation/control hooks for [`run_jobs_hooked`].
+///
+/// `progress` is invoked after every completed job with
+/// `(jobs_completed_so_far, total_jobs)`. Under a multi-threaded fan-out
+/// the calls come from worker threads and may arrive out of order
+/// (completion order, not job order); the completed count is
+/// monotonically accurate. The callback must be cheap — it runs on the
+/// campaign's hot path.
+#[derive(Default, Clone, Copy)]
+pub struct RunHooks<'a> {
+    /// Checked before each job is claimed; see [`CancelToken`].
+    pub cancel: Option<&'a CancelToken>,
+    /// `(completed, total)` after each finished job.
+    pub progress: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+}
+
+impl fmt::Debug for RunHooks<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunHooks")
+            .field("cancel", &self.cancel)
+            .field("progress", &self.progress.map(|_| "<fn>"))
+            .finish()
+    }
+}
+
+/// The partial state of a cancelled campaign: every `(job index, result)`
+/// pair that completed before the token was honoured, in job order.
+#[derive(Debug)]
+pub struct Cancelled<R> {
+    /// Completed jobs, sorted by job index.
+    pub completed: Vec<(usize, R)>,
+    /// The campaign's total job count.
+    pub total: usize,
+}
+
+impl<R> fmt::Display for Cancelled<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "campaign cancelled after {} of {} jobs",
+            self.completed.len(),
+            self.total
+        )
+    }
 }
 
 /// Runs `worker` over every job, fanned across up to `threads` OS
@@ -80,18 +181,66 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    match run_jobs_hooked(jobs, threads, RunHooks::default(), worker) {
+        Ok(results) => results,
+        Err(_) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// [`run_jobs`] with cooperative cancellation and progress reporting.
+///
+/// Behaves exactly like [`run_jobs`] — same canonical-order merge, same
+/// panic propagation — until `hooks.cancel` is tripped, at which point
+/// workers stop claiming new jobs promptly (the token is checked before
+/// every claim) and the call returns [`Cancelled`] carrying every job
+/// that *did* complete, in job order. `hooks.progress` fires once per
+/// completed job with `(completed, total)`.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] (with partial, job-ordered results) when the
+/// token is cancelled before the last job is claimed.
+///
+/// # Panics
+///
+/// Worker panics propagate exactly as in [`run_jobs`], and take
+/// precedence over concurrent cancellation.
+pub fn run_jobs_hooked<T, R, F>(
+    jobs: &[T],
+    threads: usize,
+    hooks: RunHooks<'_>,
+    worker: F,
+) -> Result<Vec<R>, Cancelled<R>>
+where
+    T: Sync + fmt::Debug,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let threads = threads.clamp(1, jobs.len().max(1));
+    let cancelled = || hooks.cancel.is_some_and(CancelToken::is_cancelled);
+    let done = AtomicUsize::new(0);
+    let report = || {
+        let completed = done.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(p) = hooks.progress {
+            p(completed, jobs.len());
+        }
+    };
     if threads == 1 {
-        return jobs
-            .iter()
-            .enumerate()
-            .map(
-                |(i, job)| match catch_unwind(AssertUnwindSafe(|| worker(i, job))) {
-                    Ok(r) => r,
-                    Err(payload) => rethrow(i, job, payload),
-                },
-            )
-            .collect();
+        let mut out = Vec::with_capacity(jobs.len());
+        for (i, job) in jobs.iter().enumerate() {
+            if cancelled() {
+                return Err(Cancelled {
+                    completed: out.into_iter().enumerate().collect(),
+                    total: jobs.len(),
+                });
+            }
+            match catch_unwind(AssertUnwindSafe(|| worker(i, job))) {
+                Ok(r) => out.push(r),
+                Err(payload) => rethrow(i, job, payload),
+            }
+            report();
+        }
+        return Ok(out);
     }
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
@@ -102,7 +251,7 @@ where
                 s.spawn(|| {
                     let mut out = Vec::new();
                     loop {
-                        if failed.load(Ordering::Relaxed) {
+                        if failed.load(Ordering::Relaxed) || cancelled() {
                             break;
                         }
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -116,6 +265,7 @@ where
                                 return Err((i, payload));
                             }
                         }
+                        report();
                     }
                     Ok(out)
                 })
@@ -134,15 +284,19 @@ where
             .expect("a failure was flagged");
         rethrow(i, &jobs[i], payload);
     }
-    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
-    for (i, r) in buckets.into_iter().flatten().flatten() {
-        debug_assert!(slots[i].is_none(), "job {i} executed twice");
-        slots[i] = Some(r);
+    let mut pairs: Vec<(usize, R)> = buckets.into_iter().flatten().flatten().collect();
+    pairs.sort_by_key(|(i, _)| *i);
+    if cancelled() && pairs.len() < jobs.len() {
+        return Err(Cancelled {
+            completed: pairs,
+            total: jobs.len(),
+        });
     }
-    slots
-        .into_iter()
-        .map(|o| o.expect("every job executed exactly once"))
-        .collect()
+    debug_assert!(
+        pairs.iter().enumerate().all(|(slot, (i, _))| slot == *i),
+        "every job executed exactly once"
+    );
+    Ok(pairs.into_iter().map(|(_, r)| r).collect())
 }
 
 /// Re-raises a caught worker panic annotated with the failing job. A
@@ -288,6 +442,93 @@ mod tests {
     }
 
     #[test]
+    fn cancellation_stops_promptly_and_reports_partial_state() {
+        // The token trips from inside job 5's worker; jobs already
+        // finished must come back (in job order), and nothing may start
+        // after the token is honoured. Checked sequentially and fanned.
+        for threads in [1, 4] {
+            let jobs: Vec<u64> = (0..200).collect();
+            let token = CancelToken::new();
+            let hooks = RunHooks {
+                cancel: Some(&token),
+                progress: None,
+            };
+            let err = run_jobs_hooked(&jobs, threads, hooks, |i, j: &u64| {
+                if i == 5 {
+                    token.cancel();
+                }
+                *j * 2
+            })
+            .expect_err("the campaign must report cancellation");
+            assert_eq!(err.total, 200, "{threads} threads");
+            assert!(
+                !err.completed.is_empty() && err.completed.len() < 200,
+                "{threads} threads: {} completed",
+                err.completed.len()
+            );
+            // Partial results are job-ordered and correct.
+            for w in err.completed.windows(2) {
+                assert!(w[0].0 < w[1].0, "{threads} threads: unsorted partial state");
+            }
+            for (i, r) in &err.completed {
+                assert_eq!(*r, jobs[*i] * 2, "{threads} threads");
+            }
+            assert!(err.to_string().contains("of 200 jobs"));
+            // At 1 thread the cut is exact: jobs 0..=5 ran, nothing else.
+            if threads == 1 {
+                assert_eq!(err.completed.len(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn cancelling_after_completion_still_returns_ok_results() {
+        let jobs: Vec<u64> = (0..8).collect();
+        let token = CancelToken::new();
+        let hooks = RunHooks {
+            cancel: Some(&token),
+            progress: None,
+        };
+        let last = jobs.len() - 1;
+        let out = run_jobs_hooked(&jobs, 4, hooks, |i, j: &u64| {
+            if i == last {
+                token.cancel(); // too late: every job already claimed
+            }
+            *j
+        });
+        // Either every job completed (Ok) or a worker saw the token
+        // between claims (Err with partial state); both are legal, but
+        // a full result set must never be reported as cancelled.
+        if let Err(c) = out {
+            assert!(c.completed.len() < jobs.len());
+        }
+    }
+
+    #[test]
+    fn progress_reports_every_completion() {
+        use std::sync::Mutex;
+        for threads in [1, 3] {
+            let jobs: Vec<u64> = (0..50).collect();
+            let seen = Mutex::new(Vec::new());
+            let progress = |done: usize, total: usize| {
+                seen.lock().unwrap().push((done, total));
+            };
+            let hooks = RunHooks {
+                cancel: None,
+                progress: Some(&progress),
+            };
+            let out = run_jobs_hooked(&jobs, threads, hooks, |_, j: &u64| *j).expect("no token");
+            assert_eq!(out, jobs);
+            let mut seen = seen.into_inner().unwrap();
+            seen.sort_unstable();
+            // Every completion reported exactly once, against the right
+            // total (arrival order is unspecified across threads).
+            let want: Vec<(usize, usize)> = (1..=50).map(|d| (d, 50)).collect();
+            assert_eq!(seen, want, "{threads} threads");
+        }
+    }
+
+    #[test]
     fn st_threads_zero_clamps_to_one() {
         // One test fn owns all ST_THREADS mutation: parallel test
         // threads must not race on the process environment.
@@ -298,6 +539,12 @@ mod tests {
         assert_eq!(default_threads(), 3);
         std::env::set_var("ST_THREADS", "banana");
         assert!(default_threads() >= 1, "garbage falls back to parallelism");
+        // The shared helper exposes the same policy to other knobs.
+        assert_eq!(threads_from_env("ST_THREADS"), None, "garbage is ignored");
+        std::env::set_var("ST_THREADS", " 7 ");
+        assert_eq!(threads_from_env("ST_THREADS"), Some(7), "whitespace ok");
+        std::env::set_var("ST_THREADS", "0");
+        assert_eq!(threads_from_env("ST_THREADS"), Some(1), "zero clamps");
         match prev {
             Some(v) => std::env::set_var("ST_THREADS", v),
             None => std::env::remove_var("ST_THREADS"),

@@ -30,6 +30,40 @@ pub struct SbIoTrace {
     limit: usize,
 }
 
+/// Magic prefix of the canonical trace encoding.
+pub const CANON_MAGIC: &[u8; 4] = b"STIO";
+/// Version byte of the canonical trace encoding.
+pub const CANON_VERSION: u8 = 1;
+
+/// Decoding failures for [`SbIoTrace::from_canonical_bytes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CanonError {
+    /// The input ended before the encoding was complete.
+    Truncated,
+    /// The magic prefix is not `"STIO"`.
+    BadMagic,
+    /// An unknown format version byte.
+    BadVersion(u8),
+    /// An option tag other than 0 or 1.
+    BadTag(u8),
+    /// Well-formed encoding followed by extra bytes (count).
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CanonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanonError::Truncated => write!(f, "canonical trace truncated"),
+            CanonError::BadMagic => write!(f, "not a canonical trace (bad magic)"),
+            CanonError::BadVersion(v) => write!(f, "unknown canonical trace version {v}"),
+            CanonError::BadTag(t) => write!(f, "invalid option tag {t:#04x}"),
+            CanonError::TrailingBytes(n) => write!(f, "{n} trailing bytes after trace"),
+        }
+    }
+}
+
+impl std::error::Error for CanonError {}
+
 impl SbIoTrace {
     /// A trace that records at most `limit` cycles (0 = unlimited).
     pub fn with_limit(limit: usize) -> Self {
@@ -110,6 +144,115 @@ impl SbIoTrace {
             .iter()
             .filter_map(|r| r.writes.get(idx).copied().flatten())
             .collect()
+    }
+
+    /// Serializes the trace to its canonical byte form.
+    ///
+    /// The encoding is a pure function of the trace's value — fixed
+    /// little-endian field widths, no padding, no platform-dependent
+    /// content — so equal traces always produce equal bytes and the
+    /// bytes are stable across processes and machines. That property is
+    /// what makes cached campaign results *content-addressable*
+    /// (`st-serve` keys its result store by a hash of canonical bytes)
+    /// and served results byte-comparable to locally computed ones.
+    ///
+    /// Layout: magic `"STIO"`, version `1`, `limit: u64`,
+    /// `row_count: u64`, then per row `cycle: u64`,
+    /// `reads_len: u32`, per read a tag byte (`0` = `None`,
+    /// `1` = `Some` followed by the `u64` word), `writes_len: u32`
+    /// and the writes likewise. All integers little-endian.
+    pub fn to_canonical_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(21 + self.rows.len() * 16);
+        out.extend_from_slice(CANON_MAGIC);
+        out.push(CANON_VERSION);
+        out.extend_from_slice(&(self.limit as u64).to_le_bytes());
+        out.extend_from_slice(&(self.rows.len() as u64).to_le_bytes());
+        let put_words = |out: &mut Vec<u8>, words: &[Option<u64>]| {
+            out.extend_from_slice(&(words.len() as u32).to_le_bytes());
+            for w in words {
+                match w {
+                    None => out.push(0),
+                    Some(v) => {
+                        out.push(1);
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        };
+        for row in &self.rows {
+            out.extend_from_slice(&row.cycle.to_le_bytes());
+            put_words(&mut out, &row.reads);
+            put_words(&mut out, &row.writes);
+        }
+        out
+    }
+
+    /// Decodes a trace from its canonical byte form
+    /// (see [`to_canonical_bytes`](Self::to_canonical_bytes)).
+    ///
+    /// # Errors
+    ///
+    /// Rejects wrong magic/version, truncated input, invalid option
+    /// tags, and trailing bytes. Decoding is exact: re-encoding the
+    /// returned trace reproduces the input byte-for-byte.
+    pub fn from_canonical_bytes(bytes: &[u8]) -> Result<SbIoTrace, CanonError> {
+        struct Reader<'a>(&'a [u8]);
+        impl Reader<'_> {
+            fn take<const N: usize>(&mut self) -> Result<[u8; N], CanonError> {
+                if self.0.len() < N {
+                    return Err(CanonError::Truncated);
+                }
+                let (head, rest) = self.0.split_at(N);
+                self.0 = rest;
+                Ok(head.try_into().expect("split_at guarantees length"))
+            }
+            fn u8(&mut self) -> Result<u8, CanonError> {
+                Ok(self.take::<1>()?[0])
+            }
+            fn u32(&mut self) -> Result<u32, CanonError> {
+                Ok(u32::from_le_bytes(self.take()?))
+            }
+            fn u64(&mut self) -> Result<u64, CanonError> {
+                Ok(u64::from_le_bytes(self.take()?))
+            }
+            fn words(&mut self) -> Result<Vec<Option<u64>>, CanonError> {
+                let n = self.u32()? as usize;
+                // Cap pre-allocation by what the input could actually
+                // hold (1 byte per element minimum): corrupt lengths
+                // must not balloon memory before Truncated is hit.
+                let mut v = Vec::with_capacity(n.min(self.0.len()));
+                for _ in 0..n {
+                    v.push(match self.u8()? {
+                        0 => None,
+                        1 => Some(self.u64()?),
+                        tag => return Err(CanonError::BadTag(tag)),
+                    });
+                }
+                Ok(v)
+            }
+        }
+        let mut r = Reader(bytes);
+        if r.take::<4>()? != *CANON_MAGIC {
+            return Err(CanonError::BadMagic);
+        }
+        match r.u8()? {
+            CANON_VERSION => {}
+            v => return Err(CanonError::BadVersion(v)),
+        }
+        let limit = r.u64()? as usize;
+        let row_count = r.u64()?;
+        let mut rows = Vec::new();
+        for _ in 0..row_count {
+            rows.push(TraceRow {
+                cycle: r.u64()?,
+                reads: r.words()?,
+                writes: r.words()?,
+            });
+        }
+        if !r.0.is_empty() {
+            return Err(CanonError::TrailingBytes(r.0.len()));
+        }
+        Ok(SbIoTrace { rows, limit })
     }
 
     /// A human-readable report of the first divergence against a

@@ -85,13 +85,16 @@ pub mod spec;
 pub mod system;
 pub mod wrapper;
 
-pub use campaign::{default_threads, run_jobs, CampaignStats};
+pub use campaign::{
+    default_threads, run_jobs, run_jobs_hooked, threads_from_env, CampaignStats, CancelToken,
+    Cancelled, RunHooks,
+};
 pub use compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
 pub use faults::{
     classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,
     SeuTarget,
 };
-pub use iotrace::{SbIoTrace, TraceRow};
+pub use iotrace::{CanonError, SbIoTrace, TraceRow};
 pub use logic::{
     IdleLogic, PackingSource, PipeTransform, SbIo, SequenceSource, SinkCollect, SyncLogic,
     UnpackingSink,
@@ -103,7 +106,10 @@ pub use wrapper::WrapperMode;
 
 /// Convenient glob import.
 pub mod prelude {
-    pub use crate::campaign::{default_threads, run_jobs, CampaignStats};
+    pub use crate::campaign::{
+        default_threads, run_jobs, run_jobs_hooked, threads_from_env, CampaignStats, CancelToken,
+        Cancelled, RunHooks,
+    };
     pub use crate::compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
     pub use crate::faults::{
         classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,

@@ -1,0 +1,157 @@
+//! Canonical-serialization round trip for [`SbIoTrace`].
+//!
+//! `st-serve` derives content-addressed cache keys from canonical trace
+//! bytes and compares served results byte-for-byte against locally
+//! computed ones, so the encoding must be exact: decode must invert
+//! encode, and re-encoding a decoded trace must reproduce the input
+//! byte-identically.
+
+use proptest::prelude::*;
+use synchro_tokens::iotrace::{CanonError, CANON_MAGIC, CANON_VERSION};
+use synchro_tokens::{SbIoTrace, TraceRow};
+
+fn arb_word() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), any::<u64>()).prop_map(|(some, v)| some.then_some(v))
+}
+
+fn arb_row() -> impl Strategy<Value = TraceRow> {
+    (
+        any::<u64>(),
+        proptest::collection::vec(arb_word(), 0..5),
+        proptest::collection::vec(arb_word(), 0..5),
+    )
+        .prop_map(|(cycle, reads, writes)| TraceRow {
+            cycle,
+            reads,
+            writes,
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = SbIoTrace> {
+    (proptest::collection::vec(arb_row(), 0..40), 0usize..64).prop_map(|(rows, extra)| {
+        // Build through the public API so the trace is always a state
+        // `record` could have produced: the limit is 0 (unlimited) or
+        // at least the row count.
+        let limit = if extra == 0 { 0 } else { rows.len() + extra };
+        let mut t = SbIoTrace::with_limit(limit);
+        for row in rows {
+            t.record(row);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn encode_decode_reencode_is_byte_identical(trace in arb_trace()) {
+        let bytes = trace.to_canonical_bytes();
+        let decoded = SbIoTrace::from_canonical_bytes(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(&decoded, &trace, "decode must invert encode");
+        prop_assert_eq!(decoded.to_canonical_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn truncation_never_panics_and_always_errors(trace in arb_trace(), cut in any::<usize>()) {
+        let bytes = trace.to_canonical_bytes();
+        let cut = cut % bytes.len();
+        // Strictly shorter input can decode successfully only if a
+        // trailing-length prefix shrank, which the row/word counts make
+        // impossible — so every truncation must error, never panic.
+        prop_assert!(SbIoTrace::from_canonical_bytes(&bytes[..cut]).is_err());
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected_or_value_changing(
+        trace in arb_trace(),
+        pos in any::<usize>(),
+        flip in any::<u8>(),
+    ) {
+        let bytes = trace.to_canonical_bytes();
+        let mut corrupt = bytes.clone();
+        let pos = pos % corrupt.len();
+        corrupt[pos] ^= flip.max(1);
+        // A flip that still parses must decode to a *different* value
+        // (the encoding has no don't-care bits), so the content hash
+        // over canonical bytes always catches it.
+        if let Ok(decoded) = SbIoTrace::from_canonical_bytes(&corrupt) {
+            prop_assert_ne!(&decoded, &trace);
+            prop_assert_eq!(decoded.to_canonical_bytes(), corrupt);
+        }
+    }
+}
+
+#[test]
+fn empty_trace_has_minimal_stable_encoding() {
+    let t = SbIoTrace::with_limit(0);
+    let bytes = t.to_canonical_bytes();
+    assert_eq!(&bytes[..4], CANON_MAGIC);
+    assert_eq!(bytes[4], CANON_VERSION);
+    assert_eq!(
+        bytes.len(),
+        4 + 1 + 8 + 8,
+        "magic + version + limit + count"
+    );
+    assert_eq!(SbIoTrace::from_canonical_bytes(&bytes).unwrap(), t);
+}
+
+#[test]
+fn specific_corruptions_are_classified() {
+    let mut t = SbIoTrace::with_limit(8);
+    t.record(TraceRow {
+        cycle: 3,
+        reads: vec![Some(7), None],
+        writes: vec![Some(0xFFFF_FFFF_FFFF_FFFF)],
+    });
+    let good = t.to_canonical_bytes();
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&bad_magic),
+        Err(CanonError::BadMagic)
+    );
+
+    let mut bad_version = good.clone();
+    bad_version[4] = 99;
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&bad_version),
+        Err(CanonError::BadVersion(99))
+    );
+
+    let mut trailing = good.clone();
+    trailing.push(0);
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&trailing),
+        Err(CanonError::TrailingBytes(1))
+    );
+
+    // The first option tag of the row's reads sits right after
+    // header (21) + cycle (8) + reads_len (4).
+    let mut bad_tag = good.clone();
+    bad_tag[33] = 2;
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&bad_tag),
+        Err(CanonError::BadTag(2))
+    );
+
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&good[..10]),
+        Err(CanonError::Truncated)
+    );
+}
+
+#[test]
+fn huge_declared_row_count_fails_without_allocation_blowup() {
+    // A corrupt count of u64::MAX rows must hit Truncated, not OOM.
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(CANON_MAGIC);
+    bytes.push(CANON_VERSION);
+    bytes.extend_from_slice(&0u64.to_le_bytes());
+    bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+    assert_eq!(
+        SbIoTrace::from_canonical_bytes(&bytes),
+        Err(CanonError::Truncated)
+    );
+}

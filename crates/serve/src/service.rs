@@ -1,0 +1,669 @@
+//! The job service: a bounded queue, a worker pool, in-flight
+//! coalescing, per-job deadlines, and service-level metrics.
+//!
+//! One [`JobService`] is shared by every HTTP connection thread. Its
+//! invariants:
+//!
+//! * **Backpressure** — the queue is bounded; a submission that would
+//!   exceed [`ServiceConfig::queue_cap`] is rejected immediately
+//!   (HTTP 503) rather than buffered without bound.
+//! * **Coalescing** — a submission whose [`ContentKey`] matches a job
+//!   already queued or running returns that job's id instead of
+//!   enqueueing a duplicate. Determinism makes this safe: the two
+//!   executions could only ever produce identical bytes.
+//! * **Deadlines** — each job may carry a wall-clock deadline; the
+//!   worker trips the job's [`CancelToken`] from the progress hook the
+//!   moment it passes, and the job classifies as `expired`.
+//! * **Cancellation** — `/cancel/<id>` trips the same token; a still-
+//!   queued job dies without ever starting.
+
+use crate::hash::ContentKey;
+use crate::job::{execute, JobRequest};
+use crate::store::ResultStore;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use synchro_tokens::{threads_from_env, CancelToken, RunHooks};
+
+/// Monotonic job identifier, unique within one service instance.
+pub type JobId = u64;
+
+/// Where a job currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Waiting in the queue.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished; its result is in the store under the job's key.
+    Done,
+    /// Cancelled via [`JobService::cancel`] before completion.
+    Cancelled,
+    /// Its wall-clock deadline passed before completion.
+    Expired,
+}
+
+impl JobStatus {
+    /// Wire name used by `/status`.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Cancelled => "cancelled",
+            JobStatus::Expired => "expired",
+        }
+    }
+
+    /// True once the job can never change state again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobStatus::Done | JobStatus::Cancelled | JobStatus::Expired
+        )
+    }
+}
+
+/// What [`JobService::submit`] decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Submission {
+    /// The result already existed in the store; the job was registered
+    /// directly as [`JobStatus::Done`] — no execution happens.
+    Cached(JobId),
+    /// An identical request is already in flight; `JobId` is *that*
+    /// job's id and no new work was enqueued.
+    Coalesced(JobId),
+    /// A fresh job was enqueued.
+    Queued(JobId),
+    /// The queue is full — retry later (backpressure).
+    QueueFull,
+}
+
+/// Tunables, resolved once at construction.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker threads. `0` is the test/drive-by-hand mode: nothing
+    /// executes until [`JobService::step`] is called.
+    pub workers: usize,
+    /// Simulation threads each worker fans a job out over.
+    pub threads_per_job: usize,
+    /// Maximum queued (not yet running) jobs.
+    pub queue_cap: usize,
+    /// Memory LRU capacity, in results.
+    pub cache_entries: usize,
+    /// Optional persistence directory for the result store.
+    pub cache_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 1,
+            threads_per_job: 1,
+            queue_cap: 64,
+            cache_entries: 256,
+            cache_dir: None,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Applies the environment knobs documented in EXPERIMENTS.md:
+    /// `ST_SERVE_THREADS` (worker count, same clamp-and-warn contract
+    /// as `ST_THREADS` via [`threads_from_env`]) and
+    /// `ST_SERVE_CACHE_DIR` (persistence directory; empty disables).
+    pub fn from_env(mut self) -> Self {
+        if let Some(n) = threads_from_env("ST_SERVE_THREADS") {
+            self.workers = n;
+        }
+        match std::env::var("ST_SERVE_CACHE_DIR") {
+            Ok(dir) if !dir.is_empty() => self.cache_dir = Some(dir.into()),
+            _ => {}
+        }
+        self
+    }
+}
+
+struct JobEntry {
+    key: ContentKey,
+    request: Arc<JobRequest>,
+    status: JobStatus,
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+    error: Option<String>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    queue: VecDeque<JobId>,
+    jobs: HashMap<JobId, JobEntry>,
+    /// In-flight (queued or running) jobs by key — the coalescing index.
+    inflight: HashMap<ContentKey, JobId>,
+    next_id: JobId,
+    /// Wall-clock milliseconds of recently completed jobs, newest last,
+    /// bounded to [`LATENCY_WINDOW`]; feeds the p50/p99 gauges.
+    latencies_ms: Vec<u64>,
+}
+
+const LATENCY_WINDOW: usize = 512;
+
+/// Service-level counters (store counters live in [`ResultStore`]).
+#[derive(Debug, Default)]
+pub struct ServiceStats {
+    /// Jobs accepted as fresh work.
+    pub submitted: AtomicU64,
+    /// Submissions answered from the store without execution.
+    pub served_cached: AtomicU64,
+    /// Submissions coalesced onto an in-flight job.
+    pub coalesced: AtomicU64,
+    /// Submissions rejected by backpressure.
+    pub rejected: AtomicU64,
+    /// Jobs that ran to completion.
+    pub done: AtomicU64,
+    /// Jobs cancelled before completion.
+    pub cancelled: AtomicU64,
+    /// Jobs that outlived their deadline.
+    pub expired: AtomicU64,
+}
+
+/// The shared campaign service. Construct once, wrap in [`Arc`], hand
+/// to the HTTP layer and (optionally) drive by hand with
+/// [`step`](Self::step).
+pub struct JobService {
+    /// The content-addressed result store.
+    pub store: ResultStore,
+    /// Service counters for `/metrics`.
+    pub stats: ServiceStats,
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    config: ServiceConfig,
+    shutdown: AtomicBool,
+    started: Instant,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for JobService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobService")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl JobService {
+    /// Builds the service and spawns `config.workers` worker threads.
+    pub fn start(config: ServiceConfig) -> Arc<JobService> {
+        let store = match &config.cache_dir {
+            Some(dir) => ResultStore::with_dir(config.cache_entries, dir.clone()),
+            None => ResultStore::in_memory(config.cache_entries),
+        };
+        let svc = Arc::new(JobService {
+            store,
+            stats: ServiceStats::default(),
+            state: Mutex::new(QueueState::default()),
+            wake: Condvar::new(),
+            config,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            workers: Mutex::new(Vec::new()),
+        });
+        let mut workers = svc.workers.lock().unwrap();
+        for i in 0..svc.config.workers {
+            let me = Arc::clone(&svc);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("st-serve-worker-{i}"))
+                    .spawn(move || me.worker_loop())
+                    .expect("spawn worker"),
+            );
+        }
+        drop(workers);
+        svc
+    }
+
+    /// The service configuration in force.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    /// Submits a request. See [`Submission`] for the four outcomes.
+    /// `deadline` is wall-clock time from *now*.
+    pub fn submit(&self, request: JobRequest, deadline: Option<Duration>) -> Submission {
+        let key = ContentKey::of(&request.to_canonical_bytes());
+        let mut st = self.state.lock().unwrap();
+        // Coalesce before anything else: an in-flight twin means the
+        // bytes are already being computed.
+        if let Some(&id) = st.inflight.get(&key) {
+            self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+            return Submission::Coalesced(id);
+        }
+        // A store hit needs no execution at all; register a terminal
+        // job so /status and /result answer uniformly by id.
+        if self.store.get(key).is_some() {
+            let id = Self::register(&mut st, key, request, JobStatus::Done, None);
+            self.stats.served_cached.fetch_add(1, Ordering::Relaxed);
+            return Submission::Cached(id);
+        }
+        if st.queue.len() >= self.config.queue_cap {
+            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+            return Submission::QueueFull;
+        }
+        let deadline = deadline.map(|d| Instant::now() + d);
+        let id = Self::register(&mut st, key, request, JobStatus::Queued, deadline);
+        st.queue.push_back(id);
+        st.inflight.insert(key, id);
+        self.stats.submitted.fetch_add(1, Ordering::Relaxed);
+        drop(st);
+        self.wake.notify_one();
+        Submission::Queued(id)
+    }
+
+    fn register(
+        st: &mut QueueState,
+        key: ContentKey,
+        request: JobRequest,
+        status: JobStatus,
+        deadline: Option<Instant>,
+    ) -> JobId {
+        let id = st.next_id;
+        st.next_id += 1;
+        st.jobs.insert(
+            id,
+            JobEntry {
+                key,
+                request: Arc::new(request),
+                status,
+                cancel: CancelToken::new(),
+                deadline,
+                error: None,
+            },
+        );
+        id
+    }
+
+    /// The job's current status, key and (for failed runs) error text.
+    pub fn status(&self, id: JobId) -> Option<(JobStatus, ContentKey, Option<String>)> {
+        let st = self.state.lock().unwrap();
+        st.jobs.get(&id).map(|e| (e.status, e.key, e.error.clone()))
+    }
+
+    /// The job's result bytes, once [`JobStatus::Done`].
+    pub fn result(&self, id: JobId) -> Option<Vec<u8>> {
+        let key = {
+            let st = self.state.lock().unwrap();
+            let e = st.jobs.get(&id)?;
+            if e.status != JobStatus::Done {
+                return None;
+            }
+            e.key
+        };
+        self.store.get(key)
+    }
+
+    /// Requests cancellation. A queued job dies immediately; a running
+    /// one stops at its next sub-job boundary. Returns `false` for
+    /// unknown or already-terminal jobs.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.state.lock().unwrap();
+        let Some(e) = st.jobs.get_mut(&id) else {
+            return false;
+        };
+        if e.status.is_terminal() {
+            return false;
+        }
+        e.cancel.cancel();
+        if e.status == JobStatus::Queued {
+            e.status = JobStatus::Cancelled;
+            let key = e.key;
+            st.inflight.remove(&key);
+            self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+            // The id stays in `queue`; workers skip terminal entries.
+        }
+        true
+    }
+
+    /// Executes one queued job on the calling thread. The test-mode
+    /// companion to the worker pool (`workers: 0`): deterministic
+    /// interleaving with no races to reason about. Returns `false` when
+    /// the queue was empty.
+    pub fn step(&self) -> bool {
+        match self.claim() {
+            Some(id) => {
+                self.run_job(id);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Current queue depth (queued, not yet claimed).
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    fn claim(&self) -> Option<JobId> {
+        let mut st = self.state.lock().unwrap();
+        while let Some(id) = st.queue.pop_front() {
+            let e = st.jobs.get_mut(&id)?;
+            if e.status != JobStatus::Queued {
+                continue; // cancelled while queued
+            }
+            e.status = JobStatus::Running;
+            return Some(id);
+        }
+        None
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let claimed = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    if !st.queue.is_empty() {
+                        break;
+                    }
+                    st = self.wake.wait(st).unwrap();
+                }
+                drop(st);
+                self.claim()
+            };
+            if let Some(id) = claimed {
+                self.run_job(id);
+            }
+        }
+    }
+
+    fn run_job(&self, id: JobId) {
+        let (request, cancel, deadline, key) = {
+            let st = self.state.lock().unwrap();
+            let e = &st.jobs[&id];
+            (Arc::clone(&e.request), e.cancel.clone(), e.deadline, e.key)
+        };
+        let started = Instant::now();
+        // The deadline is enforced cooperatively: every completed
+        // sub-job reports progress, and a report past the deadline
+        // trips the job's own cancel token.
+        let deadline_guard = {
+            let cancel = cancel.clone();
+            move |_done: usize, _total: usize| {
+                if let Some(d) = deadline {
+                    if Instant::now() >= d {
+                        cancel.cancel();
+                    }
+                }
+            }
+        };
+        let expired_on_arrival = deadline.is_some_and(|d| Instant::now() >= d);
+        let outcome = if expired_on_arrival {
+            Err(crate::job::ExecCancelled)
+        } else {
+            let hooks = RunHooks {
+                cancel: Some(&cancel),
+                progress: Some(&deadline_guard),
+            };
+            execute(&request, self.config.threads_per_job, hooks)
+        };
+        let mut st = self.state.lock().unwrap();
+        let elapsed_ms = started.elapsed().as_millis() as u64;
+        match outcome {
+            Ok(result) => {
+                drop(st); // store I/O outside the lock
+                self.store.put(key, result.to_canonical_bytes());
+                st = self.state.lock().unwrap();
+                if let Some(e) = st.jobs.get_mut(&id) {
+                    e.status = JobStatus::Done;
+                }
+                if st.latencies_ms.len() >= LATENCY_WINDOW {
+                    st.latencies_ms.remove(0);
+                }
+                st.latencies_ms.push(elapsed_ms);
+                self.stats.done.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                let past_deadline = deadline.is_some_and(|d| Instant::now() >= d);
+                if let Some(e) = st.jobs.get_mut(&id) {
+                    if past_deadline {
+                        e.status = JobStatus::Expired;
+                        e.error = Some("deadline exceeded".to_owned());
+                        self.stats.expired.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        e.status = JobStatus::Cancelled;
+                        self.stats.cancelled.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+        st.inflight.remove(&key);
+    }
+
+    /// Latency percentiles over the recent completion window, in
+    /// milliseconds: `(p50, p99)`. Zeros before the first completion.
+    pub fn latency_percentiles_ms(&self) -> (u64, u64) {
+        let st = self.state.lock().unwrap();
+        if st.latencies_ms.is_empty() {
+            return (0, 0);
+        }
+        let mut sorted = st.latencies_ms.clone();
+        sorted.sort_unstable();
+        let at = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        (at(0.50), (at(0.99)))
+    }
+
+    /// Renders the text `/metrics` exposition.
+    pub fn metrics_text(&self) -> String {
+        let r = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let done = r(&self.stats.done);
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        let (p50, p99) = self.latency_percentiles_ms();
+        let mem_hits = r(&self.store.stats.mem_hits);
+        let disk_hits = r(&self.store.stats.disk_hits);
+        let misses = r(&self.store.stats.misses);
+        let lookups = mem_hits + disk_hits + misses;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            (mem_hits + disk_hits) as f64 / lookups as f64
+        };
+        format!(
+            "st_serve_queue_depth {}\n\
+             st_serve_jobs_submitted_total {}\n\
+             st_serve_jobs_done_total {done}\n\
+             st_serve_jobs_cancelled_total {}\n\
+             st_serve_jobs_expired_total {}\n\
+             st_serve_jobs_rejected_total {}\n\
+             st_serve_coalesced_total {}\n\
+             st_serve_served_cached_total {}\n\
+             st_serve_cache_mem_hits_total {mem_hits}\n\
+             st_serve_cache_disk_hits_total {disk_hits}\n\
+             st_serve_cache_misses_total {misses}\n\
+             st_serve_cache_evictions_total {}\n\
+             st_serve_cache_corrupt_discards_total {}\n\
+             st_serve_cache_hit_ratio {hit_ratio:.4}\n\
+             st_serve_jobs_per_second {:.4}\n\
+             st_serve_job_latency_p50_ms {p50}\n\
+             st_serve_job_latency_p99_ms {p99}\n",
+            self.queue_depth(),
+            r(&self.stats.submitted),
+            r(&self.stats.cancelled),
+            r(&self.stats.expired),
+            r(&self.stats.rejected),
+            r(&self.stats.coalesced),
+            r(&self.stats.served_cached),
+            r(&self.store.stats.evictions),
+            r(&self.store.stats.corrupt_discards),
+            done as f64 / elapsed,
+        )
+    }
+
+    /// Stops the worker pool. Running jobs are cancelled cooperatively;
+    /// queued jobs never start. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        {
+            let st = self.state.lock().unwrap();
+            for e in st.jobs.values() {
+                if !e.status.is_terminal() {
+                    e.cancel.cancel();
+                }
+            }
+        }
+        self.wake.notify_all();
+        let handles = std::mem::take(&mut *self.workers.lock().unwrap());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{Scenario, SimRequest};
+    use st_sim::time::SimDuration;
+    use synchro_tokens::Backend;
+
+    fn req(seed: u64) -> JobRequest {
+        JobRequest::Sim(SimRequest {
+            scenario: Scenario::PingPong,
+            backend: Backend::Event,
+            seeds: vec![seed],
+            cycles: 20,
+            trace_cycles: 20,
+            budget_fs: SimDuration::us(2000).as_fs(),
+        })
+    }
+
+    fn manual_service() -> Arc<JobService> {
+        JobService::start(ServiceConfig {
+            workers: 0,
+            queue_cap: 2,
+            ..ServiceConfig::default()
+        })
+    }
+
+    #[test]
+    fn submit_step_result_roundtrip_then_cache_hit() {
+        let svc = manual_service();
+        let Submission::Queued(id) = svc.submit(req(1), None) else {
+            panic!("fresh request must queue")
+        };
+        assert_eq!(svc.status(id).unwrap().0, JobStatus::Queued);
+        assert!(svc.step());
+        assert_eq!(svc.status(id).unwrap().0, JobStatus::Done);
+        let body = svc.result(id).unwrap();
+        assert!(body.starts_with(crate::job::RESULT_MAGIC));
+        // Identical resubmission: served from cache, no new work.
+        let Submission::Cached(id2) = svc.submit(req(1), None) else {
+            panic!("resubmission must hit the cache")
+        };
+        assert_eq!(svc.result(id2).unwrap(), body);
+        assert!(!svc.step(), "nothing was queued for the cached submission");
+        assert_eq!(svc.stats.served_cached.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn identical_inflight_submissions_coalesce() {
+        let svc = manual_service();
+        let Submission::Queued(id) = svc.submit(req(7), None) else {
+            panic!()
+        };
+        let Submission::Coalesced(other) = svc.submit(req(7), None) else {
+            panic!("in-flight twin must coalesce")
+        };
+        assert_eq!(other, id, "coalesced onto the queued job");
+        // A *different* request does not coalesce.
+        assert!(matches!(svc.submit(req(8), None), Submission::Queued(_)));
+        assert!(svc.step());
+        assert_eq!(svc.status(id).unwrap().0, JobStatus::Done);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let svc = manual_service(); // queue_cap 2
+        assert!(matches!(svc.submit(req(1), None), Submission::Queued(_)));
+        assert!(matches!(svc.submit(req(2), None), Submission::Queued(_)));
+        assert_eq!(svc.submit(req(3), None), Submission::QueueFull);
+        assert_eq!(svc.stats.rejected.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_prevents_execution() {
+        let svc = manual_service();
+        let Submission::Queued(id) = svc.submit(req(5), None) else {
+            panic!()
+        };
+        assert!(svc.cancel(id));
+        assert_eq!(svc.status(id).unwrap().0, JobStatus::Cancelled);
+        assert!(!svc.step(), "cancelled job must not run");
+        assert!(!svc.cancel(id), "terminal jobs cannot be re-cancelled");
+        // The key is free again: resubmitting queues fresh work.
+        assert!(matches!(svc.submit(req(5), None), Submission::Queued(_)));
+    }
+
+    #[test]
+    fn elapsed_deadline_expires_instead_of_running() {
+        let svc = manual_service();
+        let Submission::Queued(id) = svc.submit(req(6), Some(Duration::ZERO)) else {
+            panic!()
+        };
+        assert!(svc.step());
+        assert_eq!(svc.status(id).unwrap().0, JobStatus::Expired);
+        assert_eq!(svc.result(id), None);
+        assert_eq!(svc.stats.expired.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_pool_completes_jobs_without_manual_stepping() {
+        let svc = JobService::start(ServiceConfig {
+            workers: 2,
+            ..ServiceConfig::default()
+        });
+        let ids: Vec<JobId> = (0..4)
+            .map(|s| match svc.submit(req(100 + s), None) {
+                Submission::Queued(id) => id,
+                other => panic!("expected queue, got {other:?}"),
+            })
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(60);
+        for id in ids {
+            while svc.status(id).unwrap().0 != JobStatus::Done {
+                assert!(Instant::now() < deadline, "worker pool stalled");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+        svc.shutdown();
+        let metrics = svc.metrics_text();
+        assert!(metrics.contains("st_serve_jobs_done_total 4"), "{metrics}");
+    }
+
+    #[test]
+    fn metrics_render_all_series() {
+        let svc = manual_service();
+        svc.submit(req(1), None);
+        svc.step();
+        let text = svc.metrics_text();
+        for series in [
+            "st_serve_queue_depth",
+            "st_serve_cache_hit_ratio",
+            "st_serve_jobs_per_second",
+            "st_serve_job_latency_p50_ms",
+            "st_serve_job_latency_p99_ms",
+        ] {
+            assert!(text.contains(series), "missing {series} in {text}");
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! End-to-end tests over a real TCP socket: the served bytes must be
+//! *byte-identical* to computing the same campaign directly through
+//! `campaign::run_jobs`, on both backends; caching and coalescing must
+//! be observable and must never recompute.
+
+use st_serve::http::{request, Server};
+use st_serve::job::{JobRequest, Scenario, SimRequest};
+use st_serve::service::{JobService, ServiceConfig};
+use st_serve::{JobResult, Json};
+use st_sim::time::SimDuration;
+use std::net::SocketAddr;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+use synchro_tokens::Backend;
+
+fn sim_request(backend: Backend, seeds: Vec<u64>) -> SimRequest {
+    SimRequest {
+        scenario: Scenario::E1,
+        backend,
+        seeds,
+        cycles: 40,
+        trace_cycles: 40,
+        budget_fs: SimDuration::us(2000).as_fs(),
+    }
+}
+
+fn submit(addr: SocketAddr, req: &JobRequest) -> (String, u64) {
+    let body = req.to_json().encode();
+    let (code, reply) = request(addr, "POST", "/submit", body.as_bytes()).unwrap();
+    assert_eq!(code, 202, "{}", String::from_utf8_lossy(&reply));
+    let v = Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    (
+        v.get("status").unwrap().as_str().unwrap().to_owned(),
+        v.get("id").unwrap().as_u64().unwrap(),
+    )
+}
+
+fn wait_done(addr: SocketAddr, id: u64) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (code, reply) = request(addr, "GET", &format!("/status/{id}"), b"").unwrap();
+        assert_eq!(code, 200);
+        let v = Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" => return,
+            "queued" | "running" => {
+                assert!(Instant::now() < deadline, "job {id} stalled");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            other => panic!("job {id} ended as {other}"),
+        }
+    }
+}
+
+fn fetch_result(addr: SocketAddr, id: u64) -> Vec<u8> {
+    let (code, body) = request(addr, "GET", &format!("/result/{id}"), b"").unwrap();
+    assert_eq!(code, 200, "{}", String::from_utf8_lossy(&body));
+    body
+}
+
+fn metric(addr: SocketAddr, name: &str) -> u64 {
+    let (code, body) = request(addr, "GET", "/metrics", b"").unwrap();
+    assert_eq!(code, 200);
+    let text = String::from_utf8(body).unwrap();
+    text.lines()
+        .find_map(|l| l.strip_prefix(name)?.trim().parse().ok())
+        .unwrap_or_else(|| panic!("metric {name} missing in:\n{text}"))
+}
+
+/// The tentpole assertion: for each backend, the body served over HTTP
+/// equals the canonical encoding of the same seeds fanned through
+/// `campaign::run_jobs` directly — and the Event and Compiled bodies
+/// equal *each other* (the traces a campaign produces are
+/// backend-invariant; only the request encodings differ).
+#[test]
+fn served_results_are_byte_identical_to_direct_run_jobs_on_both_backends() {
+    let service = JobService::start(ServiceConfig {
+        workers: 1,
+        threads_per_job: 2,
+        ..ServiceConfig::default()
+    });
+    let mut server = Server::bind("127.0.0.1:0", service).unwrap();
+    let seeds = vec![11, 22, 33];
+
+    let mut bodies = Vec::new();
+    for backend in [Backend::Event, Backend::Compiled] {
+        let req = sim_request(backend, seeds.clone());
+        let (status, id) = submit(server.addr(), &JobRequest::Sim(req.clone()));
+        assert_eq!(status, "queued");
+        wait_done(server.addr(), id);
+        let served = fetch_result(server.addr(), id);
+
+        // Direct computation, no service anywhere in the path.
+        let direct = JobResult::Sim(synchro_tokens::run_jobs(&seeds, 1, |_, &s| {
+            st_serve::run_sim_once(&req, s)
+        }))
+        .to_canonical_bytes();
+        assert_eq!(served, direct, "served bytes differ on {backend:?}");
+        bodies.push(served);
+    }
+    assert_eq!(
+        bodies[0], bodies[1],
+        "Event and Compiled must serve identical campaign bytes"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn resubmission_is_a_cache_hit_served_without_recompute() {
+    let service = JobService::start(ServiceConfig {
+        workers: 1,
+        ..ServiceConfig::default()
+    });
+    let mut server = Server::bind("127.0.0.1:0", service).unwrap();
+    let req = JobRequest::Sim(sim_request(Backend::Event, vec![5, 6]));
+
+    let (status, id) = submit(server.addr(), &req);
+    assert_eq!(status, "queued");
+    wait_done(server.addr(), id);
+    let first = fetch_result(server.addr(), id);
+    let done_before = metric(server.addr(), "st_serve_jobs_done_total");
+
+    // Identical resubmission: answered from the store.
+    let (status, id2) = submit(server.addr(), &req);
+    assert_eq!(status, "cached");
+    assert_ne!(id2, id, "a cached submission still gets its own job id");
+    let second = fetch_result(server.addr(), id2);
+    assert_eq!(second, first, "cache hit must serve identical bytes");
+
+    // No recompute happened: the hit counter moved, the done counter
+    // did not.
+    assert_eq!(
+        metric(server.addr(), "st_serve_jobs_done_total"),
+        done_before
+    );
+    assert!(metric(server.addr(), "st_serve_served_cached_total") >= 1);
+    assert!(metric(server.addr(), "st_serve_cache_mem_hits_total") >= 1);
+    server.shutdown();
+}
+
+/// Coalescing, deterministically: with `workers: 0` nothing executes
+/// until we say so, so the in-flight window is under test control
+/// instead of a race.
+#[test]
+fn concurrent_identical_submissions_coalesce_onto_one_execution() {
+    let service = JobService::start(ServiceConfig {
+        workers: 0,
+        ..ServiceConfig::default()
+    });
+    let mut server = Server::bind("127.0.0.1:0", service).unwrap();
+    let req = JobRequest::Sim(sim_request(Backend::Compiled, vec![42]));
+
+    let (status, id) = submit(server.addr(), &req);
+    assert_eq!(status, "queued");
+    // Second submission lands while the first is in flight — even
+    // racing HTTP clients funnel into the same coalescing check.
+    let (status, id2) = submit(server.addr(), &req);
+    assert_eq!(status, "coalesced");
+    assert_eq!(id2, id, "coalesced submission shares the original job");
+    assert_eq!(metric(server.addr(), "st_serve_coalesced_total"), 1);
+    assert_eq!(
+        metric(server.addr(), "st_serve_queue_depth"),
+        1,
+        "one queued execution for two submissions"
+    );
+
+    // Execute exactly one job; both ids now resolve to the same bytes.
+    assert!(server.service().step());
+    assert!(!server.service().step(), "no second execution exists");
+    wait_done(server.addr(), id);
+    let body = fetch_result(server.addr(), id);
+    assert_eq!(fetch_result(server.addr(), id2), body);
+
+    // After completion the flight is over: a third submission is a
+    // cache hit, not a coalesce.
+    let (status, _) = submit(server.addr(), &req);
+    assert_eq!(status, "cached");
+    assert_eq!(
+        server.service().stats.done.load(Ordering::Relaxed),
+        1,
+        "exactly one execution for three submissions"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn cancel_over_http_stops_a_queued_job() {
+    let service = JobService::start(ServiceConfig {
+        workers: 0,
+        ..ServiceConfig::default()
+    });
+    let mut server = Server::bind("127.0.0.1:0", service).unwrap();
+    let (status, id) = submit(
+        server.addr(),
+        &JobRequest::Sim(sim_request(Backend::Event, vec![9])),
+    );
+    assert_eq!(status, "queued");
+
+    let (code, reply) = request(server.addr(), "POST", &format!("/cancel/{id}"), b"").unwrap();
+    assert_eq!(code, 200);
+    assert_eq!(reply, br#"{"cancelled":true}"#);
+
+    let (code, reply) = request(server.addr(), "GET", &format!("/status/{id}"), b"").unwrap();
+    assert_eq!(code, 200);
+    let v = Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(v.get("status").unwrap().as_str(), Some("cancelled"));
+    assert!(!server.service().step(), "cancelled job never runs");
+
+    // Its result is gone for good — and a repeat cancel reports false.
+    let (code, _) = request(server.addr(), "GET", &format!("/result/{id}"), b"").unwrap();
+    assert_eq!(code, 409);
+    let (_, reply) = request(server.addr(), "POST", &format!("/cancel/{id}"), b"").unwrap();
+    assert_eq!(reply, br#"{"cancelled":false}"#);
+    server.shutdown();
+}
+
+#[test]
+fn full_queue_backpressure_is_http_503() {
+    let service = JobService::start(ServiceConfig {
+        workers: 0,
+        queue_cap: 1,
+        ..ServiceConfig::default()
+    });
+    let mut server = Server::bind("127.0.0.1:0", service).unwrap();
+    let (status, _) = submit(
+        server.addr(),
+        &JobRequest::Sim(sim_request(Backend::Event, vec![1])),
+    );
+    assert_eq!(status, "queued");
+    let over = JobRequest::Sim(sim_request(Backend::Event, vec![2]));
+    let (code, reply) = request(
+        server.addr(),
+        "POST",
+        "/submit",
+        over.to_json().encode().as_bytes(),
+    )
+    .unwrap();
+    assert_eq!(code, 503, "{}", String::from_utf8_lossy(&reply));
+    server.shutdown();
+}
+
+/// `ST_SERVE_THREADS` / `ST_SERVE_CACHE_DIR` resolution. One test owns
+/// both variables — env mutation must not race other tests.
+#[test]
+fn serve_env_knobs_follow_the_st_threads_contract() {
+    let base = || ServiceConfig {
+        workers: 7,
+        ..ServiceConfig::default()
+    };
+    std::env::remove_var("ST_SERVE_THREADS");
+    std::env::remove_var("ST_SERVE_CACHE_DIR");
+    let cfg = base().from_env();
+    assert_eq!(cfg.workers, 7, "unset leaves the default");
+    assert_eq!(cfg.cache_dir, None);
+
+    std::env::set_var("ST_SERVE_THREADS", "3");
+    assert_eq!(base().from_env().workers, 3);
+
+    std::env::set_var("ST_SERVE_THREADS", "0");
+    assert_eq!(base().from_env().workers, 1, "zero clamps to one");
+
+    std::env::set_var("ST_SERVE_THREADS", "banana");
+    assert_eq!(base().from_env().workers, 7, "garbage warns and is ignored");
+
+    std::env::set_var("ST_SERVE_CACHE_DIR", "/tmp/st-serve-knob-test");
+    assert_eq!(
+        base().from_env().cache_dir.as_deref(),
+        Some(std::path::Path::new("/tmp/st-serve-knob-test"))
+    );
+    std::env::set_var("ST_SERVE_CACHE_DIR", "");
+    assert_eq!(base().from_env().cache_dir, None, "empty disables");
+
+    std::env::remove_var("ST_SERVE_THREADS");
+    std::env::remove_var("ST_SERVE_CACHE_DIR");
+}

@@ -23,9 +23,10 @@
 //! *identical across backends* — fault handling is part of the
 //! behavioural contract the compiled engine mirrors.
 //!
-//! Jobs fan out over [`run_jobs`], so a campaign report is byte-identical
-//! at any thread count. `ST_CHAOS_CONFIGS` caps the configuration count
-//! for smoke runs (see [`configs_from_env`]).
+//! Jobs fan out over [`run_jobs`](synchro_tokens::run_jobs), so a
+//! campaign report is byte-identical at any thread count.
+//! `ST_CHAOS_CONFIGS` caps the configuration count for smoke runs (see
+//! [`configs_from_env`]).
 
 use st_sim::time::SimDuration;
 use std::fmt;
@@ -33,7 +34,7 @@ use std::time::Instant;
 use synchro_tokens::prelude::*;
 use synchro_tokens::scenarios::MixerLogic;
 use synchro_tokens::{classify, run_with_plan, BackendKind, CampaignStats, ChaosOutcome};
-use synchro_tokens::{run_jobs, FaultClass, FaultPlan};
+use synchro_tokens::{run_jobs_hooked, FaultClass, FaultPlan, RunHooks};
 
 /// One chaos configuration: a plan seed and the fault class to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -173,8 +174,34 @@ pub fn run_chaos_campaign(
     budget: SimDuration,
     threads: usize,
 ) -> ChaosReport {
+    match run_chaos_campaign_hooked(spec, jobs, cycles, budget, threads, RunHooks::default()) {
+        Ok(report) => report,
+        Err(_) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// Jobified [`run_chaos_campaign`]: the same differential campaign with
+/// [`RunHooks`] for cooperative cancellation (checked between
+/// configurations) and progress reporting, so chaos sweeps can run as
+/// cancellable service jobs under `st-serve`'s worker pool.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`](synchro_tokens::Cancelled) carrying the
+/// completed [`ChaosRun`]s (in job order) when the token trips before
+/// the last configuration is claimed.
+pub fn run_chaos_campaign_hooked(
+    spec: &SystemSpec,
+    jobs: &[ChaosJob],
+    cycles: u64,
+    budget: SimDuration,
+    threads: usize,
+    hooks: RunHooks<'_>,
+) -> Result<ChaosReport, synchro_tokens::Cancelled<ChaosRun>> {
     let started = Instant::now();
-    let runs = run_jobs(jobs, threads, |_, job| run_one(spec, *job, cycles, budget));
+    let runs = run_jobs_hooked(jobs, threads, hooks, |_, job| {
+        run_one(spec, *job, cycles, budget)
+    })?;
     let stats = CampaignStats {
         // Golden + two attacked backends per configuration.
         runs: runs.len() * 3,
@@ -183,7 +210,7 @@ pub fn run_chaos_campaign(
         events_fired: 0,
         wakes: 0,
     };
-    ChaosReport { runs, stats }
+    Ok(ChaosReport { runs, stats })
 }
 
 fn run_one(spec: &SystemSpec, job: ChaosJob, cycles: u64, budget: SimDuration) -> ChaosRun {

@@ -283,6 +283,41 @@ pub fn shmoo_any(
     cycles: u64,
     build: &(dyn Fn(SystemSpec, u64) -> AnySystem + Sync),
 ) -> ShmooResult {
+    let threads = synchro_tokens::campaign::default_threads();
+    match shmoo_any_hooked(
+        spec,
+        sb,
+        periods,
+        cycles,
+        build,
+        threads,
+        synchro_tokens::RunHooks::default(),
+    ) {
+        Ok(result) => result,
+        Err(_) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// Jobified [`shmoo_any`]: the same sweep with an explicit thread count
+/// and [`RunHooks`](synchro_tokens::RunHooks), so a long shmoo can be
+/// driven as a *service job* — cancelled cooperatively between points
+/// and observed via the progress callback (`st-serve`'s worker pool
+/// uses exactly this entry point).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`](synchro_tokens::Cancelled) with the completed
+/// points (in sweep order) when the hook's token trips before the last
+/// point is claimed.
+pub fn shmoo_any_hooked(
+    spec: &SystemSpec,
+    sb: SbId,
+    periods: &[SimDuration],
+    cycles: u64,
+    build: &(dyn Fn(SystemSpec, u64) -> AnySystem + Sync),
+    threads: usize,
+    hooks: synchro_tokens::RunHooks<'_>,
+) -> Result<ShmooResult, synchro_tokens::Cancelled<ShmooPoint>> {
     let golden: Vec<u64> = {
         let mut sys = build(spec.clone(), 0);
         sys.run_until_cycles(cycles, SimDuration::us(5000))
@@ -291,25 +326,25 @@ pub fn shmoo_any(
             .map(|i| sys.io_trace(SbId(i)).digest())
             .collect()
     };
-    let threads = synchro_tokens::campaign::default_threads();
-    let points = synchro_tokens::campaign::run_jobs(periods, threads, |_, &period| {
-        let mut s = spec.clone();
-        s.sbs[sb.0].period = period;
-        let mut sys = build(s, 0);
-        let completed = matches!(
-            sys.run_until_cycles(cycles, SimDuration::us(5000)),
-            Ok(synchro_tokens::system::RunOutcome::Reached)
-        );
-        let digests: Vec<u64> = (0..spec.sbs.len())
-            .map(|i| sys.io_trace(SbId(i)).digest())
-            .collect();
-        ShmooPoint {
-            period,
-            pass: completed && digests == golden,
-            violations: sys.timing_violations(sb),
-        }
-    });
-    ShmooResult { points }
+    let points =
+        synchro_tokens::campaign::run_jobs_hooked(periods, threads, hooks, |_, &period| {
+            let mut s = spec.clone();
+            s.sbs[sb.0].period = period;
+            let mut sys = build(s, 0);
+            let completed = matches!(
+                sys.run_until_cycles(cycles, SimDuration::us(5000)),
+                Ok(synchro_tokens::system::RunOutcome::Reached)
+            );
+            let digests: Vec<u64> = (0..spec.sbs.len())
+                .map(|i| sys.io_trace(SbId(i)).digest())
+                .collect();
+            ShmooPoint {
+                period,
+                pass: completed && digests == golden,
+                violations: sys.timing_violations(sb),
+            }
+        })?;
+    Ok(ShmooResult { points })
 }
 
 #[cfg(test)]

@@ -56,9 +56,13 @@ pub mod tap;
 
 pub use bist::{BistEngine, Lfsr, Misr};
 pub use chaos::{
-    chaos_jobs, configs_from_env, run_chaos_campaign, ChaosJob, ChaosReport, ChaosRun,
+    chaos_jobs, configs_from_env, run_chaos_campaign, run_chaos_campaign_hooked, ChaosJob,
+    ChaosReport, ChaosRun,
 };
-pub use debug::{shmoo, BreakpointReport, ShmooPoint, ShmooResult, TckMode, TestAccess};
+pub use debug::{
+    shmoo, shmoo_any, shmoo_any_hooked, BreakpointReport, ShmooPoint, ShmooResult, TckMode,
+    TestAccess,
+};
 pub use player::TapPort;
 pub use registers::{DataRegister, Instruction, P1500Mode, P1500Wrapper, RegisterFile};
 pub use scan::SelfTimedScanChain;

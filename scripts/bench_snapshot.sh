@@ -6,7 +6,7 @@
 # Usage: scripts/bench_snapshot.sh <n> [bench-name ...]
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
 #   bench-name   optional criterion bench targets
-#                (default: gate_sim kernel system_sim chaos)
+#                (default: gate_sim kernel system_sim chaos serve)
 #
 # Works against real criterion and the devstubs shim alike — both write
 # estimates.json with a median.point_estimate field.
@@ -23,7 +23,7 @@ benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
     # chaos records the robustness-campaign throughput (plans/s) next to
     # the raw simulation benches.
-    benches=(gate_sim kernel system_sim chaos)
+    benches=(gate_sim kernel system_sim chaos serve)
 fi
 
 for b in "${benches[@]}"; do

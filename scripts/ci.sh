@@ -28,6 +28,9 @@ echo "== chaos smoke (fixed seeds, reduced budget) =="
 ST_CHAOS_CONFIGS=48 PROPTEST_CASES=8 cargo test --release -p st-testkit --test chaos -q
 PROPTEST_CASES=8 cargo test --release -p synchro-tokens --test faults -q
 
+echo "== st-serve HTTP smoke (ephemeral port, tiny E1 campaign) =="
+scripts/serve_smoke.sh
+
 echo "== benches compile =="
 cargo bench --workspace --no-run
 

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# st-serve smoke: boot the release server on an ephemeral port, drive a
+# tiny E1 campaign through the HTTP API, and prove the cache contract:
+# miss -> computed; identical resubmit -> hit with a byte-identical
+# body and no recompute; clean shutdown over the API.
+#
+# Usage: scripts/serve_smoke.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p st-serve -q
+bin=target/release/st_serve
+work=$(mktemp -d)
+trap 'rm -rf "$work"; [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true' EXIT
+
+"$bin" serve 127.0.0.1:0 >"$work/server.out" 2>"$work/server.err" &
+server_pid=$!
+
+# The server prints "listening on <addr>" once bound.
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(sed -n 's/^listening on //p' "$work/server.out")
+    [[ -n "$addr" ]] && break
+    sleep 0.1
+done
+[[ -n "$addr" ]] || { echo "server never bound"; cat "$work/server.err"; exit 1; }
+echo "server at $addr"
+
+req='{"type":"sim","scenario":"e1","backend":"compiled","seeds":[1,2,3],"cycles":40,"trace_cycles":40,"budget_fs":2000000000000}'
+
+reply=$("$bin" submit "$addr" "$req")
+echo "first submit: $reply"
+grep -q '"status":"queued"' <<<"$reply" || { echo "expected a cache miss to queue"; exit 1; }
+id=$(sed -n 's/.*"id":\([0-9]*\).*/\1/p' <<<"$reply")
+
+for _ in $(seq 1 200); do
+    status=$("$bin" status "$addr" "$id")
+    grep -q '"status":"done"' <<<"$status" && break
+    sleep 0.05
+done
+grep -q '"status":"done"' <<<"$status" || { echo "job never finished: $status"; exit 1; }
+
+"$bin" result "$addr" "$id" "$work/first.bin"
+
+reply=$("$bin" submit "$addr" "$req")
+echo "second submit: $reply"
+grep -q '"status":"cached"' <<<"$reply" || { echo "expected a cache hit"; exit 1; }
+id2=$(sed -n 's/.*"id":\([0-9]*\).*/\1/p' <<<"$reply")
+"$bin" result "$addr" "$id2" "$work/second.bin"
+
+cmp "$work/first.bin" "$work/second.bin" || { echo "cache hit served different bytes"; exit 1; }
+echo "hit body is byte-identical ($(wc -c <"$work/first.bin") bytes)"
+
+metrics=$("$bin" metrics "$addr")
+grep -q '^st_serve_jobs_done_total 1$' <<<"$metrics" || {
+    echo "expected exactly one computed job (no recompute on hit):"; echo "$metrics"; exit 1; }
+grep -q '^st_serve_served_cached_total 1$' <<<"$metrics" || {
+    echo "expected one cached submission:"; echo "$metrics"; exit 1; }
+
+# Malformed submissions must not kill the server.
+"$bin" submit "$addr" '{"bad json' >/dev/null 2>&1 || true
+"$bin" metrics "$addr" >/dev/null
+
+# Clean shutdown over the API; the foreground process must exit.
+printf 'POST /shutdown HTTP/1.1\r\nHost: %s\r\nContent-Length: 0\r\nConnection: close\r\n\r\n' "$addr" \
+    | timeout 10 bash -c "exec 3<>/dev/tcp/${addr%:*}/${addr#*:}; cat >&3; head -c 200 <&3" >/dev/null
+for _ in $(seq 1 100); do
+    kill -0 "$server_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+    echo "server did not exit after /shutdown"; exit 1
+fi
+server_pid=""
+echo "serve smoke OK"
