@@ -81,6 +81,19 @@ pub fn default_threads() -> usize {
         .unwrap_or_else(|| thread::available_parallelism().map_or(1, usize::from))
 }
 
+/// The default lane cap for [`BatchedSystem`](crate::BatchedSystem)
+/// batch formation: one FIFO occupancy bitmask word's worth of lanes.
+pub const DEFAULT_BATCH_LIMIT: usize = 64;
+
+/// Resolves the campaign batching knob: `ST_BATCH` caps how many
+/// configurations the batched backend packs into one lockstep group.
+/// Unset (or unparsable) means [`DEFAULT_BATCH_LIMIT`]; `ST_BATCH=1`
+/// disables cross-configuration batching (every lane runs scalar);
+/// `ST_BATCH=0` clamps to 1 with the shared clamp-and-warn policy.
+pub fn batch_limit_from_env() -> usize {
+    threads_from_env("ST_BATCH").unwrap_or(DEFAULT_BATCH_LIMIT)
+}
+
 /// A cooperative cancellation flag shared between a campaign's caller
 /// and its workers.
 ///
@@ -159,7 +172,9 @@ impl<R> fmt::Display for Cancelled<R> {
 }
 
 /// Runs `worker` over every job, fanned across up to `threads` OS
-/// threads, returning results **in job order**.
+/// threads (capped at the machine's available parallelism — CPU-bound
+/// workers cannot profit from oversubscription), returning results
+/// **in job order**.
 ///
 /// Work is claimed from a shared atomic cursor, so long and short jobs
 /// balance across workers; each worker buffers `(index, result)` pairs
@@ -216,6 +231,30 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
+    // Campaign workers are CPU-bound simulations: fanning wider than the
+    // machine's available parallelism buys zero extra progress and pays
+    // real context-switch overhead — BENCH_5's one-core container ran
+    // `campaign_pingpong_4threads` *slower* than one thread. Requested
+    // fan-out is therefore capped at the core count; the fan-out
+    // machinery itself stays directly testable via [`run_jobs_fanned`].
+    let cores = thread::available_parallelism().map_or(usize::MAX, usize::from);
+    run_jobs_fanned(jobs, threads.min(cores.max(1)), hooks, worker)
+}
+
+/// The uncapped fan-out engine behind [`run_jobs_hooked`]: claims jobs
+/// from a shared cursor across exactly `threads` workers (the calling
+/// thread is worker 0), merges in canonical job order.
+fn run_jobs_fanned<T, R, F>(
+    jobs: &[T],
+    threads: usize,
+    hooks: RunHooks<'_>,
+    worker: F,
+) -> Result<Vec<R>, Cancelled<R>>
+where
+    T: Sync + fmt::Debug,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
     let threads = threads.clamp(1, jobs.len().max(1));
     let cancelled = || hooks.cancel.is_some_and(CancelToken::is_cancelled);
     let done = AtomicUsize::new(0);
@@ -245,36 +284,45 @@ where
     let cursor = AtomicUsize::new(0);
     let failed = AtomicBool::new(false);
     type Fail = (usize, Box<dyn std::any::Any + Send>);
+    let work = || -> Result<Vec<(usize, R)>, Fail> {
+        let mut out = Vec::new();
+        loop {
+            if failed.load(Ordering::Relaxed) || cancelled() {
+                break;
+            }
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= jobs.len() {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| worker(i, &jobs[i]))) {
+                Ok(r) => out.push((i, r)),
+                Err(payload) => {
+                    failed.store(true, Ordering::Relaxed);
+                    return Err((i, payload));
+                }
+            }
+            report();
+        }
+        Ok(out)
+    };
+    // The calling thread is worker 0 and only `threads - 1` helpers are
+    // spawned: `threads` workers total, but the caller claims jobs
+    // instead of idling in `join()`. On a machine whose available
+    // parallelism is below the requested thread count (the degenerate
+    // case: one core), the campaign then degrades toward the sequential
+    // path's cost instead of paying spawn/context-switch overhead for
+    // zero extra progress (the BENCH_5 `campaign_pingpong_4threads`
+    // regression).
     let buckets: Vec<Result<Vec<(usize, R)>, Fail>> = thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                s.spawn(|| {
-                    let mut out = Vec::new();
-                    loop {
-                        if failed.load(Ordering::Relaxed) || cancelled() {
-                            break;
-                        }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
-                        match catch_unwind(AssertUnwindSafe(|| worker(i, &jobs[i]))) {
-                            Ok(r) => out.push((i, r)),
-                            Err(payload) => {
-                                failed.store(true, Ordering::Relaxed);
-                                return Err((i, payload));
-                            }
-                        }
-                        report();
-                    }
-                    Ok(out)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("campaign worker thread died outside a job"))
-            .collect()
+        let work = &work;
+        let handles: Vec<_> = (1..threads).map(|_| s.spawn(work)).collect();
+        let mut buckets = vec![work()];
+        buckets.extend(
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker thread died outside a job")),
+        );
+        buckets
     });
     if failed.load(Ordering::Relaxed) {
         let (i, payload) = buckets
@@ -368,6 +416,20 @@ impl fmt::Display for CampaignStats {
 mod tests {
     use super::*;
 
+    /// [`run_jobs`] shape over the *uncapped* fan-out engine: the
+    /// public entry clamps to the machine's core count, which on a
+    /// one-core CI host would silently reduce every multi-thread test
+    /// below to the sequential path.
+    fn fanned<T, R, F>(jobs: &[T], threads: usize, worker: F) -> Vec<R>
+    where
+        T: Sync + fmt::Debug,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        run_jobs_fanned(jobs, threads, RunHooks::default(), worker)
+            .unwrap_or_else(|_| unreachable!("no cancel token was installed"))
+    }
+
     #[test]
     fn run_jobs_preserves_job_order() {
         let jobs: Vec<u64> = (0..257).collect();
@@ -381,7 +443,7 @@ mod tests {
         };
         let sequential = run_jobs(&jobs, 1, f);
         for threads in [2, 3, 8] {
-            assert_eq!(run_jobs(&jobs, threads, f), sequential, "{threads} threads");
+            assert_eq!(fanned(&jobs, threads, f), sequential, "{threads} threads");
         }
     }
 
@@ -400,7 +462,7 @@ mod tests {
         for threads in [1, 4] {
             let jobs = &jobs;
             let caught = catch_unwind(AssertUnwindSafe(|| {
-                run_jobs(jobs, threads, |i, j: &u64| {
+                fanned(jobs, threads, |i, j: &u64| {
                     if i == 13 {
                         panic!("bad seed {j:#x}");
                     }
@@ -453,7 +515,7 @@ mod tests {
                 cancel: Some(&token),
                 progress: None,
             };
-            let err = run_jobs_hooked(&jobs, threads, hooks, |i, j: &u64| {
+            let err = run_jobs_fanned(&jobs, threads, hooks, |i, j: &u64| {
                 if i == 5 {
                     token.cancel();
                 }
@@ -490,7 +552,7 @@ mod tests {
             progress: None,
         };
         let last = jobs.len() - 1;
-        let out = run_jobs_hooked(&jobs, 4, hooks, |i, j: &u64| {
+        let out = run_jobs_fanned(&jobs, 4, hooks, |i, j: &u64| {
             if i == last {
                 token.cancel(); // too late: every job already claimed
             }
@@ -517,7 +579,7 @@ mod tests {
                 cancel: None,
                 progress: Some(&progress),
             };
-            let out = run_jobs_hooked(&jobs, threads, hooks, |_, j: &u64| *j).expect("no token");
+            let out = run_jobs_fanned(&jobs, threads, hooks, |_, j: &u64| *j).expect("no token");
             assert_eq!(out, jobs);
             let mut seen = seen.into_inner().unwrap();
             seen.sort_unstable();

@@ -91,14 +91,31 @@ pub enum BackendKind {
 /// delivered drive, same `(class, unit, occurrence)` keys) and the same
 /// [`FaultInjector`] occurrence matching, applied at the equivalent
 /// scheduling sites.
-struct ChaosState {
+pub(crate) struct ChaosState {
     jitter: Option<JitterCounters>,
     injector: Option<FaultInjector>,
 }
 
 impl ChaosState {
+    /// Builds the mirror from a plan, or `None` when the plan carries
+    /// nothing the run loop has to act on (SEU-only plans are applied
+    /// from outside via `node_mut`).
+    pub(crate) fn from_plan(
+        p: crate::faults::FaultPlan,
+        rings: usize,
+        channels: usize,
+    ) -> Option<Box<ChaosState>> {
+        let jitter = p
+            .analog
+            .is_active()
+            .then(|| JitterCounters::new(p.analog, p.seed));
+        let injector =
+            (!p.protocol.is_empty()).then(|| FaultInjector::new(p.protocol, rings, channels));
+        (jitter.is_some() || injector.is_some()).then(|| Box::new(ChaosState { jitter, injector }))
+    }
+
     #[inline]
-    fn clk_jitter(&mut self, sb: u32) -> SimDuration {
+    pub(crate) fn clk_jitter(&mut self, sb: u32) -> SimDuration {
         match self.jitter.as_mut() {
             Some(j) => j.next(CLASS_CLK, sb),
             None => SimDuration::ZERO,
@@ -106,7 +123,7 @@ impl ChaosState {
     }
 
     #[inline]
-    fn token_jitter(&mut self, unit: u32) -> SimDuration {
+    pub(crate) fn token_jitter(&mut self, unit: u32) -> SimDuration {
         match self.jitter.as_mut() {
             Some(j) => j.next(CLASS_TOKEN, unit),
             None => SimDuration::ZERO,
@@ -114,7 +131,7 @@ impl ChaosState {
     }
 
     #[inline]
-    fn data_jitter(&mut self, unit: u32) -> SimDuration {
+    pub(crate) fn data_jitter(&mut self, unit: u32) -> SimDuration {
         match self.jitter.as_mut() {
             Some(j) => j.next(CLASS_DATA, unit),
             None => SimDuration::ZERO,
@@ -122,7 +139,7 @@ impl ChaosState {
     }
 
     #[inline]
-    fn on_push(&mut self, ch: ChannelId) -> DataAction {
+    pub(crate) fn on_push(&mut self, ch: ChannelId) -> DataAction {
         match self.injector.as_mut() {
             Some(i) => i.on_push(ch),
             None => DataAction::Deliver,
@@ -130,7 +147,7 @@ impl ChaosState {
     }
 
     #[inline]
-    fn on_ack(&mut self, ch: ChannelId) -> DataAction {
+    pub(crate) fn on_ack(&mut self, ch: ChannelId) -> DataAction {
         match self.injector.as_mut() {
             Some(i) => i.on_ack(ch),
             None => DataAction::Deliver,
@@ -138,7 +155,7 @@ impl ChaosState {
     }
 
     #[inline]
-    fn on_token_pass(&mut self, ring: RingId, to_holder: bool) -> TokenPassAction {
+    pub(crate) fn on_token_pass(&mut self, ring: RingId, to_holder: bool) -> TokenPassAction {
         match self.injector.as_mut() {
             Some(i) => i.on_token_pass(ring, to_holder),
             None => TokenPassAction::Deliver,
@@ -340,22 +357,22 @@ impl FifoState {
 /// enough that the dispatch loop's scan stays in one or two cache
 /// lines for paper-scale systems.
 #[derive(Debug, Clone, Copy)]
-struct ClockSlots {
+pub(crate) struct ClockSlots {
     /// The next phase boundary (rising or falling check).
-    phase: u128,
+    pub(crate) phase: u128,
     /// The pending rising-edge delivery to the wrapper.
-    posedge: u128,
+    pub(crate) posedge: u128,
 }
 
-const SLOT_EMPTY: u128 = u128::MAX;
+pub(crate) const SLOT_EMPTY: u128 = u128::MAX;
 
 #[inline]
-fn slot_key(time: SimTime, seq: u64) -> u128 {
+pub(crate) fn slot_key(time: SimTime, seq: u64) -> u128 {
     (u128::from(time.as_fs()) << 64) | u128::from(seq)
 }
 
 #[inline]
-fn slot_time(key: u128) -> SimTime {
+pub(crate) fn slot_time(key: u128) -> SimTime {
     SimTime::from_fs((key >> 64) as u64)
 }
 
@@ -400,7 +417,7 @@ fn sched(heap: &mut BinaryHeap<Reverse<Ev>>, seq: &mut u64, time: SimTime, kind:
 
 impl CompiledSystem {
     /// Whether `builder`'s system can be lowered.
-    fn supports(builder: &SystemBuilder) -> bool {
+    pub(crate) fn supports(builder: &SystemBuilder) -> bool {
         builder.mode == WrapperMode::SynchroTokens
             && !builder.observe_nodes
             && builder
@@ -425,16 +442,10 @@ impl CompiledSystem {
         }
         let spec = builder.spec.clone();
         let trace_limit = builder.trace_limit;
-        let chaos = builder.faults.take().and_then(|p| {
-            let jitter = p
-                .analog
-                .is_active()
-                .then(|| JitterCounters::new(p.analog, p.seed));
-            let injector = (!p.protocol.is_empty())
-                .then(|| FaultInjector::new(p.protocol, spec.rings.len(), spec.channels.len()));
-            (jitter.is_some() || injector.is_some())
-                .then(|| Box::new(ChaosState { jitter, injector }))
-        });
+        let chaos = builder
+            .faults
+            .take()
+            .and_then(|p| ChaosState::from_plan(p, spec.rings.len(), spec.channels.len()));
 
         let fifos: Vec<FifoState> = spec
             .channels

@@ -8,9 +8,69 @@
 //! transmitted. Two runs are *deterministically equivalent* when the
 //! traces of every SB match exactly.
 
-use std::collections::hash_map::DefaultHasher;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+
+/// Fast in-process hasher behind [`SbIoTrace::digest`] (FxHash-style
+/// multiply-rotate with a splitmix64 finish). Campaign verdicts hash
+/// every trace row, and SipHash (`DefaultHasher`) dominated sweep
+/// profiles. Digest values are compared within a process and never
+/// persisted — `st-serve`'s content keys use their own stable FNV
+/// over canonical bytes.
+#[derive(Default)]
+pub(crate) struct DigestHasher(u64);
+
+impl DigestHasher {
+    const K: u64 = 0x517c_c1b7_2722_0a95;
+}
+
+impl Hasher for DigestHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Fold the tail length in so short writes of different
+            // lengths cannot collide trivially.
+            self.write_u64(u64::from_le_bytes(tail) ^ ((rem.len() as u64) << 56));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0.rotate_left(5) ^ n).wrapping_mul(Self::K);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        // splitmix64 avalanche: every input bit reaches every output
+        // bit even for single-row traces.
+        let mut x = self.0;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+}
 
 /// One local clock cycle's I/O, in channel order.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -101,10 +161,12 @@ impl SbIoTrace {
         self.rows.is_empty()
     }
 
-    /// A stable 64-bit digest of the whole sequence (for campaign-scale
-    /// comparison without keeping every trace in memory).
+    /// A 64-bit digest of the whole sequence (for campaign-scale
+    /// comparison without keeping every trace in memory). Digests are
+    /// deterministic within a process run; durable content addressing
+    /// goes through [`to_canonical_bytes`](Self::to_canonical_bytes).
     pub fn digest(&self) -> u64 {
-        let mut h = DefaultHasher::new();
+        let mut h = DigestHasher::default();
         for row in &self.rows {
             row.hash(&mut h);
         }

@@ -70,6 +70,7 @@
 //! # }
 //! ```
 
+pub mod batched_system;
 pub mod campaign;
 pub mod compiled_system;
 pub mod deadlock;
@@ -85,9 +86,10 @@ pub mod spec;
 pub mod system;
 pub mod wrapper;
 
+pub use batched_system::BatchedSystem;
 pub use campaign::{
-    default_threads, run_jobs, run_jobs_hooked, threads_from_env, CampaignStats, CancelToken,
-    Cancelled, RunHooks,
+    batch_limit_from_env, default_threads, run_jobs, run_jobs_hooked, threads_from_env,
+    CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
 };
 pub use compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
 pub use faults::{
@@ -106,9 +108,10 @@ pub use wrapper::WrapperMode;
 
 /// Convenient glob import.
 pub mod prelude {
+    pub use crate::batched_system::BatchedSystem;
     pub use crate::campaign::{
-        default_threads, run_jobs, run_jobs_hooked, threads_from_env, CampaignStats, CancelToken,
-        Cancelled, RunHooks,
+        batch_limit_from_env, default_threads, run_jobs, run_jobs_hooked, threads_from_env,
+        CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
     };
     pub use crate::compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
     pub use crate::faults::{

@@ -20,9 +20,12 @@
 
 use st_sim::time::SimDuration;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use synchro_tokens::scenarios::{self, chain_spec, e1_spec, pingpong_spec, producer_consumer_spec};
 use synchro_tokens::system::{RunOutcome, SystemBuilder};
-use synchro_tokens::{run_jobs_hooked, AnySystem, Backend, RunHooks, SbId, SystemSpec};
+use synchro_tokens::{
+    run_jobs_hooked, AnySystem, Backend, BatchedSystem, RunHooks, SbId, SystemSpec,
+};
 
 /// Magic prefix of canonical request bytes.
 pub const REQUEST_MAGIC: &[u8; 4] = b"STJR";
@@ -520,6 +523,94 @@ fn mixer_builder(spec: &SystemSpec, seed: u64, trace_cycles: usize) -> SystemBui
     b
 }
 
+// Cumulative batched-execution counters, surfaced on `/metrics` as
+// batch-occupancy gauges (lanes / groups = average lockstep sharing).
+static BATCHES_FORMED: AtomicU64 = AtomicU64::new(0);
+static BATCH_LANES: AtomicU64 = AtomicU64::new(0);
+static BATCH_GROUPS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative batched-execution counters since process start:
+/// `(batches formed, total lanes, total lockstep groups after runs)`.
+pub fn batch_metrics() -> (u64, u64, u64) {
+    (
+        BATCHES_FORMED.load(Ordering::Relaxed),
+        BATCH_LANES.load(Ordering::Relaxed),
+        BATCH_GROUPS.load(Ordering::Relaxed),
+    )
+}
+
+/// Attempts to run a whole [`SimRequest`] through the batched
+/// lane-parallel engine: all seeds share the scenario spec, so they
+/// lower into one lockstep group and the event-loop cost is paid once.
+///
+/// Returns `Ok(None)` when the request should take the scalar path —
+/// an `event`-backend pin (the client asked for that engine
+/// specifically), a single seed, `ST_BATCH=1`, or builders outside the
+/// batched envelope. Results are byte-identical either way (the
+/// differential suite in `synchro-tokens` proves per-lane identity),
+/// so the choice is invisible on the wire.
+///
+/// # Errors
+///
+/// [`ExecCancelled`] when the token is already tripped (the batched
+/// run itself is one indivisible sub-job).
+fn run_sim_batched(
+    r: &SimRequest,
+    hooks: &RunHooks<'_>,
+) -> Result<Option<Vec<SimRunResult>>, ExecCancelled> {
+    if r.backend != Backend::Compiled
+        || r.seeds.len() < 2
+        || synchro_tokens::batch_limit_from_env() <= 1
+    {
+        return Ok(None);
+    }
+    if hooks.cancel.is_some_and(|t| t.is_cancelled()) {
+        return Err(ExecCancelled);
+    }
+    let spec = r.scenario.spec();
+    let builders: Vec<SystemBuilder> = r
+        .seeds
+        .iter()
+        .map(|&seed| mixer_builder(&spec, seed, r.trace_cycles as usize))
+        .collect();
+    let Ok(mut batch) = BatchedSystem::build(builders) else {
+        return Ok(None);
+    };
+    let outcomes = batch.run_until_cycles(r.cycles, SimDuration::fs(r.budget_fs));
+    BATCHES_FORMED.fetch_add(1, Ordering::Relaxed);
+    BATCH_LANES.fetch_add(batch.lanes() as u64, Ordering::Relaxed);
+    BATCH_GROUPS.fetch_add(batch.group_count() as u64, Ordering::Relaxed);
+    let total = r.seeds.len();
+    let runs = r
+        .seeds
+        .iter()
+        .zip(outcomes)
+        .enumerate()
+        .map(|(lane, (&seed, outcome))| {
+            let outcome = match outcome {
+                RunOutcome::Reached => "reached".to_owned(),
+                RunOutcome::Deadlock { stopped } => {
+                    let names: Vec<String> = stopped.iter().map(ToString::to_string).collect();
+                    format!("deadlock: {}", names.join(","))
+                }
+                RunOutcome::TimedOut => "timed-out".to_owned(),
+            };
+            let traces = (0..spec.sbs.len())
+                .map(|i| batch.io_trace(lane, SbId(i)).to_canonical_bytes())
+                .collect();
+            if let Some(p) = hooks.progress {
+                p(lane + 1, total);
+            }
+            SimRunResult {
+                seed,
+                outcome,
+                traces,
+            }
+        })
+        .collect();
+    Ok(Some(runs))
+}
+
 /// Runs one simulation of a [`SimRequest`] at `seed`.
 ///
 /// Public so clients (tests, the smoke script) can reproduce a served
@@ -565,6 +656,9 @@ pub fn execute(
 ) -> Result<JobResult, ExecCancelled> {
     match req {
         JobRequest::Sim(r) => {
+            if let Some(runs) = run_sim_batched(r, &hooks)? {
+                return Ok(JobResult::Sim(runs));
+            }
             let runs = run_jobs_hooked(&r.seeds, threads, hooks, |_, &seed| run_sim_once(r, seed))
                 .map_err(|_| ExecCancelled)?;
             Ok(JobResult::Sim(runs))
@@ -739,6 +833,24 @@ mod tests {
             .unwrap()
             .to_canonical_bytes();
         assert_eq!(executed, direct);
+    }
+
+    #[test]
+    fn batched_sim_serves_the_scalar_bytes() {
+        // Compiled multi-seed requests take the batched path; the wire
+        // bytes must equal the scalar per-seed computation exactly.
+        let JobRequest::Sim(r) = tiny_sim(Backend::Compiled) else {
+            unreachable!()
+        };
+        let direct = JobResult::Sim(r.seeds.iter().map(|&s| run_sim_once(&r, s)).collect())
+            .to_canonical_bytes();
+        let executed = execute(&JobRequest::Sim(r), 1, RunHooks::default())
+            .unwrap()
+            .to_canonical_bytes();
+        assert_eq!(executed, direct);
+        let (batches, lanes, groups) = batch_metrics();
+        assert!(batches >= 1, "the batched path must have been taken");
+        assert!(lanes >= groups);
     }
 
     #[test]

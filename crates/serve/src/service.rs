@@ -472,6 +472,12 @@ impl JobService {
         } else {
             (mem_hits + disk_hits) as f64 / lookups as f64
         };
+        let (batches, lanes, groups) = crate::job::batch_metrics();
+        let occupancy = if groups == 0 {
+            0.0
+        } else {
+            lanes as f64 / groups as f64
+        };
         format!(
             "st_serve_queue_depth {}\n\
              st_serve_jobs_submitted_total {}\n\
@@ -489,7 +495,11 @@ impl JobService {
              st_serve_cache_hit_ratio {hit_ratio:.4}\n\
              st_serve_jobs_per_second {:.4}\n\
              st_serve_job_latency_p50_ms {p50}\n\
-             st_serve_job_latency_p99_ms {p99}\n",
+             st_serve_job_latency_p99_ms {p99}\n\
+             st_serve_batches_formed_total {batches}\n\
+             st_serve_batch_lanes_total {lanes}\n\
+             st_serve_batch_groups_total {groups}\n\
+             st_serve_batch_occupancy {occupancy:.4}\n",
             self.queue_depth(),
             r(&self.stats.submitted),
             r(&self.stats.cancelled),

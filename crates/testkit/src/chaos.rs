@@ -213,6 +213,188 @@ pub fn run_chaos_campaign_hooked(
     Ok(ChaosReport { runs, stats })
 }
 
+/// Batched [`run_chaos_campaign`]: the same oracles, restructured
+/// around the [`BatchedSystem`] lane engine so campaign cost is
+/// dominated by the attacked runs alone.
+///
+/// The scalar campaign runs *three* simulations per configuration (an
+/// unfaulted event-backend golden plus attacked event and compiled
+/// runs), re-deriving the golden for every fault class that shares a
+/// seed. This entry point instead:
+///
+/// 1. runs **one batched golden** over the distinct seeds — all seeds
+///    share one spec, so they lower into a single lockstep group and
+///    the event-loop cost is paid once for the whole campaign;
+/// 2. cross-checks lane 0 of the batched golden against a scalar
+///    event-backend run (a per-campaign spot oracle on top of the
+///    differential proptests);
+/// 3. fans the attacked runs out over [`run_jobs_hooked`] on the
+///    **compiled** backend only — fault plans perturb event timing, so
+///    attacked runs never share a group and the cheapest exact scalar
+///    engine is optimal.
+///
+/// Each [`ChaosRun`] therefore carries a single `(backend, outcome)`
+/// entry and the cross-*backend* agreement oracle is delegated to the
+/// scalar campaign (CI runs both). The analog-invariant oracle — the
+/// paper's actual claim — is enforced here exactly as in the scalar
+/// campaign. The report is byte-identical at any thread count and any
+/// `ST_BATCH` value.
+pub fn run_chaos_campaign_batched(
+    spec: &SystemSpec,
+    jobs: &[ChaosJob],
+    cycles: u64,
+    budget: SimDuration,
+    threads: usize,
+) -> ChaosReport {
+    match run_chaos_campaign_batched_hooked(
+        spec,
+        jobs,
+        cycles,
+        budget,
+        threads,
+        RunHooks::default(),
+    ) {
+        Ok(report) => report,
+        Err(_) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// Jobified [`run_chaos_campaign_batched`] with [`RunHooks`] for
+/// cooperative cancellation and progress reporting (checked between
+/// attacked configurations; the batched golden prologue is not
+/// cancellable but costs roughly one configuration).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`](synchro_tokens::Cancelled) carrying the
+/// completed [`ChaosRun`]s (in job order) when the token trips before
+/// the last configuration is claimed.
+pub fn run_chaos_campaign_batched_hooked(
+    spec: &SystemSpec,
+    jobs: &[ChaosJob],
+    cycles: u64,
+    budget: SimDuration,
+    threads: usize,
+    hooks: RunHooks<'_>,
+) -> Result<ChaosReport, synchro_tokens::Cancelled<ChaosRun>> {
+    let started = Instant::now();
+    let mut seeds: Vec<u64> = Vec::new();
+    for j in jobs {
+        if !seeds.contains(&j.seed) {
+            seeds.push(j.seed);
+        }
+    }
+
+    // One golden per distinct seed, all lanes in (ideally) one batch.
+    let builders: Vec<SystemBuilder> = seeds
+        .iter()
+        .map(|&s| chaos_builder(spec, s, cycles as usize))
+        .collect();
+    let goldens: Vec<(RunOutcome, Vec<SbIoTrace>)> = match BatchedSystem::build(builders) {
+        Ok(mut batch) => {
+            let outcomes = batch.run_until_cycles(cycles, budget);
+            outcomes
+                .into_iter()
+                .enumerate()
+                .map(|(lane, outcome)| {
+                    let traces = (0..spec.sbs.len())
+                        .map(|i| batch.io_trace(lane, SbId(i)).clone())
+                        .collect();
+                    (outcome, traces)
+                })
+                .collect()
+        }
+        // Outside the batched envelope: scalar goldens, one per seed.
+        Err(builders) => builders
+            .into_iter()
+            .map(|b| {
+                let mut sys = b.build_backend(Backend::Compiled);
+                let outcome = sys
+                    .run_until_cycles(cycles, budget)
+                    .unwrap_or(synchro_tokens::system::RunOutcome::TimedOut);
+                let traces = (0..spec.sbs.len())
+                    .map(|i| sys.io_trace(SbId(i)).clone())
+                    .collect();
+                (outcome, traces)
+            })
+            .collect(),
+    };
+
+    // Spot oracle: the batched golden's first lane must be
+    // byte-identical to a scalar event-backend run of the same seed.
+    let golden_crosscheck: Option<String> = seeds.first().and_then(|&seed| {
+        let mut sys = chaos_builder(spec, seed, cycles as usize).build_backend(Backend::Event);
+        let _ = sys.run_until_cycles(cycles, budget);
+        (0..spec.sbs.len()).find_map(|i| {
+            (sys.io_trace(SbId(i)).digest() != goldens[0].1[i].digest()).then(|| {
+                format!("batched golden diverges from the event backend on SB {i} (seed {seed})")
+            })
+        })
+    });
+
+    let runs = run_jobs_hooked(jobs, threads, hooks, |_, job| {
+        let job = *job;
+        let plan = FaultPlan::generate(job.class, spec, job.seed);
+        let mut violations = Vec::new();
+        let gi = seeds
+            .iter()
+            .position(|&s| s == job.seed)
+            .expect("every job seed was indexed");
+        let (golden_outcome, golden) = &goldens[gi];
+        if *golden_outcome != synchro_tokens::system::RunOutcome::Reached {
+            violations.push(format!(
+                "golden run did not reach {cycles} cycles: {golden_outcome:?}"
+            ));
+        }
+        if gi == 0 {
+            if let Some(v) = &golden_crosscheck {
+                violations.push(v.clone());
+            }
+        }
+
+        let mut sys = chaos_builder(spec, job.seed, cycles as usize)
+            .with_fault_plan(plan.clone())
+            .build_backend(Backend::Compiled);
+        let outcome = match run_with_plan(&mut sys, &plan, cycles, budget) {
+            Ok(o) => o,
+            Err(e) => {
+                violations.push(format!("compiled backend kernel error: {e}"));
+                synchro_tokens::system::RunOutcome::TimedOut
+            }
+        };
+        let outcomes = vec![(sys.backend_kind(), classify(golden, &sys, &outcome))];
+
+        // Oracle 1 — the invariant proper: analog-class faults must
+        // leave every trace byte-identical.
+        if plan.is_analog_only() {
+            for (kind, outcome) in &outcomes {
+                if *outcome != ChaosOutcome::TraceIdentical {
+                    violations.push(format!(
+                        "analog fault broke the invariant on {kind:?}: {outcome}"
+                    ));
+                }
+            }
+        }
+
+        ChaosRun {
+            job,
+            plan,
+            outcomes,
+            violations,
+        }
+    })?;
+    let stats = CampaignStats {
+        // One attacked backend per configuration, plus the goldens
+        // (one per distinct seed, batched) and one cross-check run.
+        runs: runs.len() + seeds.len() + usize::from(!seeds.is_empty()),
+        threads,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        events_fired: 0,
+        wakes: 0,
+    };
+    Ok(ChaosReport { runs, stats })
+}
+
 fn run_one(spec: &SystemSpec, job: ChaosJob, cycles: u64, budget: SimDuration) -> ChaosRun {
     let plan = FaultPlan::generate(job.class, spec, job.seed);
     let mut violations = Vec::new();
@@ -293,6 +475,43 @@ mod tests {
         let jobs = chaos_jobs(2);
         let run = |threads| {
             run_chaos_campaign(&spec, &jobs, 60, SimDuration::us(2000), threads)
+                .runs
+                .iter()
+                .map(|r| (r.job, r.outcomes.clone(), r.violations.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn batched_campaign_agrees_with_the_scalar_campaign() {
+        let spec = pingpong_spec();
+        let jobs = chaos_jobs(2);
+        let scalar = run_chaos_campaign(&spec, &jobs, 60, SimDuration::us(2000), 1);
+        let batched = run_chaos_campaign_batched(&spec, &jobs, 60, SimDuration::us(2000), 1);
+        assert_eq!(scalar.runs.len(), batched.runs.len());
+        for (s, b) in scalar.runs.iter().zip(&batched.runs) {
+            assert_eq!(s.job, b.job);
+            assert_eq!(s.plan, b.plan, "seed {}", s.job.seed);
+            // The batched campaign attacks the compiled backend only;
+            // its classification must match the scalar campaign's
+            // compiled entry (index 1 of [event, compiled]).
+            assert_eq!(b.outcomes.len(), 1);
+            assert_eq!(
+                s.outcomes[1].1, b.outcomes[0].1,
+                "outcome of seed {} {:?}",
+                s.job.seed, s.job.class
+            );
+            assert_eq!(s.violations, b.violations, "seed {}", s.job.seed);
+        }
+    }
+
+    #[test]
+    fn batched_campaign_is_thread_count_invariant() {
+        let spec = pingpong_spec();
+        let jobs = chaos_jobs(2);
+        let run = |threads| {
+            run_chaos_campaign_batched(&spec, &jobs, 60, SimDuration::us(2000), threads)
                 .runs
                 .iter()
                 .map(|r| (r.job, r.outcomes.clone(), r.violations.clone()))

@@ -347,6 +347,147 @@ pub fn shmoo_any_hooked(
     Ok(ShmooResult { points })
 }
 
+/// One cell of a shmoo *grid*: a candidate period evaluated under one
+/// workload seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShmooGridPoint {
+    /// The candidate period applied to the swept SB.
+    pub period: SimDuration,
+    /// The workload seed of this cell.
+    pub seed: u64,
+    /// Whether the run completed with traces identical to this seed's
+    /// golden reference at the nominal period.
+    pub pass: bool,
+    /// Setup-time violations taken by the swept SB.
+    pub violations: u64,
+}
+
+/// A frequency shmoo replicated over N workload seeds, batched: every
+/// candidate period is evaluated under every seed, and all the seeds
+/// of one period lower into a single [`BatchedSystem`] lockstep group
+/// (they share a spec — only their data differs), so the event-loop
+/// cost per period is paid once instead of once per seed. The goldens
+/// batch the same way at the nominal period.
+///
+/// `make` builds the workload for `(spec, seed)` — it must attach
+/// logic whose *send pattern* is seed-independent for the lanes to
+/// stay in lockstep (data-dependent sends still work; the engine
+/// splits the group and the sweep is merely slower). Builders outside
+/// the batched envelope fall back to scalar compiled runs, point by
+/// point, with identical results.
+///
+/// Points come back period-major (`periods[0]` × every seed, then
+/// `periods[1]`, …), byte-identical to per-cell scalar sweeps.
+pub fn shmoo_grid(
+    spec: &SystemSpec,
+    sb: SbId,
+    periods: &[SimDuration],
+    seeds: &[u64],
+    cycles: u64,
+    make: &(dyn Fn(SystemSpec, u64) -> synchro_tokens::SystemBuilder + Sync),
+) -> Vec<ShmooGridPoint> {
+    let budget = SimDuration::us(5000);
+    // Every (period, seed) cell in one build: grouping by spec puts
+    // each period's seed lanes in their own lockstep group. When the
+    // sweep includes the nominal period (the usual shmoo shape), that
+    // column doubles as the per-seed golden batch; otherwise the
+    // goldens run as one extra batch at the nominal spec.
+    let nominal = spec.sbs[sb.0].period;
+    let nominal_col = periods.iter().position(|&p| p == nominal);
+    let cells: Vec<(SystemSpec, u64)> = periods
+        .iter()
+        .flat_map(|&period| {
+            let mut s = spec.clone();
+            s.sbs[sb.0].period = period;
+            seeds.iter().map(move |&seed| (s.clone(), seed))
+        })
+        .collect();
+    let results = run_grid_batch(spec, sb, &cells, cycles, budget, make);
+    let goldens: Vec<Vec<u64>> = match nominal_col {
+        Some(p) => results[p * seeds.len()..(p + 1) * seeds.len()]
+            .iter()
+            .map(|(_, digests, _)| digests.clone())
+            .collect(),
+        None => run_grid_batch(
+            spec,
+            sb,
+            &seeds.iter().map(|&s| (spec.clone(), s)).collect::<Vec<_>>(),
+            cycles,
+            budget,
+            make,
+        )
+        .into_iter()
+        .map(|(_, digests, _)| digests)
+        .collect(),
+    };
+    results
+        .into_iter()
+        .enumerate()
+        .map(|(i, (completed, digests, violations))| {
+            let (p, s) = (i / seeds.len(), i % seeds.len());
+            ShmooGridPoint {
+                period: periods[p],
+                seed: seeds[s],
+                pass: completed && digests == goldens[s],
+                violations,
+            }
+        })
+        .collect()
+}
+
+/// Runs one batch of `(spec, seed)` cells and reports, per cell:
+/// `(reached, per-SB trace digests, swept-SB violations)`.
+fn run_grid_batch(
+    base: &SystemSpec,
+    sb: SbId,
+    cells: &[(SystemSpec, u64)],
+    cycles: u64,
+    budget: SimDuration,
+    make: &(dyn Fn(SystemSpec, u64) -> synchro_tokens::SystemBuilder + Sync),
+) -> Vec<(bool, Vec<u64>, u64)> {
+    use synchro_tokens::system::RunOutcome;
+    let sb_count = base.sbs.len();
+    let builders: Vec<synchro_tokens::SystemBuilder> = cells
+        .iter()
+        .map(|(s, seed)| make(s.clone(), *seed))
+        .collect();
+    match synchro_tokens::BatchedSystem::build(builders) {
+        Ok(mut batch) => {
+            let outcomes = batch.run_until_cycles(cycles, budget);
+            outcomes
+                .into_iter()
+                .enumerate()
+                .map(|(lane, outcome)| {
+                    // Streaming digests: no per-row materialization on
+                    // the batched fast path.
+                    let digests = (0..sb_count)
+                        .map(|i| batch.trace_digest(lane, SbId(i)))
+                        .collect();
+                    (
+                        outcome == RunOutcome::Reached,
+                        digests,
+                        batch.timing_violations(lane, sb),
+                    )
+                })
+                .collect()
+        }
+        Err(builders) => builders
+            .into_iter()
+            .map(|b| {
+                let mut sys = b.build_backend(synchro_tokens::Backend::Compiled);
+                let completed = matches!(
+                    sys.run_until_cycles(cycles, budget),
+                    Ok(RunOutcome::Reached)
+                );
+                let digests = (0..sb_count)
+                    .map(|i| sys.io_trace(SbId(i)).digest())
+                    .collect();
+                (completed, digests, sys.timing_violations(sb))
+            })
+            .collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -489,6 +630,101 @@ mod tests {
         }
         assert_eq!(result.min_passing_period(), Some(SimDuration::ns(6)));
         assert_eq!(result.max_failing_period(), Some(SimDuration::ns(5)));
+    }
+
+    #[test]
+    fn shmoo_grid_matches_per_cell_scalar_runs() {
+        use synchro_tokens::SystemBuilder;
+        let mut spec = e1_spec();
+        spec.sbs[1].logic_delay = SimDuration::ns(6);
+        let periods: Vec<SimDuration> = [4u64, 6, 10].iter().map(|n| SimDuration::ns(*n)).collect();
+        let seeds = [0u64, 7, 9, 21];
+        let make = |s: SystemSpec, seed: u64| -> SystemBuilder {
+            let n = s.sbs.len();
+            let mut b = SystemBuilder::new(s)
+                .expect("valid spec")
+                .with_seed(seed)
+                .with_trace_limit(60);
+            for i in 0..n {
+                b = b.with_logic(SbId(i), MixerLogic::new(seed ^ (0x1000 * i as u64)));
+            }
+            b
+        };
+        let grid = shmoo_grid(&spec, SbId(1), &periods, &seeds, 60, &make);
+        assert_eq!(grid.len(), periods.len() * seeds.len());
+        for (ci, cell) in grid.iter().enumerate() {
+            assert_eq!(cell.period, periods[ci / seeds.len()], "period-major order");
+            assert_eq!(cell.seed, seeds[ci % seeds.len()]);
+            // Scalar reference for this cell: golden at the nominal
+            // period, candidate run at the cell's period.
+            let mut golden =
+                make(spec.clone(), cell.seed).build_backend(synchro_tokens::Backend::Compiled);
+            golden.run_until_cycles(60, SimDuration::us(5000)).unwrap();
+            let mut s = spec.clone();
+            s.sbs[1].period = cell.period;
+            let mut sys = make(s, cell.seed).build_backend(synchro_tokens::Backend::Compiled);
+            let completed = matches!(
+                sys.run_until_cycles(60, SimDuration::us(5000)),
+                Ok(synchro_tokens::system::RunOutcome::Reached)
+            );
+            let pass = completed
+                && (0..spec.sbs.len())
+                    .all(|i| sys.io_trace(SbId(i)).digest() == golden.io_trace(SbId(i)).digest());
+            assert_eq!(cell.pass, pass, "cell {ci} verdict");
+            assert_eq!(
+                cell.violations,
+                sys.timing_violations(SbId(1)),
+                "cell {ci} violations"
+            );
+            // The injected 6 ns critical path decides every seed alike.
+            assert_eq!(cell.pass, cell.period >= SimDuration::ns(6));
+        }
+    }
+
+    #[test]
+    fn shmoo_grid_nominal_column_reuses_goldens() {
+        // When the swept periods include the nominal period, that
+        // column doubles as the golden batch. The verdicts must be
+        // identical to per-cell scalar golden-vs-candidate runs.
+        use synchro_tokens::SystemBuilder;
+        let mut spec = e1_spec();
+        spec.sbs[1].logic_delay = SimDuration::ns(6);
+        let nominal = spec.sbs[1].period;
+        let periods = vec![SimDuration::ns(4), nominal, SimDuration::ns(6)];
+        let seeds = [3u64, 11];
+        let make = |s: SystemSpec, seed: u64| -> SystemBuilder {
+            let n = s.sbs.len();
+            let mut b = SystemBuilder::new(s)
+                .expect("valid spec")
+                .with_seed(seed)
+                .with_trace_limit(60);
+            for i in 0..n {
+                b = b.with_logic(SbId(i), MixerLogic::new(seed ^ (0x1000 * i as u64)));
+            }
+            b
+        };
+        let grid = shmoo_grid(&spec, SbId(1), &periods, &seeds, 60, &make);
+        assert_eq!(grid.len(), periods.len() * seeds.len());
+        for (ci, cell) in grid.iter().enumerate() {
+            let mut golden =
+                make(spec.clone(), cell.seed).build_backend(synchro_tokens::Backend::Compiled);
+            golden.run_until_cycles(60, SimDuration::us(5000)).unwrap();
+            let mut s = spec.clone();
+            s.sbs[1].period = cell.period;
+            let mut sys = make(s, cell.seed).build_backend(synchro_tokens::Backend::Compiled);
+            let completed = matches!(
+                sys.run_until_cycles(60, SimDuration::us(5000)),
+                Ok(synchro_tokens::system::RunOutcome::Reached)
+            );
+            let pass = completed
+                && (0..spec.sbs.len())
+                    .all(|i| sys.io_trace(SbId(i)).digest() == golden.io_trace(SbId(i)).digest());
+            assert_eq!(cell.pass, pass, "cell {ci} verdict");
+            // The nominal column passes by construction.
+            if cell.period == nominal {
+                assert!(cell.pass, "nominal cell {ci} must pass");
+            }
+        }
     }
 
     #[test]

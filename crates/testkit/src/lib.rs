@@ -56,12 +56,12 @@ pub mod tap;
 
 pub use bist::{BistEngine, Lfsr, Misr};
 pub use chaos::{
-    chaos_jobs, configs_from_env, run_chaos_campaign, run_chaos_campaign_hooked, ChaosJob,
-    ChaosReport, ChaosRun,
+    chaos_jobs, configs_from_env, run_chaos_campaign, run_chaos_campaign_batched,
+    run_chaos_campaign_batched_hooked, run_chaos_campaign_hooked, ChaosJob, ChaosReport, ChaosRun,
 };
 pub use debug::{
-    shmoo, shmoo_any, shmoo_any_hooked, BreakpointReport, ShmooPoint, ShmooResult, TckMode,
-    TestAccess,
+    shmoo, shmoo_any, shmoo_any_hooked, shmoo_grid, BreakpointReport, ShmooGridPoint, ShmooPoint,
+    ShmooResult, TckMode, TestAccess,
 };
 pub use player::TapPort;
 pub use registers::{DataRegister, Instruction, P1500Mode, P1500Wrapper, RegisterFile};

@@ -60,7 +60,11 @@ fn target_criterion_dir() -> Option<PathBuf> {
 fn record(id: &str, median_ns: f64, throughput: Option<Throughput>) {
     let rate = match throughput {
         Some(Throughput::Elements(n)) | Some(Throughput::Bytes(n)) => {
-            format!("  ({:.2} M elem/s)", n as f64 / median_ns * 1e3)
+            format!(
+                "  ({:.2} M elem/s, {:.1} ns/elem)",
+                n as f64 / median_ns * 1e3,
+                median_ns / n as f64
+            )
         }
         None => String::new(),
     };
@@ -72,6 +76,19 @@ fn record(id: &str, median_ns: f64, throughput: Option<Throughput>) {
                 "{{\"median\":{{\"point_estimate\":{median_ns}}},\"mean\":{{\"point_estimate\":{median_ns}}}}}"
             );
             let _ = fs::write(out.join("estimates.json"), json);
+            // Upstream criterion also persists the throughput
+            // annotation (benchmark.json); snapshots need it to report
+            // per-element costs — a 64-lane iteration is 64 configs,
+            // and comparing raw ns/iter across lane counts is exactly
+            // the BENCH_5 `lanes64_node` ≈ `compiled_node` confusion.
+            let throughput_json = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("{{\"throughput\":{{\"Elements\":{n}}}}}")
+                }
+                Some(Throughput::Bytes(n)) => format!("{{\"throughput\":{{\"Bytes\":{n}}}}}"),
+                None => "{\"throughput\":null}".to_owned(),
+            };
+            let _ = fs::write(out.join("benchmark.json"), throughput_json);
         }
     }
 }

@@ -6,10 +6,16 @@
 # Usage: scripts/bench_snapshot.sh <n> [bench-name ...]
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
 #   bench-name   optional criterion bench targets
-#                (default: gate_sim kernel system_sim chaos serve)
+#                (default: gate_sim kernel system_sim chaos serve
+#                 campaign_batch)
 #
 # Works against real criterion and the devstubs shim alike — both write
-# estimates.json with a median.point_estimate field.
+# estimates.json with a median.point_estimate field. Benches that
+# declare Throughput::Elements also land in a median_ns_per_element
+# map (median / elements, from benchmark.json), which is the number to
+# compare across lane counts: a 64-lane batched iteration simulates 64
+# configurations per iteration, so its raw ns/iter is incomparable to
+# a scalar bench's (the BENCH_5 lanes64_node ≈ compiled_node trap).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,10 +28,15 @@ shift
 benches=("$@")
 if [[ ${#benches[@]} -eq 0 ]]; then
     # chaos records the robustness-campaign throughput (plans/s) next to
-    # the raw simulation benches.
-    benches=(gate_sim kernel system_sim chaos serve)
+    # the raw simulation benches; campaign_batch records the batched
+    # lane-parallel campaign engine against its scalar baselines.
+    benches=(gate_sim kernel system_sim chaos serve campaign_batch)
 fi
 
+# Only results (re)written by THIS invocation land in the snapshot —
+# target/criterion accumulates dirs for renamed/deleted benches, and a
+# blanket find would resurrect them as stale entries.
+stamp=$(mktemp)
 for b in "${benches[@]}"; do
     echo "== cargo bench: $b =="
     cargo bench -p st-bench --bench "$b"
@@ -47,7 +58,25 @@ out="BENCH_${n}.json"
         [[ $first -eq 0 ]] && echo ","
         first=0
         printf '    "%s": %s' "$id" "$median"
-    done < <(find target/criterion -name estimates.json -path '*/new/*' | sort)
+    done < <( find target/criterion -name estimates.json -path '*/new/*' -newer "$stamp" | sort)
+    echo ""
+    echo "  },"
+    echo "  \"median_ns_per_element\": {"
+    first=1
+    while IFS= read -r est; do
+        id="${est#target/criterion/}"
+        id="${id%/new/estimates.json}"
+        median=$(sed -n 's/.*"median":{"point_estimate":\([0-9.eE+-]*\).*/\1/p' "$est")
+        [[ -z "$median" ]] && continue
+        meta="${est%estimates.json}benchmark.json"
+        [[ -f "$meta" ]] || continue
+        elems=$(sed -n 's/.*"Elements":\([0-9]*\).*/\1/p' "$meta")
+        [[ -z "$elems" || "$elems" -eq 0 ]] && continue
+        per_elem=$(awk -v m="$median" -v n="$elems" 'BEGIN { printf "%.4f", m / n }')
+        [[ $first -eq 0 ]] && echo ","
+        first=0
+        printf '    "%s": %s' "$id" "$per_elem"
+    done < <( find target/criterion -name estimates.json -path '*/new/*' -newer "$stamp" | sort)
     echo ""
     echo "  }"
     echo "}"

@@ -22,6 +22,9 @@ cargo test --workspace -q
 echo "== compiled-backend differential proptests (fixed reduced budget) =="
 PROPTEST_CASES=16 cargo test --release -p synchro-tokens --test compiled_equiv -q
 
+echo "== batched-backend differential proptests (fixed reduced budget) =="
+PROPTEST_CASES=16 cargo test --release -p synchro-tokens --test batched_equiv -q
+
 echo "== chaos smoke (fixed seeds, reduced budget) =="
 # 48 of the full 501 (seed x fault-class) configs; seeds are fixed by
 # the plan generator, so this is deterministic run to run.
