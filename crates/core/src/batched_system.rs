@@ -256,7 +256,12 @@ struct BSb {
 
 impl BSb {
     /// A copy of the shared control state with fresh per-lane columns
-    /// (the split primitive; scratch comes back empty).
+    /// (the split primitive). Most per-edge scratch comes back empty,
+    /// but `pops` is carried over: a divergence split happens *inside*
+    /// a rising edge, after the pop decisions were taken but before
+    /// `finish_posedge` schedules the input acknowledgments — every
+    /// partition must still acknowledge the words its lanes consumed
+    /// on the split edge.
     fn control_clone(&self, logics: Vec<Box<dyn SyncLogic>>, traces: Vec<BTrace>) -> BSb {
         BSb {
             half: self.half,
@@ -280,7 +285,7 @@ impl BSb {
             edge_times_cap: self.edge_times_cap,
             views: Vec::with_capacity(self.inputs.len()),
             slots: Vec::with_capacity(self.outputs.len()),
-            pops: vec![false; self.inputs.len()],
+            pops: self.pops.clone(),
             shapes: Vec::with_capacity(self.inputs.len()),
             can_send: Vec::with_capacity(self.outputs.len()),
         }

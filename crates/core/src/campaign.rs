@@ -202,10 +202,30 @@ where
     }
 }
 
+/// The worker-thread count [`run_jobs`] / [`run_jobs_hooked`] will
+/// actually fan across for a request of `threads`: capped at the
+/// machine's available parallelism. Campaign workers are CPU-bound
+/// simulations, so oversubscription buys zero extra progress and pays
+/// real context-switch overhead (BENCH_5's one-core container ran
+/// `campaign_pingpong_4threads` *slower* than one thread). Callers
+/// with blocking or IO-heavy workers that genuinely profit from more
+/// threads than cores should build their own fan-out instead of
+/// routing through the campaign runners.
+///
+/// Public so campaign reporters can record the thread count that
+/// actually ran ([`CampaignStats::threads`]) rather than the one that
+/// was requested — a silently reduced fan-out should at least be
+/// visible in the stats.
+pub fn effective_threads(threads: usize) -> usize {
+    let cores = thread::available_parallelism().map_or(usize::MAX, usize::from);
+    threads.min(cores).max(1)
+}
+
 /// [`run_jobs`] with cooperative cancellation and progress reporting.
 ///
 /// Behaves exactly like [`run_jobs`] — same canonical-order merge, same
-/// panic propagation — until `hooks.cancel` is tripped, at which point
+/// panic propagation, same [`effective_threads`] cap at the machine's
+/// available parallelism — until `hooks.cancel` is tripped, at which point
 /// workers stop claiming new jobs promptly (the token is checked before
 /// every claim) and the call returns [`Cancelled`] carrying every job
 /// that *did* complete, in job order. `hooks.progress` fires once per
@@ -231,14 +251,9 @@ where
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    // Campaign workers are CPU-bound simulations: fanning wider than the
-    // machine's available parallelism buys zero extra progress and pays
-    // real context-switch overhead — BENCH_5's one-core container ran
-    // `campaign_pingpong_4threads` *slower* than one thread. Requested
-    // fan-out is therefore capped at the core count; the fan-out
+    // See [`effective_threads`] for the cap rationale; the fan-out
     // machinery itself stays directly testable via [`run_jobs_fanned`].
-    let cores = thread::available_parallelism().map_or(usize::MAX, usize::from);
-    run_jobs_fanned(jobs, threads.min(cores.max(1)), hooks, worker)
+    run_jobs_fanned(jobs, effective_threads(threads), hooks, worker)
 }
 
 /// The uncapped fan-out engine behind [`run_jobs_hooked`]: claims jobs
@@ -377,7 +392,9 @@ fn rethrow<T: fmt::Debug>(i: usize, job: &T, payload: Box<dyn std::any::Any + Se
 pub struct CampaignStats {
     /// Simulation runs executed (including the nominal reference).
     pub runs: usize,
-    /// Worker threads used.
+    /// Worker threads actually used — the requested count after the
+    /// [`effective_threads`] available-parallelism cap (and the job
+    /// count, when there are fewer jobs than workers).
     pub threads: usize,
     /// Wall-clock seconds for the whole campaign.
     pub wall_seconds: f64,
@@ -501,6 +518,15 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn effective_threads_caps_at_available_parallelism() {
+        let cores = thread::available_parallelism().map_or(1, usize::from);
+        assert_eq!(effective_threads(0), 1, "zero requests clamp to one");
+        assert_eq!(effective_threads(1), 1);
+        assert_eq!(effective_threads(usize::MAX), cores);
+        assert!(effective_threads(cores + 7) <= cores);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //! [`crate::campaign::run_jobs`] and merges in canonical config order,
 //! making the report byte-identical to the sequential runner.
 
-use crate::campaign::{run_jobs, CampaignStats};
+use crate::campaign::{effective_threads, run_jobs, CampaignStats};
 use crate::compiled_system::AnySystem;
 use crate::spec::{SbId, SystemSpec};
 use crate::system::{RunOutcome, System};
@@ -381,7 +381,7 @@ pub fn run_campaign_threads_any(
     }
     let stats = CampaignStats {
         runs: result.total + 1,
-        threads: threads.clamp(1, configs.len().max(1)),
+        threads: effective_threads(threads).clamp(1, configs.len().max(1)),
         wall_seconds: started.elapsed().as_secs_f64(),
         events_fired,
         wakes,

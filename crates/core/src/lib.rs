@@ -88,8 +88,8 @@ pub mod wrapper;
 
 pub use batched_system::BatchedSystem;
 pub use campaign::{
-    batch_limit_from_env, default_threads, run_jobs, run_jobs_hooked, threads_from_env,
-    CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
+    batch_limit_from_env, default_threads, effective_threads, run_jobs, run_jobs_hooked,
+    threads_from_env, CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
 };
 pub use compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
 pub use faults::{
@@ -110,8 +110,8 @@ pub use wrapper::WrapperMode;
 pub mod prelude {
     pub use crate::batched_system::BatchedSystem;
     pub use crate::campaign::{
-        batch_limit_from_env, default_threads, run_jobs, run_jobs_hooked, threads_from_env,
-        CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
+        batch_limit_from_env, default_threads, effective_threads, run_jobs, run_jobs_hooked,
+        threads_from_env, CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
     };
     pub use crate::compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
     pub use crate::faults::{

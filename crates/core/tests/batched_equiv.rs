@@ -63,6 +63,53 @@ impl SyncLogic for GatedSource {
     }
 }
 
+/// A mixer whose *send decision* is lane state on a consuming SB: it
+/// drains its inputs every enabled cycle (like [`MixerLogic`]) but
+/// gates the transmit attempt by bit `cycle % 64` of `gates`, made
+/// regardless of `can_send`. Unlike [`GatedSource`] this logic sits on
+/// an SB *with inputs*, so divergence splits land on edges where the
+/// SB also consumed a word — the split must carry the pending input
+/// acknowledgments into every partition (regression: the split once
+/// rebuilt the per-edge pop scratch cleared, so no `Pop` was scheduled
+/// and the FIFO head stayed occupied forever).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct GatedMixer {
+    gates: u64,
+    acc: u64,
+    next: u64,
+    received: u64,
+    sent: u64,
+}
+
+impl GatedMixer {
+    fn new(gates: u64, start: u64) -> Self {
+        GatedMixer {
+            gates,
+            acc: 0,
+            next: start,
+            received: 0,
+            sent: 0,
+        }
+    }
+}
+
+impl SyncLogic for GatedMixer {
+    fn tick(&mut self, cycle: u64, io: &mut SbIo<'_>) {
+        for i in 0..io.num_inputs() {
+            if let Some(w) = io.recv(i) {
+                self.acc = self.acc.rotate_left(9).wrapping_add(w);
+                self.received += 1;
+            }
+        }
+        if io.num_outputs() > 0 && (self.gates >> (cycle % 64)) & 1 == 1 {
+            if io.send(0, self.next.wrapping_add(self.acc & 0xFF)) {
+                self.sent += 1;
+            }
+            self.next = self.next.wrapping_add(3);
+        }
+    }
+}
+
 /// One builder per salt over `spec`, mixers on every SB (send pattern
 /// is data-independent, so same-spec lanes stay in lockstep while
 /// their data columns differ).
@@ -77,6 +124,28 @@ fn mixer_builders(spec: &SystemSpec, trace_limit: usize, salts: &[u64]) -> Vec<S
                 b = b.with_logic(SbId(i), MixerLogic::new((0x1000 * i as u64) ^ salt));
             }
             b
+        })
+        .collect()
+}
+
+/// Mixer on SB 0, gated mixer on SB 1 of a bidirectional spec; one
+/// builder per gate word. SB 1 consumes a word on most enabled edges
+/// (the SB 0 mixer transmits whenever it can), so gate-word divergence
+/// splits the group on edges with pending input acknowledgments.
+fn gated_mixer_builders(
+    spec: &SystemSpec,
+    trace_limit: usize,
+    gates: &[u64],
+) -> Vec<SystemBuilder> {
+    gates
+        .iter()
+        .enumerate()
+        .map(|(lane, &g)| {
+            SystemBuilder::new(spec.clone())
+                .expect("spec must validate")
+                .with_trace_limit(trace_limit)
+                .with_logic(SbId(0), MixerLogic::new(0xA5A5))
+                .with_logic(SbId(1), GatedMixer::new(g, 500 + lane as u64))
         })
         .collect()
 }
@@ -362,6 +431,36 @@ fn divergence_cascade_ends_with_every_lane_alone() {
     assert_eq!(batch.group_count(), 6, "cascade must fully unzip the batch");
 }
 
+#[test]
+fn divergence_on_a_consuming_edge_preserves_input_acks() {
+    // The diverging SB pops a word on most enabled edges; the split
+    // must still schedule that edge's Pop in every partition, or the
+    // FIFO head stays occupied forever and the lanes drift off their
+    // scalar runs (asserted via trace digests and FIFO pop counts).
+    let spec = pingpong_spec();
+    // Lanes 0 and 1 share a schedule; lanes 2 and 3 first differ at
+    // cycles 16 and 44 — both edges where SB 1 holds a popped word
+    // (its enabled windows cover cycles 14-25, 40-51, ... under this
+    // token schedule).
+    let gates = [u64::MAX, u64::MAX, !(1u64 << 16), !(1u64 << 44)];
+    let make = || gated_mixer_builders(&spec, 150, &gates);
+    let batch = assert_batch_matches_scalar(&make, 64, 150);
+    assert!(
+        batch.group_count() >= 3,
+        "distinct gate words must have split the batch"
+    );
+    // The split must move the right per-lane logic state around.
+    let compiled = make();
+    for (lane, b) in compiled.into_iter().enumerate() {
+        let mut cc = b.build_backend(Backend::Compiled);
+        cc.run_until_cycles(150, MAX_TIME).expect("compiled run");
+        let gb: &GatedMixer = batch.logic(lane, SbId(1));
+        let gc: &GatedMixer = cc.logic(SbId(1));
+        assert_eq!(gb, gc, "logic state of lane {lane}");
+        assert!(gb.received > 0, "lane {lane} must actually consume words");
+    }
+}
+
 // --- per-lane fault plans -------------------------------------------------
 
 #[test]
@@ -519,5 +618,17 @@ proptest! {
     ) {
         let spec = producer_consumer_spec();
         assert_batch_matches_scalar(&|| gated_builders(&spec, 64, &gates), 64, 100);
+    }
+
+    /// Random per-lane send schedules on a *consuming* SB: splits land
+    /// on edges with pending input acknowledgments at arbitrary
+    /// cycles, and every lane must stay byte-identical to its scalar
+    /// runs (FIFO pop counts and trace digests included).
+    #[test]
+    fn random_consuming_divergence_schedules_match_scalar_backends(
+        gates in proptest::collection::vec(any::<u64>(), 2..7),
+    ) {
+        let spec = pingpong_spec();
+        assert_batch_matches_scalar(&|| gated_mixer_builders(&spec, 64, &gates), 64, 100);
     }
 }

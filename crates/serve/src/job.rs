@@ -20,7 +20,7 @@
 
 use st_sim::time::SimDuration;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use synchro_tokens::scenarios::{self, chain_spec, e1_spec, pingpong_spec, producer_consumer_spec};
 use synchro_tokens::system::{RunOutcome, SystemBuilder};
 use synchro_tokens::{
@@ -541,7 +541,17 @@ pub fn batch_metrics() -> (u64, u64, u64) {
 
 /// Attempts to run a whole [`SimRequest`] through the batched
 /// lane-parallel engine: all seeds share the scenario spec, so they
-/// lower into one lockstep group and the event-loop cost is paid once.
+/// lower into lockstep groups and the event-loop cost is paid once per
+/// group instead of once per seed.
+///
+/// The seed list is sharded so up to `threads` workers run whole
+/// lockstep groups concurrently (via
+/// [`synchro_tokens::run_jobs_hooked`], which also caps the fan-out at
+/// the machine's parallelism). Shards never exceed the `ST_BATCH` lane
+/// cap, so sharding costs no group sharing, and one shard — not the
+/// whole request — is the indivisible unit of batched work:
+/// cancellation is honoured between shards and progress fires per
+/// completed seed.
 ///
 /// Returns `Ok(None)` when the request should take the scalar path —
 /// an `event`-backend pin (the client asked for that engine
@@ -552,63 +562,88 @@ pub fn batch_metrics() -> (u64, u64, u64) {
 ///
 /// # Errors
 ///
-/// [`ExecCancelled`] when the token is already tripped (the batched
-/// run itself is one indivisible sub-job).
+/// [`ExecCancelled`] when the token trips before the last shard is
+/// claimed; completed shards are discarded.
 fn run_sim_batched(
     r: &SimRequest,
+    threads: usize,
     hooks: &RunHooks<'_>,
 ) -> Result<Option<Vec<SimRunResult>>, ExecCancelled> {
-    if r.backend != Backend::Compiled
-        || r.seeds.len() < 2
-        || synchro_tokens::batch_limit_from_env() <= 1
-    {
+    let limit = synchro_tokens::batch_limit_from_env();
+    if r.backend != Backend::Compiled || r.seeds.len() < 2 || limit <= 1 {
         return Ok(None);
-    }
-    if hooks.cancel.is_some_and(|t| t.is_cancelled()) {
-        return Err(ExecCancelled);
     }
     let spec = r.scenario.spec();
-    let builders: Vec<SystemBuilder> = r
-        .seeds
-        .iter()
-        .map(|&seed| mixer_builder(&spec, seed, r.trace_cycles as usize))
-        .collect();
-    let Ok(mut batch) = BatchedSystem::build(builders) else {
+    // The envelope is a property of the spec and trace limit, shared
+    // by every seed: one probe builder decides for the whole request.
+    if !BatchedSystem::supports(&mixer_builder(&spec, r.seeds[0], r.trace_cycles as usize)) {
         return Ok(None);
-    };
-    let outcomes = batch.run_until_cycles(r.cycles, SimDuration::fs(r.budget_fs));
-    BATCHES_FORMED.fetch_add(1, Ordering::Relaxed);
-    BATCH_LANES.fetch_add(batch.lanes() as u64, Ordering::Relaxed);
-    BATCH_GROUPS.fetch_add(batch.group_count() as u64, Ordering::Relaxed);
+    }
+    // Shard by the thread count that will actually run (requested,
+    // capped at the machine's parallelism): sizing by the raw request
+    // would fragment lane sharing with no parallelism to show for it.
+    let workers = synchro_tokens::effective_threads(threads);
+    let shard = r.seeds.len().div_ceil(workers).clamp(1, limit);
+    let shards: Vec<&[u64]> = r.seeds.chunks(shard).collect();
     let total = r.seeds.len();
-    let runs = r
-        .seeds
-        .iter()
-        .zip(outcomes)
-        .enumerate()
-        .map(|(lane, (&seed, outcome))| {
-            let outcome = match outcome {
-                RunOutcome::Reached => "reached".to_owned(),
-                RunOutcome::Deadlock { stopped } => {
-                    let names: Vec<String> = stopped.iter().map(ToString::to_string).collect();
-                    format!("deadlock: {}", names.join(","))
+    let done = AtomicUsize::new(0);
+    let lane_done = |n: usize| {
+        let completed = done.fetch_add(n, Ordering::Relaxed) + n;
+        if let Some(p) = hooks.progress {
+            p(completed.min(total), total);
+        }
+    };
+    // Per-seed progress is reported from inside the shard workers, so
+    // the fan-out itself runs with progress disabled (its unit is the
+    // shard, not the seed).
+    let shard_hooks = RunHooks {
+        cancel: hooks.cancel,
+        progress: None,
+    };
+    let runs = run_jobs_hooked(&shards, threads, shard_hooks, |_, seeds: &&[u64]| {
+        let builders: Vec<SystemBuilder> = seeds
+            .iter()
+            .map(|&seed| mixer_builder(&spec, seed, r.trace_cycles as usize))
+            .collect();
+        let Ok(mut batch) = BatchedSystem::build(builders) else {
+            // Unreachable given the probe above, but a scalar fallback
+            // keeps the result correct if the envelope ever drifts.
+            let runs: Vec<SimRunResult> = seeds.iter().map(|&seed| run_sim_once(r, seed)).collect();
+            lane_done(runs.len());
+            return runs;
+        };
+        let outcomes = batch.run_until_cycles(r.cycles, SimDuration::fs(r.budget_fs));
+        BATCHES_FORMED.fetch_add(1, Ordering::Relaxed);
+        BATCH_LANES.fetch_add(batch.lanes() as u64, Ordering::Relaxed);
+        BATCH_GROUPS.fetch_add(batch.group_count() as u64, Ordering::Relaxed);
+        let runs: Vec<SimRunResult> = seeds
+            .iter()
+            .zip(outcomes)
+            .enumerate()
+            .map(|(lane, (&seed, outcome))| {
+                let outcome = match outcome {
+                    RunOutcome::Reached => "reached".to_owned(),
+                    RunOutcome::Deadlock { stopped } => {
+                        let names: Vec<String> = stopped.iter().map(ToString::to_string).collect();
+                        format!("deadlock: {}", names.join(","))
+                    }
+                    RunOutcome::TimedOut => "timed-out".to_owned(),
+                };
+                let traces = (0..spec.sbs.len())
+                    .map(|i| batch.io_trace(lane, SbId(i)).to_canonical_bytes())
+                    .collect();
+                SimRunResult {
+                    seed,
+                    outcome,
+                    traces,
                 }
-                RunOutcome::TimedOut => "timed-out".to_owned(),
-            };
-            let traces = (0..spec.sbs.len())
-                .map(|i| batch.io_trace(lane, SbId(i)).to_canonical_bytes())
-                .collect();
-            if let Some(p) = hooks.progress {
-                p(lane + 1, total);
-            }
-            SimRunResult {
-                seed,
-                outcome,
-                traces,
-            }
-        })
-        .collect();
-    Ok(Some(runs))
+            })
+            .collect();
+        lane_done(runs.len());
+        runs
+    })
+    .map_err(|_| ExecCancelled)?;
+    Ok(Some(runs.into_iter().flatten().collect()))
 }
 
 /// Runs one simulation of a [`SimRequest`] at `seed`.
@@ -656,7 +691,7 @@ pub fn execute(
 ) -> Result<JobResult, ExecCancelled> {
     match req {
         JobRequest::Sim(r) => {
-            if let Some(runs) = run_sim_batched(r, &hooks)? {
+            if let Some(runs) = run_sim_batched(r, threads, &hooks)? {
                 return Ok(JobResult::Sim(runs));
             }
             let runs = run_jobs_hooked(&r.seeds, threads, hooks, |_, &seed| run_sim_once(r, seed))
@@ -864,6 +899,54 @@ mod tests {
         assert_eq!(
             execute(&tiny_sim(Backend::Event), 1, hooks),
             Err(ExecCancelled)
+        );
+        // The batched compiled path checks the same token between
+        // shards; a pre-tripped token refuses the first shard claim.
+        assert_eq!(
+            execute(&tiny_sim(Backend::Compiled), 1, hooks),
+            Err(ExecCancelled)
+        );
+    }
+
+    #[test]
+    fn batched_sim_shards_across_threads_and_serves_scalar_bytes() {
+        // Nine seeds over three requested workers shard into chunks
+        // sized by the effective thread count (three on a 3+-core
+        // machine, one shard of nine on a single core); either way the
+        // merged wire bytes must equal the scalar per-seed computation
+        // and per-seed progress must cover every seed exactly once.
+        let r = SimRequest {
+            scenario: Scenario::PingPong,
+            backend: Backend::Compiled,
+            seeds: (1..=9).collect(),
+            cycles: 30,
+            trace_cycles: 30,
+            budget_fs: SimDuration::us(2000).as_fs(),
+        };
+        let direct = JobResult::Sim(r.seeds.iter().map(|&s| run_sim_once(&r, s)).collect())
+            .to_canonical_bytes();
+        let seen = std::sync::Mutex::new(Vec::new());
+        let progress = |done: usize, total: usize| {
+            seen.lock().unwrap().push((done, total));
+        };
+        let hooks = RunHooks {
+            cancel: None,
+            progress: Some(&progress),
+        };
+        let executed = execute(&JobRequest::Sim(r), 3, hooks)
+            .unwrap()
+            .to_canonical_bytes();
+        assert_eq!(executed, direct);
+        let reports = seen.into_inner().unwrap();
+        assert_eq!(
+            reports.iter().map(|&(_, t)| t).max(),
+            Some(9),
+            "progress totals must count seeds, not shards"
+        );
+        assert_eq!(
+            reports.iter().map(|&(d, _)| d).max(),
+            Some(9),
+            "every seed must be reported completed"
         );
     }
 }

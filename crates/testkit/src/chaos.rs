@@ -205,7 +205,7 @@ pub fn run_chaos_campaign_hooked(
     let stats = CampaignStats {
         // Golden + two attacked backends per configuration.
         runs: runs.len() * 3,
-        threads,
+        threads: effective_threads(threads),
         wall_seconds: started.elapsed().as_secs_f64(),
         events_fired: 0,
         wakes: 0,
@@ -387,7 +387,7 @@ pub fn run_chaos_campaign_batched_hooked(
         // One attacked backend per configuration, plus the goldens
         // (one per distinct seed, batched) and one cross-check run.
         runs: runs.len() + seeds.len() + usize::from(!seeds.is_empty()),
-        threads,
+        threads: effective_threads(threads),
         wall_seconds: started.elapsed().as_secs_f64(),
         events_fired: 0,
         wakes: 0,
