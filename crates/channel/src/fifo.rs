@@ -61,6 +61,23 @@ impl FifoPorts {
     }
 }
 
+/// Dynamic state of a [`SelfTimedFifo`], captured for checkpointing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FifoSnapshot {
+    /// Stage contents, tail first.
+    pub stages: Vec<Option<u64>>,
+    /// Total successful pushes.
+    pub pushes: u64,
+    /// Total successful pops.
+    pub pops: u64,
+    /// Highest occupancy ever reached.
+    pub max_occupancy: usize,
+    /// Producer protocol violations.
+    pub overruns: u64,
+    /// Consumer protocol violations.
+    pub underruns: u64,
+}
+
 /// Event-level model of a self-timed FIFO chain.
 ///
 /// # Examples
@@ -141,6 +158,36 @@ impl SelfTimedFifo {
     /// Consumer protocol violations observed (pop while empty).
     pub fn underruns(&self) -> u64 {
         self.underruns
+    }
+
+    /// Captures the FIFO's dynamic state for checkpointing. In-flight
+    /// stage movements live in the kernel's timer events, which the
+    /// kernel snapshot carries, so the component side is just the stage
+    /// contents and counters.
+    pub fn snapshot(&self) -> FifoSnapshot {
+        FifoSnapshot {
+            stages: self.stages.clone(),
+            pushes: self.pushes,
+            pops: self.pops,
+            max_occupancy: self.max_occupancy,
+            overruns: self.overruns,
+            underruns: self.underruns,
+        }
+    }
+
+    /// Restores state captured by [`SelfTimedFifo::snapshot`]. Returns
+    /// false when the snapshot's depth does not match this FIFO.
+    pub fn restore(&mut self, snap: &FifoSnapshot) -> bool {
+        if snap.stages.len() != self.stages.len() {
+            return false;
+        }
+        self.stages.clone_from(&snap.stages);
+        self.pushes = snap.pushes;
+        self.pops = snap.pops;
+        self.max_occupancy = snap.max_occupancy;
+        self.overruns = snap.overruns;
+        self.underruns = snap.underruns;
+        true
     }
 
     /// Registers the component and its sensitivities; returns the handle.

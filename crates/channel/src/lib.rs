@@ -44,7 +44,7 @@ pub mod stari;
 pub mod sync;
 
 pub use arbiter::{Mutex, MutexSpec, Side};
-pub use fifo::{FifoPorts, SelfTimedFifo};
+pub use fifo::{FifoPorts, FifoSnapshot, SelfTimedFifo};
 pub use handshake::{
     FourPhaseReceiver, FourPhaseSender, HandshakeMonitor, HandshakePorts, HandshakeSpec,
 };

@@ -114,6 +114,20 @@ impl StoppableClock {
         self.parked
     }
 
+    /// Captures the oscillator's dynamic state for checkpointing: the
+    /// parked flag plus edge/stop statistics. Phase timing lives in the
+    /// kernel's timer events, which the kernel snapshot carries.
+    pub fn snapshot(&self) -> (bool, u64, u64) {
+        (self.parked, self.edges, self.stops)
+    }
+
+    /// Restores state captured by [`StoppableClock::snapshot`].
+    pub fn restore(&mut self, parked: bool, edges: u64, stops: u64) {
+        self.parked = parked;
+        self.edges = edges;
+        self.stops = stops;
+    }
+
     fn half(&self, ctx: &Ctx<'_>) -> SimDuration {
         let mult = self.freq_ctl.and_then(|c| ctx.word(c)).map_or(1, |v| v + 1);
         self.spec.half_period * mult

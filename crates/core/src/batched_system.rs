@@ -55,6 +55,10 @@
 //! hands the builders back untouched when any lane is unsupported, so
 //! callers fall back to scalar backends without rebuilding.
 
+use crate::checkpoint::{
+    config_hash, encode_compiled_payload, Checkpoint, CheckpointBackend, CheckpointError,
+    CompiledEvDump, CompiledFifoDump, CompiledSbDump, CompiledStateDump,
+};
 use crate::compiled_system::{
     slot_key, slot_time, ChaosState, ClockSlots, CompiledSystem, SLOT_EMPTY,
 };
@@ -151,6 +155,14 @@ struct BTrace {
     writes: Vec<Option<u64>>,
     /// Materialized view, built lazily and dropped on new rows.
     cache: Option<SbIoTrace>,
+    /// Running digest over every recorded row, folded per edge as the
+    /// row lands (so [`digest`](Self::digest) is O(1) instead of a
+    /// whole-trace post-pass at verdict time).
+    hasher: DigestHasher,
+    /// Reusable scratch row for the per-edge fold: hashing must go
+    /// through a real [`TraceRow`] so the stream is bit-identical to
+    /// [`SbIoTrace::digest`]'s derived-`Hash` sequence.
+    scratch: TraceRow,
 }
 
 impl BTrace {
@@ -164,6 +176,12 @@ impl BTrace {
             reads: Vec::new(),
             writes: Vec::new(),
             cache: None,
+            hasher: DigestHasher::default(),
+            scratch: TraceRow {
+                cycle: 0,
+                reads: Vec::with_capacity(n_in),
+                writes: Vec::with_capacity(n_out),
+            },
         }
     }
 
@@ -192,29 +210,29 @@ impl BTrace {
         self.cache.as_ref().expect("just filled")
     }
 
-    /// [`SbIoTrace::digest`] without materializing: hashes the same
-    /// row sequence through one reusable scratch row.
+    /// Folds the most recently recorded row into the running digest —
+    /// called once per recording edge, right after the row's fields
+    /// land in the columnar vectors. The scratch row replays the exact
+    /// derived-`Hash` sequence a materialized [`TraceRow`] would emit.
+    fn fold_last_row(&mut self) {
+        let r = self.rows - 1;
+        self.scratch.cycle = self.cycles[r];
+        self.scratch.reads.clear();
+        self.scratch
+            .reads
+            .extend_from_slice(&self.reads[r * self.n_in..(r + 1) * self.n_in]);
+        self.scratch.writes.clear();
+        self.scratch
+            .writes
+            .extend_from_slice(&self.writes[r * self.n_out..(r + 1) * self.n_out]);
+        self.scratch.hash(&mut self.hasher);
+    }
+
+    /// [`SbIoTrace::digest`] without materializing (or even walking)
+    /// the rows: every row was folded into the running hasher as it
+    /// was recorded, so only the finalizer remains.
     fn digest(&self) -> u64 {
-        if let Some(t) = &self.cache {
-            return t.digest();
-        }
-        let mut h = DigestHasher::default();
-        let mut row = TraceRow {
-            cycle: 0,
-            reads: Vec::with_capacity(self.n_in),
-            writes: Vec::with_capacity(self.n_out),
-        };
-        for r in 0..self.rows {
-            row.cycle = self.cycles[r];
-            row.reads.clear();
-            row.reads
-                .extend_from_slice(&self.reads[r * self.n_in..(r + 1) * self.n_in]);
-            row.writes.clear();
-            row.writes
-                .extend_from_slice(&self.writes[r * self.n_out..(r + 1) * self.n_out]);
-            row.hash(&mut h);
-        }
-        h.finish()
+        self.hasher.finish()
     }
 }
 
@@ -1004,6 +1022,7 @@ impl Group {
                         }
                     }));
                     tr.rows += 1;
+                    tr.fold_last_row();
                 }
             }
         }
@@ -1327,6 +1346,11 @@ pub struct BatchedSystem {
     /// Lane → (group index, slot within group), kept fresh after every
     /// run/split.
     lane_loc: Vec<(usize, usize)>,
+    /// Lane → configuration hash of the builder it was lowered from
+    /// (captured at build time, before the builders are consumed), so
+    /// extracted checkpoints carry the same `spec_hash` the scalar
+    /// engines would stamp.
+    lane_hash: Vec<[u8; 16]>,
 }
 
 impl std::fmt::Debug for BatchedSystem {
@@ -1375,6 +1399,12 @@ impl BatchedSystem {
         if builders.is_empty() || !builders.iter().all(Self::supports) {
             return Err(builders);
         }
+        // Before the builders are consumed below: the hash covers the
+        // plan, which `Group::lower` takes out of singleton lanes.
+        let lane_hash: Vec<[u8; 16]> = builders
+            .iter()
+            .map(|b| config_hash(&b.spec, b.seed, b.trace_limit, b.faults.as_ref()))
+            .collect();
         let max_lanes = max_lanes.max(1);
         // Greedy grouping in lane order: a lane joins the first open
         // group with an identical spec and trace limit; faulted lanes
@@ -1407,6 +1437,7 @@ impl BatchedSystem {
         let mut sys = BatchedSystem {
             groups,
             lane_loc: Vec::new(),
+            lane_hash,
         };
         sys.relocate();
         Ok(sys)
@@ -1538,11 +1569,121 @@ impl BatchedSystem {
     }
 
     /// `io_trace(lane, sb).digest()` without materializing the rows.
-    /// Campaign verdicts compare digests; streaming them keeps the
-    /// batched fast path free of per-row allocations.
+    /// Campaign verdicts compare digests; each row was folded into a
+    /// running hasher as it was recorded, so this is O(1) and the
+    /// batched fast path stays free of per-row allocations.
     pub fn trace_digest(&self, lane: usize, sb: SbId) -> u64 {
         let (g, slot) = self.at(lane);
         g.sbs[sb.0].traces[slot].digest()
+    }
+
+    /// The configuration hash of the builder lane `lane` was lowered
+    /// from — identical to what the scalar engines compute for the
+    /// same builder.
+    pub fn spec_hash(&self, lane: usize) -> [u8; 16] {
+        self.lane_hash[lane]
+    }
+
+    /// Extracts lane `lane`'s complete state as a **compiled-backend**
+    /// [`Checkpoint`] — byte-identical to the checkpoint the scalar
+    /// [`CompiledSystem`] of the lane's builder would produce at the
+    /// same point, because a lockstep group's shared control state *is*
+    /// each member lane's scalar state and the per-lane columns carry
+    /// the rest. The checkpoint resumes through
+    /// [`CompiledSystem::resume`] (or `AnySystem::resume`); there is no
+    /// whole-batch checkpoint — lanes fork out of a batch one at a
+    /// time, which is exactly the prefix-sharing campaign shape.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when a logic attached to the
+    /// lane does not implement
+    /// [`SyncLogic::save_state`](crate::logic::SyncLogic::save_state).
+    pub fn checkpoint(&mut self, lane: usize) -> Result<Checkpoint, CheckpointError> {
+        let spec_hash = self.lane_hash[lane];
+        let (gi, slot) = self.lane_loc[lane];
+        let g = &mut self.groups[gi];
+        let nl = g.lanes.len();
+        let mut sbs = Vec::with_capacity(g.sbs.len());
+        for sb in &mut g.sbs {
+            let logic = sb.logics[slot]
+                .save_state()
+                .ok_or(CheckpointError::Unsupported(
+                    "attached logic does not implement save_state",
+                ))?;
+            sbs.push(CompiledSbDump {
+                clk_high: sb.clk_high,
+                parked: sb.parked,
+                clken: sb.clken,
+                edges: sb.edges,
+                clock_stops: sb.clock_stops,
+                cycle: sb.cycle,
+                dropped_words: sb.dropped_words,
+                timing_violations: sb.timing_violations,
+                last_edge: sb.last_edge,
+                edge_times: sb.edge_times.clone(),
+                trace: sb.traces[slot].materialize().clone(),
+                nodes: sb.nodes.iter().map(|n| n.fsm.snapshot()).collect(),
+                logic,
+            });
+        }
+        let mut heap: Vec<&BEv> = g.heap.iter().map(|Reverse(ev)| ev).collect();
+        heap.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+        let heap = heap
+            .into_iter()
+            .map(|ev| {
+                let (kind, a, b) = match &ev.kind {
+                    BEvKind::Push { ch, words } => (0, *ch, words[slot]),
+                    BEvKind::Pop { ch } => (1, *ch, 0),
+                    BEvKind::Move { ch, stage } => (2, *ch, u64::from(*stage)),
+                    BEvKind::Token { sb, node } => (3, *sb, u64::from(*node)),
+                    BEvKind::Clken { sb, ena } => (4, *sb, u64::from(*ena)),
+                };
+                CompiledEvDump {
+                    time: ev.time,
+                    seq: ev.seq,
+                    kind,
+                    a,
+                    b,
+                }
+            })
+            .collect();
+        let (jitter, injector) = match g.chaos.as_ref() {
+            Some(c) => c.snapshot_counters(),
+            None => (None, None),
+        };
+        let dump = CompiledStateDump {
+            now: g.now,
+            seq: g.seq,
+            events: g.events,
+            clk: g.clk.iter().map(|c| (c.phase, c.posedge)).collect(),
+            heap,
+            sbs,
+            fifos: g
+                .fifos
+                .iter()
+                .map(|f| CompiledFifoDump {
+                    occ: f.occ,
+                    words: (0..f.depth as usize)
+                        .map(|stage| f.words[stage * nl + slot])
+                        .collect(),
+                    pending: f.pending.clone(),
+                    pushes: f.pushes,
+                    pops: f.pops,
+                    overruns: f.overruns,
+                    underruns: f.underruns,
+                })
+                .collect(),
+            jitter,
+            injector,
+        };
+        Ok(Checkpoint::new(
+            CheckpointBackend::Compiled,
+            spec_hash,
+            g.min_cycles(),
+            g.now,
+            encode_compiled_payload(&dump),
+        ))
     }
 
     /// The final state of lane `lane`'s logic on `sb`, downcast.

@@ -47,6 +47,10 @@
 //! backend — callers never observe a behavioural difference, only a
 //! speed difference.
 
+use crate::checkpoint::{
+    config_hash, encode_compiled_payload, Checkpoint, CheckpointBackend, CheckpointError,
+    CompiledEvDump, CompiledFifoDump, CompiledSbDump, CompiledStateDump, DecodedCheckpoint,
+};
 use crate::faults::{
     DataAction, FaultInjector, JitterCounters, TokenPassAction, CLASS_CLK, CLASS_DATA, CLASS_TOKEN,
 };
@@ -161,7 +165,22 @@ impl ChaosState {
             None => TokenPassAction::Deliver,
         }
     }
+
+    /// Occurrence-counter snapshots for checkpointing:
+    /// `(jitter occurrence bytes, injector counters)` — each `None`
+    /// when the corresponding layer is not active. Shared by the
+    /// scalar and batched engines' checkpoint paths.
+    pub(crate) fn snapshot_counters(&self) -> SnapshotCounters {
+        (
+            self.jitter.as_ref().map(JitterCounters::snapshot_occ),
+            self.injector.as_ref().map(FaultInjector::snapshot_counters),
+        )
+    }
 }
+
+/// `(jitter occurrence bytes, injector counters)` as captured by
+/// [`ChaosState::snapshot_counters`].
+pub(crate) type SnapshotCounters = (Option<Vec<u8>>, Option<(Vec<u64>, Vec<u64>, Vec<u64>)>);
 
 /// A typed event. `u32` indices keep the heap payload at two words
 /// beside the timestamp. Clock phase boundaries and rising edges do
@@ -382,6 +401,7 @@ pub(crate) fn slot_time(key: u128) -> SimTime {
 /// [`Backend::Compiled`]; the accessor surface mirrors [`System`].
 pub struct CompiledSystem {
     spec: SystemSpec,
+    spec_hash: [u8; 16],
     sbs: Vec<SbState>,
     fifos: Vec<FifoState>,
     /// Pending clock events, one pair of slots per SB (indexed like
@@ -441,6 +461,13 @@ impl CompiledSystem {
             return Err(builder);
         }
         let spec = builder.spec.clone();
+        // Before `faults` is consumed below: the hash covers the plan.
+        let spec_hash = config_hash(
+            &spec,
+            builder.seed,
+            builder.trace_limit,
+            builder.faults.as_ref(),
+        );
         let trace_limit = builder.trace_limit;
         let chaos = builder
             .faults
@@ -553,6 +580,7 @@ impl CompiledSystem {
         let n_sbs = sbs.len();
         let mut sys = CompiledSystem {
             spec,
+            spec_hash,
             sbs,
             fifos,
             clk: vec![
@@ -1335,6 +1363,284 @@ impl CompiledSystem {
     pub fn events_processed(&self) -> u64 {
         self.events
     }
+
+    /// The configuration content key this system (and its checkpoints)
+    /// are bound to.
+    pub fn spec_hash(&self) -> [u8; 16] {
+        self.spec_hash
+    }
+
+    /// Freezes the complete engine state into a canonical
+    /// [`Checkpoint`]. The compiled engine is always inside the
+    /// deterministic envelope; the only remaining requirement is that
+    /// every attached logic implements
+    /// [`SyncLogic::save_state`](crate::logic::SyncLogic::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when a logic cannot save state.
+    pub fn checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        let mut sbs = Vec::with_capacity(self.sbs.len());
+        for sb in &self.sbs {
+            let logic = sb.logic.save_state().ok_or(CheckpointError::Unsupported(
+                "attached logic does not implement save_state",
+            ))?;
+            sbs.push(CompiledSbDump {
+                clk_high: sb.clk_high,
+                parked: sb.parked,
+                clken: sb.clken,
+                edges: sb.edges,
+                clock_stops: sb.clock_stops,
+                cycle: sb.cycle,
+                dropped_words: sb.dropped_words,
+                timing_violations: sb.timing_violations,
+                last_edge: sb.last_edge,
+                edge_times: sb.edge_times.clone(),
+                trace: sb.trace.clone(),
+                nodes: sb.nodes.iter().map(|n| n.fsm.snapshot()).collect(),
+                logic,
+            });
+        }
+        let mut heap: Vec<&Ev> = self.heap.iter().map(|Reverse(ev)| ev).collect();
+        heap.sort_unstable_by_key(|ev| (ev.time, ev.seq));
+        let heap = heap
+            .into_iter()
+            .map(|ev| {
+                let (kind, a, b) = match ev.kind {
+                    EvKind::Push { ch, word } => (0, ch, word),
+                    EvKind::Pop { ch } => (1, ch, 0),
+                    EvKind::Move { ch, stage } => (2, ch, u64::from(stage)),
+                    EvKind::Token { sb, node } => (3, sb, u64::from(node)),
+                    EvKind::Clken { sb, ena } => (4, sb, u64::from(ena)),
+                };
+                CompiledEvDump {
+                    time: ev.time,
+                    seq: ev.seq,
+                    kind,
+                    a,
+                    b,
+                }
+            })
+            .collect();
+        let dump = CompiledStateDump {
+            now: self.now,
+            seq: self.seq,
+            events: self.events,
+            clk: self.clk.iter().map(|c| (c.phase, c.posedge)).collect(),
+            heap,
+            sbs,
+            fifos: self
+                .fifos
+                .iter()
+                .map(|f| CompiledFifoDump {
+                    occ: f.occ,
+                    words: f.words.clone(),
+                    pending: f.pending.clone(),
+                    pushes: f.pushes,
+                    pops: f.pops,
+                    overruns: f.overruns,
+                    underruns: f.underruns,
+                })
+                .collect(),
+            jitter: self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.jitter.as_ref())
+                .map(JitterCounters::snapshot_occ),
+            injector: self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.injector.as_ref())
+                .map(FaultInjector::snapshot_counters),
+        };
+        Ok(Checkpoint::new(
+            CheckpointBackend::Compiled,
+            self.spec_hash,
+            self.min_cycles(),
+            self.now,
+            encode_compiled_payload(&dump),
+        ))
+    }
+
+    /// Reconstructs a running compiled system from `checkpoint`, using a
+    /// builder configured **identically** to the one that produced it.
+    /// Continuation from the restored state is byte-identical to a
+    /// straight run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BackendMismatch`] for event-backend
+    /// checkpoints, [`CheckpointError::Unsupported`] outside the
+    /// compiled envelope, [`CheckpointError::SpecMismatch`] when the
+    /// builder differs from the originating configuration,
+    /// [`CheckpointError::Corrupt`] for malformed payload bytes.
+    pub fn resume(
+        builder: SystemBuilder,
+        checkpoint: &Checkpoint,
+    ) -> Result<CompiledSystem, CheckpointError> {
+        if checkpoint.backend() != CheckpointBackend::Compiled {
+            return Err(CheckpointError::BackendMismatch);
+        }
+        Self::resume_decoded(builder, &checkpoint.decode()?)
+    }
+
+    /// [`resume`](Self::resume) from a pre-decoded checkpoint (see
+    /// [`Checkpoint::decode`]): restoring is a plain copy of the decoded
+    /// state, so forking many runs from one blob decodes it once.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](Self::resume), minus the payload decode.
+    pub fn resume_decoded(
+        builder: SystemBuilder,
+        checkpoint: &DecodedCheckpoint,
+    ) -> Result<CompiledSystem, CheckpointError> {
+        let hash = config_hash(
+            &builder.spec,
+            builder.seed,
+            builder.trace_limit,
+            builder.faults.as_ref(),
+        );
+        if hash != checkpoint.spec_hash() {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        let mut sys = CompiledSystem::lower(builder).map_err(|_| {
+            CheckpointError::Unsupported("system is outside the compiled support envelope")
+        })?;
+        sys.restore_decoded(checkpoint)?;
+        Ok(sys)
+    }
+
+    /// Restores this engine in place to the checkpointed state, reusing
+    /// every existing allocation (trace rows, edge-time ring, FIFO
+    /// buffers, event heap). Equivalent to
+    /// [`resume_decoded`](Self::resume_decoded) with this engine's own
+    /// configuration, minus the lowering: a prefix-fork campaign keeps
+    /// one engine per worker and rewinds it per variant instead of
+    /// building a fresh one.
+    ///
+    /// The checkpoint's configuration hash must match this engine's
+    /// [`spec_hash`](Self::spec_hash) — same spec, seed, trace limit and
+    /// fault plan — so a stale engine cached across campaigns fails
+    /// closed with [`CheckpointError::SpecMismatch`] rather than
+    /// resuming the wrong workload. On any error the engine state is
+    /// unspecified (possibly partially restored); restore again or
+    /// discard it.
+    ///
+    /// # Errors
+    ///
+    /// - [`CheckpointError::BackendMismatch`] for an event-backend
+    ///   checkpoint.
+    /// - [`CheckpointError::SpecMismatch`] when the configuration hash
+    ///   or any structural shape disagrees.
+    pub fn restore_decoded(
+        &mut self,
+        checkpoint: &DecodedCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        let crate::checkpoint::DecodedState::Compiled(dump) = &checkpoint.state else {
+            return Err(CheckpointError::BackendMismatch);
+        };
+        if self.spec_hash != checkpoint.spec_hash() {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        if dump.sbs.len() != self.sbs.len()
+            || dump.fifos.len() != self.fifos.len()
+            || dump.clk.len() != self.clk.len()
+        {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        for (sb, d) in self.sbs.iter_mut().zip(&dump.sbs) {
+            if d.nodes.len() != sb.nodes.len() || !sb.logic.restore_state(&d.logic) {
+                return Err(CheckpointError::SpecMismatch);
+            }
+            sb.clk_high = d.clk_high;
+            sb.parked = d.parked;
+            sb.clken = d.clken;
+            sb.edges = d.edges;
+            sb.clock_stops = d.clock_stops;
+            sb.cycle = d.cycle;
+            sb.dropped_words = d.dropped_words;
+            sb.timing_violations = d.timing_violations;
+            sb.last_edge = d.last_edge;
+            sb.edge_times.clone_from(&d.edge_times);
+            sb.trace.clone_from(&d.trace);
+            for (n, snap) in sb.nodes.iter_mut().zip(&d.nodes) {
+                n.fsm.restore(snap);
+            }
+        }
+        for (f, d) in self.fifos.iter_mut().zip(&dump.fifos) {
+            if d.words.len() != f.words.len() {
+                return Err(CheckpointError::SpecMismatch);
+            }
+            f.occ = d.occ;
+            f.words.clone_from(&d.words);
+            f.pending.clone_from(&d.pending);
+            f.pushes = d.pushes;
+            f.pops = d.pops;
+            f.overruns = d.overruns;
+            f.underruns = d.underruns;
+        }
+        for (c, &(phase, posedge)) in self.clk.iter_mut().zip(&dump.clk) {
+            c.phase = phase;
+            c.posedge = posedge;
+        }
+        self.heap.clear();
+        for ev in &dump.heap {
+            let kind = match ev.kind {
+                0 => EvKind::Push {
+                    ch: ev.a,
+                    word: ev.b,
+                },
+                1 => EvKind::Pop { ch: ev.a },
+                2 => EvKind::Move {
+                    ch: ev.a,
+                    stage: ev.b as u32,
+                },
+                3 => EvKind::Token {
+                    sb: ev.a,
+                    node: ev.b as u32,
+                },
+                4 => EvKind::Clken {
+                    sb: ev.a,
+                    ena: ev.b != 0,
+                },
+                _ => return Err(CheckpointError::SpecMismatch),
+            };
+            self.heap.push(Reverse(Ev {
+                time: ev.time,
+                seq: ev.seq,
+                kind,
+            }));
+        }
+        match (
+            &dump.jitter,
+            self.chaos.as_mut().and_then(|c| c.jitter.as_mut()),
+        ) {
+            (None, None) => {}
+            (Some(bytes), Some(j)) => {
+                if !j.restore_occ(bytes) {
+                    return Err(CheckpointError::SpecMismatch);
+                }
+            }
+            _ => return Err(CheckpointError::SpecMismatch),
+        }
+        match (
+            &dump.injector,
+            self.chaos.as_mut().and_then(|c| c.injector.as_mut()),
+        ) {
+            (None, None) => {}
+            (Some((tok, push, ack)), Some(i)) => {
+                if !i.restore_counters(tok, push, ack) {
+                    return Err(CheckpointError::SpecMismatch);
+                }
+            }
+            _ => return Err(CheckpointError::SpecMismatch),
+        }
+        self.now = dump.now;
+        self.seq = dump.seq;
+        self.events = dump.events;
+        Ok(())
+    }
 }
 
 /// A built system behind either backend, with the common accessor
@@ -1531,6 +1837,89 @@ impl AnySystem {
         match self {
             AnySystem::Event(s) | AnySystem::EventFallback(s) => s.sim().wakes_delivered(),
             AnySystem::Compiled(s) => s.events_processed(),
+        }
+    }
+
+    /// The configuration content key this system (and its checkpoints)
+    /// are bound to.
+    pub fn spec_hash(&self) -> [u8; 16] {
+        delegate!(self, s => s.spec_hash())
+    }
+
+    /// Freezes the complete engine state into a canonical
+    /// [`Checkpoint`] (tagged with whichever backend is running).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] outside the checkpointable
+    /// envelope (see [`System::checkpoint`] and
+    /// [`CompiledSystem::checkpoint`]).
+    pub fn checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        delegate!(self, s => s.checkpoint())
+    }
+
+    /// Reconstructs a running system from `checkpoint` behind whichever
+    /// backend produced it (checkpoints never cross backends), using a
+    /// builder configured identically to the originating one.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] when a compiled checkpoint meets
+    /// a builder outside the compiled envelope,
+    /// [`CheckpointError::SpecMismatch`] when the builder differs from
+    /// the originating configuration, [`CheckpointError::Corrupt`] for
+    /// malformed payload bytes.
+    pub fn resume(
+        builder: SystemBuilder,
+        checkpoint: &Checkpoint,
+    ) -> Result<AnySystem, CheckpointError> {
+        match checkpoint.backend() {
+            CheckpointBackend::Event => System::resume(builder, checkpoint).map(AnySystem::Event),
+            CheckpointBackend::Compiled => {
+                CompiledSystem::resume(builder, checkpoint).map(AnySystem::Compiled)
+            }
+        }
+    }
+
+    /// [`resume`](Self::resume) from a pre-decoded checkpoint (see
+    /// [`Checkpoint::decode`]): restoring is a plain copy of the decoded
+    /// state, so forking many runs from one blob decodes it once.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](Self::resume), minus the payload decode.
+    pub fn resume_decoded(
+        builder: SystemBuilder,
+        checkpoint: &DecodedCheckpoint,
+    ) -> Result<AnySystem, CheckpointError> {
+        match checkpoint.backend() {
+            CheckpointBackend::Event => {
+                System::resume_decoded(builder, checkpoint).map(AnySystem::Event)
+            }
+            CheckpointBackend::Compiled => {
+                CompiledSystem::resume_decoded(builder, checkpoint).map(AnySystem::Compiled)
+            }
+        }
+    }
+
+    /// In-place rewind to a checkpointed state, reusing this engine's
+    /// allocations — see [`CompiledSystem::restore_decoded`]. Only the
+    /// compiled backend supports it; callers holding an event-backed
+    /// system fall back to [`resume_decoded`](Self::resume_decoded).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] on an event-backed system,
+    /// otherwise as [`CompiledSystem::restore_decoded`].
+    pub fn restore_decoded(
+        &mut self,
+        checkpoint: &DecodedCheckpoint,
+    ) -> Result<(), CheckpointError> {
+        match self {
+            AnySystem::Event(_) | AnySystem::EventFallback(_) => Err(CheckpointError::Unsupported(
+                "in-place restore requires the compiled backend",
+            )),
+            AnySystem::Compiled(sys) => sys.restore_decoded(checkpoint),
         }
     }
 }

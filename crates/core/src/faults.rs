@@ -141,6 +141,39 @@ impl JitterCounters {
         *occ += 1;
         self.fault.delta(self.seed, class, unit, n)
     }
+
+    /// Canonical byte dump of the occurrence counters (the only dynamic
+    /// state; bounds and seed are construction-time). BTreeMap iteration
+    /// order makes the encoding deterministic.
+    pub(crate) fn snapshot_occ(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(8 + 13 * self.occ.len());
+        b.extend_from_slice(&(self.occ.len() as u64).to_le_bytes());
+        for (&(class, unit), &n) in &self.occ {
+            b.push(class);
+            b.extend_from_slice(&unit.to_le_bytes());
+            b.extend_from_slice(&n.to_le_bytes());
+        }
+        b
+    }
+
+    /// Restores counters dumped by [`snapshot_occ`](Self::snapshot_occ).
+    pub(crate) fn restore_occ(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < 8 {
+            return false;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        if bytes.len() != 8 + 13 * n {
+            return false;
+        }
+        self.occ.clear();
+        for e in bytes[8..].chunks_exact(13) {
+            let class = e[0];
+            let unit = u32::from_le_bytes(e[1..5].try_into().unwrap());
+            let occ = u64::from_le_bytes(e[5..13].try_into().unwrap());
+            self.occ.insert((class, unit), occ);
+        }
+        true
+    }
 }
 
 /// Signal classification for the event backend's [`DelayModel`]: which
@@ -209,6 +242,14 @@ impl DelayModel for AnalogDelayModel {
             Some(&SigClass::Data(unit)) => nominal + self.counters.next(CLASS_DATA, unit),
             None => nominal,
         }
+    }
+
+    fn snapshot_state(&self) -> Vec<u8> {
+        self.counters.snapshot_occ()
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        self.counters.restore_occ(bytes)
     }
 }
 
@@ -349,6 +390,23 @@ impl FaultPlan {
     /// oracle demands byte-identical traces.
     pub fn is_analog_only(&self) -> bool {
         self.analog.is_active() && self.protocol.is_empty() && self.seu.is_empty()
+    }
+
+    /// For plans whose *only* faults are SEUs, the earliest local cycle
+    /// any of them fires; `None` otherwise.
+    ///
+    /// SEU-only plans are special for prefix-sharing: analog and protocol
+    /// faults install builder-time machinery (delay models, injectors)
+    /// that makes the attacked engine differ from the nominal one from
+    /// cycle 0, but SEUs are applied *externally* by
+    /// [`run_with_plan`] — until the first `at_cycle`, the engine is
+    /// bit-identical to a fault-free run and can resume from a shared
+    /// nominal checkpoint.
+    pub fn seu_only_first_fire(&self) -> Option<u64> {
+        if self.analog.is_active() || !self.protocol.is_empty() {
+            return None;
+        }
+        self.seu.iter().map(|s| s.at_cycle).min()
     }
 
     /// Generates a single-class plan for `spec`, derived entirely from
@@ -559,6 +617,37 @@ impl FaultInjector {
         DataAction::Deliver
     }
 
+    /// Dumps the occurrence counters (the fault list is construction-time
+    /// state shared with the plan).
+    pub(crate) fn snapshot_counters(&self) -> (Vec<u64>, Vec<u64>, Vec<u64>) {
+        (
+            self.token_passes.clone(),
+            self.pushes.clone(),
+            self.acks.clone(),
+        )
+    }
+
+    /// Restores counters dumped by
+    /// [`snapshot_counters`](Self::snapshot_counters); `false` on a shape
+    /// mismatch (checkpoint from a different topology).
+    pub(crate) fn restore_counters(
+        &mut self,
+        token_passes: &[u64],
+        pushes: &[u64],
+        acks: &[u64],
+    ) -> bool {
+        if token_passes.len() != self.token_passes.len()
+            || pushes.len() != self.pushes.len()
+            || acks.len() != self.acks.len()
+        {
+            return false;
+        }
+        self.token_passes.copy_from_slice(token_passes);
+        self.pushes.copy_from_slice(pushes);
+        self.acks.copy_from_slice(acks);
+        true
+    }
+
     /// Consulted once per acknowledge.
     pub(crate) fn on_ack(&mut self, channel: ChannelId) -> DataAction {
         let n = self.acks[channel.0];
@@ -642,10 +731,37 @@ pub fn run_with_plan(
     cycles: u64,
     budget: SimDuration,
 ) -> Result<RunOutcome, SimError> {
-    let deadline = sys.now() + budget;
+    run_with_plan_resumed(sys, plan, 0, cycles, sys.now() + budget)
+}
+
+/// [`run_with_plan`] continued from a resumed engine: `sys` was
+/// restored from a checkpoint taken after a straight run's
+/// `run_until_cycles(reached, _)` call, and `deadline` is the straight
+/// run's absolute budget deadline (its start time plus the budget).
+/// The remaining drive — SEU flips at `reached`, the chunked runs to
+/// each later fire cycle, the final run to `cycles` — then replays the
+/// straight run's exact call sequence, so the continuation is
+/// byte-identical to [`run_with_plan`] from a fresh build. SEUs whose
+/// (cycle-capped) fire cycle is below `reached` are applied
+/// immediately without running, mirroring where the straight sequence
+/// would have placed them only when `reached` equals the plan's first
+/// fire cycle — which is how the prefix-fork planner always calls
+/// this.
+///
+/// # Errors
+///
+/// Propagates kernel errors (combinational loops) from the event
+/// backend.
+pub fn run_with_plan_resumed(
+    sys: &mut AnySystem,
+    plan: &FaultPlan,
+    resumed_cycles: u64,
+    cycles: u64,
+    deadline: SimTime,
+) -> Result<RunOutcome, SimError> {
     let mut seus: Vec<&SeuFault> = plan.seu.iter().collect();
     seus.sort_by_key(|s| s.at_cycle);
-    let mut reached = 0u64;
+    let mut reached = resumed_cycles;
     for seu in seus {
         let at = seu.at_cycle.min(cycles);
         if at > reached {

@@ -73,7 +73,7 @@ impl Hasher for DigestHasher {
 }
 
 /// One local clock cycle's I/O, in channel order.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, PartialEq, Eq, Hash)]
 pub struct TraceRow {
     /// 0-based local cycle index (never counts stopped-clock time).
     pub cycle: u64,
@@ -83,11 +83,46 @@ pub struct TraceRow {
     pub writes: Vec<Option<u64>>,
 }
 
+impl Clone for TraceRow {
+    fn clone(&self) -> Self {
+        TraceRow {
+            cycle: self.cycle,
+            reads: self.reads.clone(),
+            writes: self.writes.clone(),
+        }
+    }
+
+    // Reuses the existing channel buffers so checkpoint restore into a
+    // warm engine never reallocates per row.
+    fn clone_from(&mut self, source: &Self) {
+        self.cycle = source.cycle;
+        self.reads.clone_from(&source.reads);
+        self.writes.clone_from(&source.writes);
+    }
+}
+
 /// The captured I/O sequence of one synchronous block.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Default, PartialEq, Eq)]
 pub struct SbIoTrace {
     rows: Vec<TraceRow>,
     limit: usize,
+}
+
+impl Clone for SbIoTrace {
+    fn clone(&self) -> Self {
+        SbIoTrace {
+            rows: self.rows.clone(),
+            limit: self.limit,
+        }
+    }
+
+    // `Vec::clone_from` clones element-wise over the shared prefix, so
+    // this bottoms out in [`TraceRow::clone_from`] and stays
+    // allocation-free once row capacity exists.
+    fn clone_from(&mut self, source: &Self) {
+        self.rows.clone_from(&source.rows);
+        self.limit = source.limit;
+    }
 }
 
 /// Magic prefix of the canonical trace encoding.

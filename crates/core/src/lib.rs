@@ -72,6 +72,7 @@
 
 pub mod batched_system;
 pub mod campaign;
+pub mod checkpoint;
 pub mod compiled_system;
 pub mod deadlock;
 pub mod determinism;
@@ -91,10 +92,13 @@ pub use campaign::{
     batch_limit_from_env, default_threads, effective_threads, run_jobs, run_jobs_hooked,
     threads_from_env, CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
 };
+pub use checkpoint::{
+    config_hash, Checkpoint, CheckpointBackend, CheckpointError, DecodedCheckpoint,
+};
 pub use compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
 pub use faults::{
-    classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,
-    SeuTarget,
+    classify, run_with_plan, run_with_plan_resumed, AnalogFault, ChaosOutcome, Fault, FaultClass,
+    FaultPlan, SeuFault, SeuTarget,
 };
 pub use iotrace::{CanonError, SbIoTrace, TraceRow};
 pub use logic::{
@@ -113,10 +117,13 @@ pub mod prelude {
         batch_limit_from_env, default_threads, effective_threads, run_jobs, run_jobs_hooked,
         threads_from_env, CampaignStats, CancelToken, Cancelled, RunHooks, DEFAULT_BATCH_LIMIT,
     };
+    pub use crate::checkpoint::{
+        config_hash, Checkpoint, CheckpointBackend, CheckpointError, DecodedCheckpoint,
+    };
     pub use crate::compiled_system::{AnySystem, Backend, BackendKind, CompiledSystem};
     pub use crate::faults::{
-        classify, run_with_plan, AnalogFault, ChaosOutcome, Fault, FaultClass, FaultPlan, SeuFault,
-        SeuTarget,
+        classify, run_with_plan, run_with_plan_resumed, AnalogFault, ChaosOutcome, Fault,
+        FaultClass, FaultPlan, SeuFault, SeuTarget,
     };
     pub use crate::iotrace::SbIoTrace;
     pub use crate::logic::{

@@ -97,6 +97,46 @@ pub trait SyncLogic: Any {
     /// Executes one local clock cycle. `cycle` is the 0-based local cycle
     /// index (it never counts stopped-clock wall time).
     fn tick(&mut self, cycle: u64, io: &mut SbIo<'_>);
+
+    /// Serializes the logic's *dynamic* state for checkpointing.
+    ///
+    /// Returning `None` (the default) marks the logic as
+    /// non-checkpointable; [`crate::checkpoint`] refuses to snapshot a
+    /// system containing such a block. Construction-time parameters need
+    /// not be included — resume rebuilds the logic from the same builder
+    /// and then calls [`restore_state`](Self::restore_state) — but any
+    /// value that evolves across [`tick`](Self::tick) calls must be. The
+    /// encoding is private to the implementation; it only has to
+    /// round-trip through `restore_state` on an identically-constructed
+    /// instance.
+    fn save_state(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Restores state previously produced by [`save_state`](Self::save_state)
+    /// on an identically-constructed instance. Returns `false` if the
+    /// bytes are malformed (resume then fails cleanly).
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let _ = bytes;
+        false
+    }
+}
+
+/// Splits `bytes` into `n`-byte little-endian `u64`s; `None` unless the
+/// length is exactly `8 * n`. Shared by the stock logic codecs.
+pub(crate) fn fixed_u64s<const N: usize>(bytes: &[u8]) -> Option<[u64; N]> {
+    if bytes.len() != 8 * N {
+        return None;
+    }
+    let mut out = [0u64; N];
+    for (i, chunk) in bytes.chunks_exact(8).enumerate() {
+        out[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+    }
+    Some(out)
+}
+
+pub(crate) fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Emits an arithmetic sequence on output 0 whenever the channel can
@@ -127,6 +167,24 @@ impl SyncLogic for SequenceSource {
             self.next = self.next.wrapping_add(self.step);
             self.sent += 1;
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut b = Vec::with_capacity(24);
+        push_u64(&mut b, self.next);
+        push_u64(&mut b, self.step);
+        push_u64(&mut b, self.sent);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Some([next, step, sent]) = fixed_u64s::<3>(bytes) else {
+            return false;
+        };
+        self.next = next;
+        self.step = step;
+        self.sent = sent;
+        true
     }
 }
 
@@ -161,6 +219,35 @@ impl SyncLogic for SinkCollect {
                 self.received.push((i, cycle, w));
             }
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut b = Vec::with_capacity(8 + 24 * self.received.len());
+        push_u64(&mut b, self.received.len() as u64);
+        for &(idx, cycle, word) in &self.received {
+            push_u64(&mut b, idx as u64);
+            push_u64(&mut b, cycle);
+            push_u64(&mut b, word);
+        }
+        Some(b)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < 8 {
+            return false;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        if bytes.len() != 8 + 24 * n {
+            return false;
+        }
+        self.received.clear();
+        for chunk in bytes[8..].chunks_exact(24) {
+            let idx = u64::from_le_bytes(chunk[..8].try_into().unwrap()) as usize;
+            let cycle = u64::from_le_bytes(chunk[8..16].try_into().unwrap());
+            let word = u64::from_le_bytes(chunk[16..24].try_into().unwrap());
+            self.received.push((idx, cycle, word));
+        }
+        true
     }
 }
 
@@ -215,6 +302,38 @@ impl SyncLogic for PipeTransform {
             }
         }
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        // `f` and `capacity` are construction-time; only the queue and
+        // counters evolve.
+        let mut b = Vec::with_capacity(24 + 8 * self.queue.len());
+        push_u64(&mut b, self.queue.len() as u64);
+        for &w in &self.queue {
+            push_u64(&mut b, w);
+        }
+        push_u64(&mut b, self.forwarded);
+        push_u64(&mut b, self.dropped);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        if bytes.len() < 8 {
+            return false;
+        }
+        let n = u64::from_le_bytes(bytes[..8].try_into().unwrap()) as usize;
+        if bytes.len() != 24 + 8 * n {
+            return false;
+        }
+        self.queue.clear();
+        for chunk in bytes[8..8 + 8 * n].chunks_exact(8) {
+            self.queue
+                .push_back(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = &bytes[8 + 8 * n..];
+        self.forwarded = u64::from_le_bytes(rest[..8].try_into().unwrap());
+        self.dropped = u64::from_le_bytes(rest[8..16].try_into().unwrap());
+        true
+    }
 }
 
 /// Packs `lanes` consecutive 16-bit words of an arithmetic sequence
@@ -256,6 +375,26 @@ impl SyncLogic for PackingSource {
             io.send(0, word);
             self.base_words_sent += u64::from(self.lanes);
         }
+    }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut b = Vec::with_capacity(24);
+        push_u64(&mut b, self.next);
+        push_u64(&mut b, u64::from(self.lanes));
+        push_u64(&mut b, self.base_words_sent);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Some([next, lanes, sent]) = fixed_u64s::<3>(bytes) else {
+            return false;
+        };
+        if lanes != u64::from(self.lanes) {
+            return false;
+        }
+        self.next = next;
+        self.base_words_sent = sent;
+        true
     }
 }
 
@@ -305,6 +444,28 @@ impl SyncLogic for UnpackingSink {
             }
         }
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut b = Vec::with_capacity(32);
+        push_u64(&mut b, u64::from(self.lanes));
+        push_u64(&mut b, self.expected_next);
+        push_u64(&mut b, self.base_words_received);
+        push_u64(&mut b, self.sequence_errors);
+        Some(b)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Some([lanes, next, recv, errs]) = fixed_u64s::<4>(bytes) else {
+            return false;
+        };
+        if lanes != u64::from(self.lanes) {
+            return false;
+        }
+        self.expected_next = next;
+        self.base_words_received = recv;
+        self.sequence_errors = errs;
+        true
+    }
 }
 
 /// A block with no ports or nothing to do; useful as a placeholder.
@@ -313,6 +474,14 @@ pub struct IdleLogic;
 
 impl SyncLogic for IdleLogic {
     fn tick(&mut self, _cycle: u64, _io: &mut SbIo<'_>) {}
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        Some(Vec::new())
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
 }
 
 #[cfg(test)]

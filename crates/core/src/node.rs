@@ -67,6 +67,20 @@ pub enum TokenAction {
     RestartClock,
 }
 
+/// A complete dump of a [`NodeFsm`]'s state, used by checkpointing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct NodeFsmSnapshot {
+    pub params: NodeParams,
+    pub phase: NodePhase,
+    pub hold_ctr: u32,
+    pub recycle_ctr: u32,
+    pub has_token: bool,
+    pub hold_indefinitely: bool,
+    pub passes: u64,
+    pub stops: u64,
+    pub early_tokens: u64,
+}
+
 /// The pure node state machine.
 ///
 /// Call [`on_posedge`](NodeFsm::on_posedge) once per local clock rising
@@ -272,6 +286,37 @@ impl NodeFsm {
     /// latched early token, which eventually parks the whole ring.
     pub fn seu_flip_token_latch(&mut self) {
         self.has_token = !self.has_token;
+    }
+
+    /// Captures the complete FSM state for checkpointing. `params` is
+    /// included because [`set_params`](Self::set_params) can rewrite it
+    /// after construction.
+    pub(crate) fn snapshot(&self) -> NodeFsmSnapshot {
+        NodeFsmSnapshot {
+            params: self.params,
+            phase: self.phase,
+            hold_ctr: self.hold_ctr,
+            recycle_ctr: self.recycle_ctr,
+            has_token: self.has_token,
+            hold_indefinitely: self.hold_indefinitely,
+            passes: self.passes,
+            stops: self.stops,
+            early_tokens: self.early_tokens,
+        }
+    }
+
+    /// Overwrites the FSM with a snapshot taken via
+    /// [`snapshot`](Self::snapshot).
+    pub(crate) fn restore(&mut self, snap: &NodeFsmSnapshot) {
+        self.params = snap.params;
+        self.phase = snap.phase;
+        self.hold_ctr = snap.hold_ctr;
+        self.recycle_ctr = snap.recycle_ctr;
+        self.has_token = snap.has_token;
+        self.hold_indefinitely = snap.hold_indefinitely;
+        self.passes = snap.passes;
+        self.stops = snap.stops;
+        self.early_tokens = snap.early_tokens;
     }
 
     /// Reacts to the token arriving from the ring (event A or K).

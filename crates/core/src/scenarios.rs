@@ -242,6 +242,26 @@ impl SyncLogic for MixerLogic {
             }
         }
     }
+
+    fn save_state(&self) -> Option<Vec<u8>> {
+        let mut buf = Vec::with_capacity(32);
+        crate::logic::push_u64(&mut buf, self.counter);
+        crate::logic::push_u64(&mut buf, self.acc);
+        crate::logic::push_u64(&mut buf, self.sent);
+        crate::logic::push_u64(&mut buf, self.received);
+        Some(buf)
+    }
+
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        let Some([counter, acc, sent, received]) = crate::logic::fixed_u64s(bytes) else {
+            return false;
+        };
+        self.counter = counter;
+        self.acc = acc;
+        self.sent = sent;
+        self.received = received;
+        true
+    }
 }
 
 /// Builds the E1 system (synchro-tokens mode) over `spec` with mixers on

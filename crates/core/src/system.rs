@@ -7,6 +7,10 @@
 //! experiments need (I/O traces, cycle counts, node phases, FIFO and
 //! clock statistics).
 
+use crate::checkpoint::{
+    config_hash, encode_event_payload, Checkpoint, CheckpointBackend, CheckpointError,
+    DecodedCheckpoint, EventStateDump,
+};
 use crate::faults::{AnalogDelayModel, FaultInjector, FaultPlan};
 use crate::iotrace::SbIoTrace;
 use crate::logic::{IdleLogic, SyncLogic};
@@ -116,6 +120,7 @@ impl SystemBuilder {
     /// Wires everything and returns the runnable system.
     pub fn build(mut self) -> System {
         let spec = self.spec.clone();
+        let spec_hash = config_hash(&spec, self.seed, self.trace_limit, self.faults.as_ref());
         let mut b = SimBuilder::new().with_seed(self.seed);
 
         let mut analog_model = self
@@ -323,6 +328,9 @@ impl SystemBuilder {
         System {
             sim: b.build(),
             spec,
+            spec_hash,
+            mode: self.mode,
+            observe_nodes: self.observe_nodes,
             wrappers,
             clocks,
             fifos: fifo_handles,
@@ -349,6 +357,9 @@ pub enum RunOutcome {
 pub struct System {
     sim: Simulator,
     spec: SystemSpec,
+    spec_hash: [u8; 16],
+    mode: WrapperMode,
+    observe_nodes: bool,
     wrappers: Vec<Handle<SbWrapper>>,
     clocks: Vec<Handle<StoppableClock>>,
     fifos: Vec<Handle<SelfTimedFifo>>,
@@ -563,6 +574,167 @@ impl System {
     /// Mutable access to the underlying simulator (stimulus injection).
     pub fn sim_mut(&mut self) -> &mut Simulator {
         &mut self.sim
+    }
+
+    /// The configuration content key this system (and its checkpoints)
+    /// are bound to.
+    pub fn spec_hash(&self) -> [u8; 16] {
+        self.spec_hash
+    }
+
+    fn checkpoint_gate(&self) -> Result<(), CheckpointError> {
+        if !matches!(self.mode, WrapperMode::SynchroTokens) {
+            return Err(CheckpointError::Unsupported(
+                "bypass mode draws kernel RNG per metastable sample",
+            ));
+        }
+        if self.observe_nodes {
+            return Err(CheckpointError::Unsupported(
+                "observed builds fill the waveform trace buffer",
+            ));
+        }
+        Ok(())
+    }
+
+    /// Freezes the complete engine state into a canonical
+    /// [`Checkpoint`].
+    ///
+    /// Only supported in synchro-tokens mode without node observability
+    /// (the deterministic envelope — kernel RNG untouched, waveform
+    /// buffer empty) and when every attached logic implements
+    /// [`SyncLogic::save_state`](crate::logic::SyncLogic::save_state).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::Unsupported`] outside that envelope.
+    pub fn checkpoint(&self) -> Result<Checkpoint, CheckpointError> {
+        self.checkpoint_gate()?;
+        let mut wrappers = Vec::with_capacity(self.wrappers.len());
+        for w in &self.wrappers {
+            wrappers.push(
+                self.sim
+                    .get(*w)
+                    .snapshot()
+                    .ok_or(CheckpointError::Unsupported(
+                        "attached logic does not implement save_state",
+                    ))?,
+            );
+        }
+        let clocks = self
+            .clocks
+            .iter()
+            .map(|c| self.sim.get(*c).snapshot())
+            .collect();
+        let fifos = self
+            .fifos
+            .iter()
+            .map(|f| self.sim.get(*f).snapshot())
+            .collect();
+        let injector = self
+            .wrappers
+            .first()
+            .and_then(|w| self.sim.get(*w).faults_rc())
+            .map(|rc| rc.borrow().snapshot_counters());
+        let dump = EventStateDump {
+            kernel: self.sim.snapshot_kernel(),
+            wrappers,
+            clocks,
+            fifos,
+            injector,
+        };
+        Ok(Checkpoint::new(
+            CheckpointBackend::Event,
+            self.spec_hash,
+            self.min_cycles(),
+            self.sim.now(),
+            encode_event_payload(&dump),
+        ))
+    }
+
+    /// Reconstructs a running system from `checkpoint`, using a builder
+    /// configured **identically** to the one that produced it. The
+    /// builder's configuration hash is checked against the checkpoint's;
+    /// continuation from the restored state is byte-identical to a
+    /// straight run.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointError::BackendMismatch`] for compiled-backend
+    /// checkpoints, [`CheckpointError::SpecMismatch`] when the builder
+    /// differs from the originating configuration,
+    /// [`CheckpointError::Corrupt`] for malformed payload bytes.
+    pub fn resume(
+        builder: SystemBuilder,
+        checkpoint: &Checkpoint,
+    ) -> Result<System, CheckpointError> {
+        if checkpoint.backend() != CheckpointBackend::Event {
+            return Err(CheckpointError::BackendMismatch);
+        }
+        Self::resume_decoded(builder, &checkpoint.decode()?)
+    }
+
+    /// [`resume`](Self::resume) from a pre-decoded checkpoint (see
+    /// [`Checkpoint::decode`]): restoring is a plain copy of the decoded
+    /// state, so forking many runs from one blob decodes it once.
+    ///
+    /// # Errors
+    ///
+    /// As [`resume`](Self::resume), minus the payload decode.
+    pub fn resume_decoded(
+        builder: SystemBuilder,
+        checkpoint: &DecodedCheckpoint,
+    ) -> Result<System, CheckpointError> {
+        let crate::checkpoint::DecodedState::Event(dump) = &checkpoint.state else {
+            return Err(CheckpointError::BackendMismatch);
+        };
+        let hash = config_hash(
+            &builder.spec,
+            builder.seed,
+            builder.trace_limit,
+            builder.faults.as_ref(),
+        );
+        if hash != checkpoint.spec_hash() {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        let mut sys = builder.build();
+        sys.checkpoint_gate()?;
+        if !sys.sim.restore_kernel(&dump.kernel) {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        if dump.wrappers.len() != sys.wrappers.len()
+            || dump.clocks.len() != sys.clocks.len()
+            || dump.fifos.len() != sys.fifos.len()
+        {
+            return Err(CheckpointError::SpecMismatch);
+        }
+        for (h, snap) in sys.wrappers.iter().zip(&dump.wrappers) {
+            if !sys.sim.get_mut(*h).restore(snap) {
+                return Err(CheckpointError::SpecMismatch);
+            }
+        }
+        for (h, &(parked, edges, stops)) in sys.clocks.iter().zip(&dump.clocks) {
+            sys.sim.get_mut(*h).restore(parked, edges, stops);
+        }
+        for (h, snap) in sys.fifos.iter().zip(&dump.fifos) {
+            if !sys.sim.get_mut(*h).restore(snap) {
+                return Err(CheckpointError::SpecMismatch);
+            }
+        }
+        let rc = sys
+            .wrappers
+            .first()
+            .and_then(|w| sys.sim.get(*w).faults_rc())
+            .cloned();
+        match (&dump.injector, rc) {
+            (None, None) => {}
+            (Some((tok, push, ack)), Some(rc)) => {
+                if !rc.borrow_mut().restore_counters(tok, push, ack) {
+                    return Err(CheckpointError::SpecMismatch);
+                }
+            }
+            _ => return Err(CheckpointError::SpecMismatch),
+        }
+        Ok(sys)
     }
 }
 

@@ -22,7 +22,7 @@
 use crate::faults::{DataAction, FaultInjector, TokenPassAction};
 use crate::iotrace::{SbIoTrace, TraceRow};
 use crate::logic::{InputView, OutputSlot, SbIo, SyncLogic};
-use crate::node::{NodeFsm, TokenAction};
+use crate::node::{NodeFsm, NodeFsmSnapshot, TokenAction};
 use crate::spec::{ChannelId, RingId, SbId};
 use st_channel::FifoPorts;
 use st_sim::prelude::*;
@@ -154,6 +154,29 @@ impl OutputBinding {
             req_parity: false,
         }
     }
+}
+
+/// A complete dump of an [`SbWrapper`]'s dynamic state, used by
+/// checkpointing. Wiring (signals, ports, delays) is rebuilt from the
+/// spec on resume; only values that evolve during simulation appear
+/// here.
+#[derive(Debug, Clone)]
+pub(crate) struct WrapperSnapshot {
+    pub prev_clk: Bit,
+    pub cycle: u64,
+    pub trace: SbIoTrace,
+    pub dropped_words: u64,
+    pub metastable_samples: u64,
+    pub last_edge: Option<SimTime>,
+    pub timing_violations: u64,
+    pub edge_times: Vec<SimTime>,
+    /// Per node: FSM state, last observed `token_in` level, outgoing
+    /// pass parity.
+    pub nodes: Vec<(NodeFsmSnapshot, Bit, bool)>,
+    pub input_ack_parity: Vec<bool>,
+    pub output_req_parity: Vec<bool>,
+    /// Opaque logic state from [`SyncLogic::save_state`].
+    pub logic: Vec<u8>,
 }
 
 /// Two-flop synchronizer state for one bypass-mode input.
@@ -338,6 +361,68 @@ impl SbWrapper {
     pub fn logic_any_mut(&mut self) -> &mut dyn Any {
         let logic: &mut dyn SyncLogic = self.logic.as_mut();
         logic as &mut dyn Any
+    }
+
+    /// The shared protocol fault injector, if one is installed.
+    pub(crate) fn faults_rc(&self) -> Option<&Rc<RefCell<FaultInjector>>> {
+        self.faults.as_ref()
+    }
+
+    /// Captures the wrapper's complete dynamic state; `None` when the
+    /// attached logic does not implement [`SyncLogic::save_state`].
+    pub(crate) fn snapshot(&self) -> Option<WrapperSnapshot> {
+        let logic = self.logic.save_state()?;
+        Some(WrapperSnapshot {
+            prev_clk: self.prev_clk,
+            cycle: self.cycle,
+            trace: self.trace.clone(),
+            dropped_words: self.dropped_words,
+            metastable_samples: self.metastable_samples,
+            last_edge: self.last_edge,
+            timing_violations: self.timing_violations,
+            edge_times: self.edge_times.clone(),
+            nodes: self
+                .nodes
+                .iter()
+                .map(|n| (n.fsm.snapshot(), n.prev_token_in, n.pass_parity))
+                .collect(),
+            input_ack_parity: self.inputs.iter().map(|i| i.ack_parity).collect(),
+            output_req_parity: self.outputs.iter().map(|o| o.req_parity).collect(),
+            logic,
+        })
+    }
+
+    /// Overwrites dynamic state from a snapshot taken on an identically
+    /// built wrapper. Returns `false` on a shape mismatch (different
+    /// topology or incompatible logic bytes).
+    pub(crate) fn restore(&mut self, snap: &WrapperSnapshot) -> bool {
+        if snap.nodes.len() != self.nodes.len()
+            || snap.input_ack_parity.len() != self.inputs.len()
+            || snap.output_req_parity.len() != self.outputs.len()
+            || !self.logic.restore_state(&snap.logic)
+        {
+            return false;
+        }
+        self.prev_clk = snap.prev_clk;
+        self.cycle = snap.cycle;
+        self.trace = snap.trace.clone();
+        self.dropped_words = snap.dropped_words;
+        self.metastable_samples = snap.metastable_samples;
+        self.last_edge = snap.last_edge;
+        self.timing_violations = snap.timing_violations;
+        self.edge_times = snap.edge_times.clone();
+        for (n, (fsm, prev_tok, parity)) in self.nodes.iter_mut().zip(&snap.nodes) {
+            n.fsm.restore(fsm);
+            n.prev_token_in = *prev_tok;
+            n.pass_parity = *parity;
+        }
+        for (i, p) in self.inputs.iter_mut().zip(&snap.input_ack_parity) {
+            i.ack_parity = *p;
+        }
+        for (o, p) in self.outputs.iter_mut().zip(&snap.output_req_parity) {
+            o.req_parity = *p;
+        }
+        true
     }
 
     fn is_bypass(&self) -> bool {

@@ -1,0 +1,528 @@
+//! Differential proof that checkpoint/resume is exact: on both
+//! backends, over the canonical scenario specs and under active fault
+//! plans, a run that is checkpointed at cycle `k`, serialized to
+//! canonical bytes, deserialized and resumed must be **byte-identical**
+//! to the same run left alone — same I/O trace rows and digests, cycle
+//! counts, edge times, clock/FIFO/violation statistics, logic state and
+//! end times. Also locks the canonical format (round-trip byte
+//! stability), content addressing (independent identical runs hash the
+//! same), the mismatch rejections, and the `run_until_cycles`-after-
+//! resume edge cases (cycle 0, final cycle, expired budget): every such
+//! call must error or complete identically, never hang.
+//!
+//! The case budget honours `PROPTEST_CASES` (CI runs a fixed reduced
+//! budget; see `scripts/ci.sh`).
+
+use proptest::prelude::*;
+use st_sim::prelude::*;
+use synchro_tokens::prelude::*;
+use synchro_tokens::scenarios::{chain_spec, pingpong_spec, producer_consumer_spec, MixerLogic};
+use synchro_tokens::Checkpoint;
+use synchro_tokens::FaultClass;
+
+const MAX_TIME: SimDuration = SimDuration::us(3000);
+
+fn pick_spec(which: usize) -> SystemSpec {
+    match which % 4 {
+        0 => pingpong_spec(),
+        1 => producer_consumer_spec(),
+        2 => chain_spec(3),
+        _ => chain_spec(4),
+    }
+}
+
+/// A fault plan whose effects live inside the engine (analog jitter or
+/// protocol attacks), so checkpointing mid-run exercises the injector
+/// and jitter-counter state. SEU plans are applied externally by
+/// `run_with_plan` and are covered by the prefix-fork planner tests.
+fn pick_plan(spec: &SystemSpec, which: usize, seed: u64) -> Option<FaultPlan> {
+    match which % 3 {
+        0 => None,
+        1 => Some(FaultPlan::generate(FaultClass::Analog, spec, seed)),
+        _ => Some(FaultPlan::generate(FaultClass::Protocol, spec, seed)),
+    }
+}
+
+fn make_builder(spec: &SystemSpec, trace_limit: usize, plan: Option<&FaultPlan>) -> SystemBuilder {
+    let mut b = SystemBuilder::new(spec.clone())
+        .expect("scenario specs validate")
+        .with_trace_limit(trace_limit);
+    for i in 0..spec.sbs.len() {
+        b = b.with_logic(SbId(i), MixerLogic::new(0x1000 * i as u64));
+    }
+    if let Some(p) = plan {
+        b = b.with_fault_plan(p.clone());
+    }
+    b
+}
+
+/// Every externally observable byte of a finished run.
+#[derive(Debug, PartialEq, Eq)]
+struct Observables {
+    now: SimTime,
+    cycles: Vec<u64>,
+    digests: Vec<u64>,
+    traces: Vec<Vec<u8>>,
+    clocks: Vec<(u64, u64)>,
+    edges: Vec<Vec<SimTime>>,
+    violations: Vec<u64>,
+    drops: Vec<u64>,
+    fifos: Vec<(u64, u64, u64, u64)>,
+    mixers: Vec<(u64, u64)>,
+}
+
+fn observe(sys: &AnySystem) -> Observables {
+    let n = sys.spec().sbs.len();
+    let c = sys.spec().channels.len();
+    Observables {
+        now: sys.now(),
+        cycles: (0..n).map(|i| sys.cycles(SbId(i))).collect(),
+        digests: (0..n).map(|i| sys.io_trace(SbId(i)).digest()).collect(),
+        traces: (0..n)
+            .map(|i| sys.io_trace(SbId(i)).to_canonical_bytes())
+            .collect(),
+        clocks: (0..n).map(|i| sys.clock_stats(SbId(i))).collect(),
+        edges: (0..n).map(|i| sys.edge_times(SbId(i)).to_vec()).collect(),
+        violations: (0..n).map(|i| sys.timing_violations(SbId(i))).collect(),
+        drops: (0..n).map(|i| sys.dropped_words(SbId(i))).collect(),
+        fifos: (0..c).map(|i| sys.fifo_stats(ChannelId(i))).collect(),
+        mixers: (0..n)
+            .map(|i| sys.logic::<MixerLogic>(SbId(i)).state())
+            .collect(),
+    }
+}
+
+/// The core differential: reference runs `k` then `k + extra` cycles in
+/// two calls; candidate runs `k`, checkpoints, round-trips the blob,
+/// resumes into a fresh engine and runs the same second call. Both
+/// paths must agree on every observable, and the resumed engine's own
+/// immediate re-checkpoint must reproduce the original blob.
+fn assert_resume_equivalent(
+    spec: &SystemSpec,
+    plan: Option<&FaultPlan>,
+    backend: Backend,
+    trace_limit: usize,
+    k: u64,
+    extra: u64,
+) {
+    let total = k + extra;
+    let mut reference = make_builder(spec, trace_limit, plan).build_backend(backend);
+    reference.run_until_cycles(k, MAX_TIME).expect("ref run(k)");
+    let ref_ckpt = reference.checkpoint().expect("ref checkpoint");
+    reference
+        .run_until_cycles(total, MAX_TIME)
+        .expect("ref run(total)");
+
+    let mut paused = make_builder(spec, trace_limit, plan).build_backend(backend);
+    paused.run_until_cycles(k, MAX_TIME).expect("run(k)");
+    let ckpt = paused.checkpoint().expect("checkpoint");
+
+    // Determinism: the independent reference run checkpoints to the
+    // exact same bytes at the same point.
+    assert_eq!(
+        ckpt.to_canonical_bytes(),
+        ref_ckpt.to_canonical_bytes(),
+        "independent identical runs must checkpoint identically"
+    );
+    // Canonical round-trip is byte-stable.
+    let bytes = ckpt.to_canonical_bytes();
+    let ckpt = Checkpoint::from_canonical_bytes(&bytes).expect("round-trip");
+    assert_eq!(ckpt.to_canonical_bytes(), bytes, "byte-stable re-encode");
+
+    let mut resumed =
+        AnySystem::resume(make_builder(spec, trace_limit, plan), &ckpt).expect("resume");
+    // A resumed engine checkpoints straight back to the original blob:
+    // restore captured *all* of the state the snapshot covers.
+    assert_eq!(
+        resumed
+            .checkpoint()
+            .expect("re-checkpoint")
+            .to_canonical_bytes(),
+        bytes,
+        "checkpoint(resume(ckpt)) must reproduce ckpt"
+    );
+    resumed
+        .run_until_cycles(total, MAX_TIME)
+        .expect("resumed run(total)");
+    assert_eq!(
+        observe(&resumed),
+        observe(&reference),
+        "resumed continuation diverged from the straight run"
+    );
+}
+
+proptest! {
+    /// Event backend: resume ≡ straight run, with and without active
+    /// fault plans.
+    #[test]
+    fn event_resume_matches_straight_run(
+        which_spec in 0usize..4,
+        which_plan in 0usize..3,
+        plan_seed in 0u64..1000,
+        k in 1u64..40,
+        extra in 1u64..40,
+    ) {
+        let spec = pick_spec(which_spec);
+        let plan = pick_plan(&spec, which_plan, plan_seed);
+        assert_resume_equivalent(&spec, plan.as_ref(), Backend::Event, 96, k, extra);
+    }
+
+    /// Compiled backend: resume ≡ straight run, with and without active
+    /// fault plans.
+    #[test]
+    fn compiled_resume_matches_straight_run(
+        which_spec in 0usize..4,
+        which_plan in 0usize..3,
+        plan_seed in 0u64..1000,
+        k in 1u64..40,
+        extra in 1u64..40,
+    ) {
+        let spec = pick_spec(which_spec);
+        let plan = pick_plan(&spec, which_plan, plan_seed);
+        assert_resume_equivalent(&spec, plan.as_ref(), Backend::Compiled, 96, k, extra);
+    }
+
+    /// Checkpoints are content-addressed: independent identical runs
+    /// produce identical content hashes; a different kernel seed (part
+    /// of the configuration) changes the spec hash.
+    #[test]
+    fn checkpoints_are_content_addressed(which_spec in 0usize..4, k in 1u64..30) {
+        let spec = pick_spec(which_spec);
+        let run = |seed: u64| {
+            let mut sys = make_builder(&spec, 64, None)
+                .with_seed(seed)
+                .build_backend(Backend::Compiled);
+            sys.run_until_cycles(k, MAX_TIME).unwrap();
+            sys.checkpoint().unwrap()
+        };
+        let a = run(0);
+        let b = run(0);
+        prop_assert_eq!(a.content_hash(), b.content_hash());
+        prop_assert_eq!(a.spec_hash(), b.spec_hash());
+        let c = run(1);
+        prop_assert_ne!(a.spec_hash(), c.spec_hash());
+    }
+}
+
+#[test]
+fn resume_rejects_mismatched_configurations() {
+    let spec = pingpong_spec();
+    let mut sys = make_builder(&spec, 64, None).build_backend(Backend::Compiled);
+    sys.run_until_cycles(10, MAX_TIME).unwrap();
+    let ckpt = sys.checkpoint().unwrap();
+
+    // Different seed → different configuration hash.
+    let err = AnySystem::resume(make_builder(&spec, 64, None).with_seed(9), &ckpt).unwrap_err();
+    assert_eq!(err, CheckpointError::SpecMismatch);
+    // Different trace limit is also part of the configuration.
+    let err = AnySystem::resume(make_builder(&spec, 63, None), &ckpt).unwrap_err();
+    assert_eq!(err, CheckpointError::SpecMismatch);
+    // A fault plan the original never had.
+    let plan = FaultPlan::generate(FaultClass::Analog, &spec, 5);
+    let err = AnySystem::resume(make_builder(&spec, 64, Some(&plan)), &ckpt).unwrap_err();
+    assert_eq!(err, CheckpointError::SpecMismatch);
+    // Backend crossing is refused even with the right configuration.
+    let err = System::resume(make_builder(&spec, 64, None), &ckpt).unwrap_err();
+    assert_eq!(err, CheckpointError::BackendMismatch);
+}
+
+#[test]
+fn bypass_and_observed_builds_refuse_to_checkpoint() {
+    let spec = pingpong_spec();
+    let mut sys = SystemBuilder::new(spec.clone())
+        .unwrap()
+        .bypass(SimDuration::ps(200))
+        .build();
+    sys.run_until_cycles(5, MAX_TIME).unwrap();
+    assert!(matches!(
+        sys.checkpoint(),
+        Err(CheckpointError::Unsupported(_))
+    ));
+
+    let mut observed = SystemBuilder::new(spec).unwrap().observe_nodes().build();
+    observed.run_until_cycles(5, MAX_TIME).unwrap();
+    assert!(matches!(
+        observed.checkpoint(),
+        Err(CheckpointError::Unsupported(_))
+    ));
+}
+
+#[test]
+fn corrupt_blob_is_rejected_not_resumed() {
+    let spec = pingpong_spec();
+    let mut sys = make_builder(&spec, 64, None).build_backend(Backend::Compiled);
+    sys.run_until_cycles(10, MAX_TIME).unwrap();
+    let mut bytes = sys.checkpoint().unwrap().to_canonical_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // flip inside the payload
+
+    // Header-level rejection is fine; if the header survived, resuming
+    // the mangled payload must fail cleanly (decode error or shape
+    // mismatch), never panic.
+    if let Ok(ckpt) = Checkpoint::from_canonical_bytes(&bytes) {
+        let _ = AnySystem::resume(make_builder(&spec, 64, None), &ckpt);
+    }
+}
+
+// --- `run_until_cycles` after resume: edge cases (never hang) -----------
+
+#[test]
+fn resume_at_cycle_zero_matches_fresh_build() {
+    for backend in [Backend::Event, Backend::Compiled] {
+        let spec = pingpong_spec();
+        let fresh = make_builder(&spec, 64, None).build_backend(backend);
+        let ckpt = fresh.checkpoint().expect("checkpoint before any run");
+        assert_eq!(ckpt.cycle(), 0);
+        let mut resumed = AnySystem::resume(make_builder(&spec, 64, None), &ckpt).unwrap();
+        let mut reference = make_builder(&spec, 64, None).build_backend(backend);
+        resumed.run_until_cycles(30, MAX_TIME).unwrap();
+        reference.run_until_cycles(30, MAX_TIME).unwrap();
+        assert_eq!(observe(&resumed), observe(&reference));
+    }
+}
+
+#[test]
+fn resume_at_or_past_the_target_cycle_returns_immediately() {
+    for backend in [Backend::Event, Backend::Compiled] {
+        let spec = pingpong_spec();
+        let mut sys = make_builder(&spec, 64, None).build_backend(backend);
+        sys.run_until_cycles(25, MAX_TIME).unwrap();
+        let ckpt = sys.checkpoint().unwrap();
+        let mut resumed = AnySystem::resume(make_builder(&spec, 64, None), &ckpt).unwrap();
+        // Target at/below the checkpoint cycle: must complete instantly
+        // without advancing time.
+        let before = resumed.now();
+        let out = resumed.run_until_cycles(ckpt.cycle(), MAX_TIME).unwrap();
+        assert_eq!(out, RunOutcome::Reached);
+        assert_eq!(resumed.now(), before, "no time may pass");
+        let out = resumed.run_until_cycles(1, MAX_TIME).unwrap();
+        assert_eq!(out, RunOutcome::Reached);
+        assert_eq!(resumed.now(), before);
+    }
+}
+
+// --- batched lane extraction --------------------------------------------
+
+/// One builder per salt over `spec`, mixers on every SB — same-spec
+/// lanes share a lockstep group while their data columns differ.
+fn batch_builders(spec: &SystemSpec, trace_limit: usize, salts: &[u64]) -> Vec<SystemBuilder> {
+    salts
+        .iter()
+        .map(|&salt| {
+            let mut b = SystemBuilder::new(spec.clone())
+                .expect("scenario specs validate")
+                .with_trace_limit(trace_limit);
+            for i in 0..spec.sbs.len() {
+                b = b.with_logic(
+                    SbId(i),
+                    MixerLogic::new(salt.wrapping_add(0x1000 * i as u64)),
+                );
+            }
+            b
+        })
+        .collect()
+}
+
+/// A lane extracted from a shared lockstep group checkpoints to the
+/// exact bytes the scalar compiled engine produces at the same point
+/// (the drivers are verbatim-identical, so the full dynamic state —
+/// heap, wall clock, traces, streamed digests — must agree), and a
+/// scalar engine resumed from the batched blob continues byte-identical
+/// to the scalar straight run.
+#[test]
+fn batched_lane_checkpoint_matches_scalar_and_resumes() {
+    let spec = pingpong_spec();
+    let salts = [3u64, 88, 1234];
+    let (k, total) = (18u64, 45u64);
+
+    let mut batch = BatchedSystem::build_with_limit(batch_builders(&spec, 96, &salts), 64)
+        .expect("supported batch");
+    assert_eq!(batch.group_count(), 1, "lanes must share one group");
+    for out in batch.run_until_cycles(k, MAX_TIME) {
+        assert_eq!(out, RunOutcome::Reached);
+    }
+
+    for (lane, &salt) in salts.iter().enumerate() {
+        let builder = || {
+            let mut bs = batch_builders(&spec, 96, &[salt]);
+            bs.pop().unwrap()
+        };
+        let mut scalar = builder().build_backend(Backend::Compiled);
+        scalar.run_until_cycles(k, MAX_TIME).unwrap();
+        let scalar_ckpt = scalar.checkpoint().expect("scalar checkpoint");
+        let lane_ckpt = batch.checkpoint(lane).expect("lane checkpoint");
+        assert_eq!(
+            lane_ckpt.to_canonical_bytes(),
+            scalar_ckpt.to_canonical_bytes(),
+            "lane {lane} checkpoint must be byte-equal to the scalar engine's"
+        );
+        assert_eq!(batch.spec_hash(lane), lane_ckpt.spec_hash());
+        // Streamed per-edge digests equal the scalar post-hoc digests.
+        for sb in 0..spec.sbs.len() {
+            assert_eq!(
+                batch.trace_digest(lane, SbId(sb)),
+                scalar.io_trace(SbId(sb)).digest(),
+                "lane {lane} sb {sb} streamed digest"
+            );
+        }
+        // Resume from the batched blob; continue beside the straight run.
+        scalar.run_until_cycles(total, MAX_TIME).unwrap();
+        let mut resumed = AnySystem::resume(builder(), &lane_ckpt).expect("resume from lane");
+        resumed.run_until_cycles(total, MAX_TIME).unwrap();
+        assert_eq!(
+            observe(&resumed),
+            observe(&scalar),
+            "lane {lane} resumed continuation diverged"
+        );
+    }
+}
+
+/// Checkpointing a lane that was isolated out of its group mid-run (an
+/// SEU flip through `node_mut` forces the split) still matches the
+/// scalar engine driven through the identical call sequence, and both
+/// the struck and the untouched sibling lanes resume correctly —
+/// including under an expired budget, which must time out, not hang.
+#[test]
+fn batched_split_lane_checkpoint_matches_scalar() {
+    let spec = pingpong_spec();
+    let salts = [7u64, 7, 21];
+    let (k, total) = (12u64, 40u64);
+    let struck = 1usize;
+    let ring = RingId(0);
+    let holder = spec.rings[ring.0].holder;
+
+    let mut batch = BatchedSystem::build_with_limit(batch_builders(&spec, 96, &salts), 64)
+        .expect("supported batch");
+    batch.run_until_cycles(k, MAX_TIME);
+    batch
+        .node_mut(struck, holder, ring)
+        .expect("ring node exists")
+        .seu_flip_token_latch();
+    assert!(batch.group_count() > 1, "the flip must split the group");
+    batch.run_until_cycles(total, MAX_TIME);
+
+    for (lane, &salt) in salts.iter().enumerate() {
+        let builder = || {
+            let mut bs = batch_builders(&spec, 96, &[salt]);
+            bs.pop().unwrap()
+        };
+        let mut scalar = builder().build_backend(Backend::Compiled);
+        scalar.run_until_cycles(k, MAX_TIME).unwrap();
+        if lane == struck {
+            scalar
+                .node_mut(holder, ring)
+                .expect("ring node exists")
+                .seu_flip_token_latch();
+        }
+        scalar.run_until_cycles(total, MAX_TIME).unwrap();
+        let lane_ckpt = batch.checkpoint(lane).expect("post-split lane checkpoint");
+        assert_eq!(
+            lane_ckpt.to_canonical_bytes(),
+            scalar
+                .checkpoint()
+                .expect("scalar checkpoint")
+                .to_canonical_bytes(),
+            "lane {lane} post-split checkpoint must match scalar"
+        );
+        for sb in 0..spec.sbs.len() {
+            assert_eq!(
+                batch.trace_digest(lane, SbId(sb)),
+                scalar.io_trace(SbId(sb)).digest(),
+                "lane {lane} sb {sb} post-split streamed digest"
+            );
+        }
+        // Expired budget on a resumed engine: TimedOut, never a hang.
+        let mut resumed = AnySystem::resume(builder(), &lane_ckpt).expect("resume");
+        let out = resumed
+            .run_until_cycles(lane_ckpt.cycle() + 500, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(out, RunOutcome::TimedOut);
+    }
+}
+
+#[test]
+fn resume_with_expired_budget_times_out_cleanly() {
+    for backend in [Backend::Event, Backend::Compiled] {
+        let spec = pingpong_spec();
+        let mut sys = make_builder(&spec, 64, None).build_backend(backend);
+        sys.run_until_cycles(10, MAX_TIME).unwrap();
+        let ckpt = sys.checkpoint().unwrap();
+        let mut resumed = AnySystem::resume(make_builder(&spec, 64, None), &ckpt).unwrap();
+        // Zero remaining budget and an unreached target: TimedOut, not
+        // a hang and not a lie about reaching the cycle count.
+        let out = resumed
+            .run_until_cycles(ckpt.cycle() + 1000, SimDuration::ZERO)
+            .unwrap();
+        assert_eq!(out, RunOutcome::TimedOut);
+    }
+}
+
+/// In-place rewind (`restore_decoded` into a *dirty* engine) must be
+/// indistinguishable from a fresh `resume_decoded`: a warm engine that
+/// already ran past the checkpoint — or ran a different variant — is
+/// fully overwritten, down to re-checkpoint byte equality. This is the
+/// contract the prefix-fork sweep's per-worker engine reuse stands on.
+#[test]
+fn in_place_restore_into_dirty_engine_is_exact() {
+    let spec = pick_spec(0);
+    for which in 0..3 {
+        let plan = pick_plan(&spec, which, 0xD1A7 + which as u64);
+        let (k, total) = (14u64, 40u64);
+
+        // Reference: straight run checkpointed at k, resumed fresh.
+        let mut reference = make_builder(&spec, 64, plan.as_ref()).build_backend(Backend::Compiled);
+        assert_eq!(reference.backend_kind(), BackendKind::Compiled);
+        reference.run_until_cycles(k, MAX_TIME).unwrap();
+        let ckpt = reference.checkpoint().unwrap().decode().unwrap();
+        let mut fresh =
+            AnySystem::resume_decoded(make_builder(&spec, 64, plan.as_ref()), &ckpt).unwrap();
+        fresh.run_until_cycles(total, MAX_TIME).unwrap();
+        let want = observe(&fresh);
+        let want_blob = fresh.checkpoint().unwrap().to_canonical_bytes();
+
+        // Dirty engine: same configuration, but already run far past k
+        // (trace full, heap and counters hot) before the rewind.
+        let mut dirty = make_builder(&spec, 64, plan.as_ref()).build_backend(Backend::Compiled);
+        dirty.run_until_cycles(total + 13, MAX_TIME).unwrap();
+        dirty.restore_decoded(&ckpt).expect("in-place restore");
+        dirty.run_until_cycles(total, MAX_TIME).unwrap();
+        assert_eq!(observe(&dirty), want, "plan variant {which}");
+        assert_eq!(
+            dirty.checkpoint().unwrap().to_canonical_bytes(),
+            want_blob,
+            "plan variant {which}: re-checkpoint bytes"
+        );
+
+        // Rewinding twice from the same decoded blob is idempotent.
+        dirty.restore_decoded(&ckpt).expect("second restore");
+        dirty.run_until_cycles(total, MAX_TIME).unwrap();
+        assert_eq!(observe(&dirty), want, "plan variant {which}: re-restore");
+    }
+}
+
+/// A cached engine whose configuration differs from the checkpoint's
+/// must fail the in-place restore closed (and an event-backed engine
+/// must report it cannot restore in place at all).
+#[test]
+fn in_place_restore_rejects_mismatched_engine() {
+    let spec = pingpong_spec();
+    let mut sys = make_builder(&spec, 64, None).build_backend(Backend::Compiled);
+    sys.run_until_cycles(9, MAX_TIME).unwrap();
+    let ckpt = sys.checkpoint().unwrap().decode().unwrap();
+
+    // Different seed ⇒ different configuration hash.
+    let mut other = make_builder(&spec, 64, None)
+        .with_seed(99)
+        .build_backend(Backend::Compiled);
+    assert!(matches!(
+        other.restore_decoded(&ckpt),
+        Err(CheckpointError::SpecMismatch)
+    ));
+
+    // Event backend: in-place restore is unsupported, fresh resume works.
+    let mut ev = make_builder(&spec, 64, None).build_backend(Backend::Event);
+    assert!(matches!(
+        ev.restore_decoded(&ckpt),
+        Err(CheckpointError::Unsupported(_))
+    ));
+}

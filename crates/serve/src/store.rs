@@ -142,6 +142,30 @@ impl ResultStore {
         mem.insert(key, MemEntry { bytes, last_used });
     }
 
+    /// The store key of an engine checkpoint: domain-separated from
+    /// result keys (an `STCK` tag) over the checkpoint's configuration
+    /// hash and cycle. Determinism makes this sound for the same reason
+    /// result caching is: `(configuration, cycle)` fully determines the
+    /// canonical checkpoint bytes, so a cached blob can seed any
+    /// prefix-forked run of that configuration forever.
+    pub fn checkpoint_key(spec_hash: [u8; 16], cycle: u64) -> ContentKey {
+        let mut bytes = Vec::with_capacity(28);
+        bytes.extend_from_slice(b"STCK");
+        bytes.extend_from_slice(&spec_hash);
+        bytes.extend_from_slice(&cycle.to_le_bytes());
+        ContentKey::of(&bytes)
+    }
+
+    /// Looks up a cached checkpoint blob for `(spec_hash, cycle)`.
+    pub fn get_checkpoint(&self, spec_hash: [u8; 16], cycle: u64) -> Option<Vec<u8>> {
+        self.get(Self::checkpoint_key(spec_hash, cycle))
+    }
+
+    /// Caches a checkpoint's canonical bytes under `(spec_hash, cycle)`.
+    pub fn put_checkpoint(&self, spec_hash: [u8; 16], cycle: u64, bytes: Vec<u8>) {
+        self.put(Self::checkpoint_key(spec_hash, cycle), bytes);
+    }
+
     fn entry_path(&self, key: ContentKey) -> Option<PathBuf> {
         Some(self.dir.as_ref()?.join(format!("{}.stres", key.to_hex())))
     }
@@ -309,6 +333,48 @@ mod tests {
         store.put(key(7), vec![0]); // ensure key 5 is not in memory
         assert_eq!(store.get(key(5)), None, "key echo must match file name");
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_cache_round_trips_engine_blobs() {
+        use synchro_tokens::prelude::*;
+        use synchro_tokens::scenarios::{pingpong_spec, MixerLogic};
+
+        let spec = pingpong_spec();
+        let builder = || {
+            let mut b = SystemBuilder::new(spec.clone())
+                .unwrap()
+                .with_trace_limit(64);
+            for i in 0..spec.sbs.len() {
+                b = b.with_logic(SbId(i), MixerLogic::new(0x1000 * i as u64));
+            }
+            b
+        };
+        let mut sys = builder().build_backend(Backend::Compiled);
+        sys.run_until_cycles(12, st_sim::time::SimDuration::us(3000))
+            .unwrap();
+        let ckpt = sys.checkpoint().unwrap();
+
+        let store = ResultStore::in_memory(4);
+        assert_eq!(store.get_checkpoint(ckpt.spec_hash(), ckpt.cycle()), None);
+        store.put_checkpoint(ckpt.spec_hash(), ckpt.cycle(), ckpt.to_canonical_bytes());
+        let bytes = store
+            .get_checkpoint(ckpt.spec_hash(), ckpt.cycle())
+            .expect("cached checkpoint");
+        let cached = synchro_tokens::Checkpoint::from_canonical_bytes(&bytes).unwrap();
+        assert!(AnySystem::resume(builder(), &cached).is_ok());
+
+        // The key is domain-separated and cycle-sensitive: a different
+        // cycle is a different entry, and the raw payload's result key
+        // can never collide with a checkpoint key.
+        assert_eq!(
+            store.get_checkpoint(ckpt.spec_hash(), ckpt.cycle() + 1),
+            None
+        );
+        assert_ne!(
+            ResultStore::checkpoint_key(ckpt.spec_hash(), ckpt.cycle()),
+            ContentKey::of(&bytes)
+        );
     }
 
     #[test]

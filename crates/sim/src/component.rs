@@ -15,8 +15,15 @@ use std::fmt;
 pub struct ComponentId(u32);
 
 impl ComponentId {
-    pub(crate) const fn from_raw(raw: u32) -> Self {
+    /// Builds an id from its raw index (checkpoint deserialization; ids
+    /// are only meaningful against the simulator they were minted by).
+    pub const fn from_raw(raw: u32) -> Self {
         ComponentId(raw)
+    }
+
+    /// The raw index (checkpoint serialization).
+    pub const fn as_raw(self) -> u32 {
+        self.0
     }
 
     pub(crate) const fn index(self) -> usize {

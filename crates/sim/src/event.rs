@@ -132,6 +132,36 @@ impl EventQueue {
         None
     }
 
+    /// Every pending event, sorted by `(time, seq)` — i.e. exactly the
+    /// order they would fire in. Used by kernel checkpointing; the queue
+    /// is left untouched.
+    pub fn pending_sorted(&self) -> Vec<Event> {
+        let mut evs: Vec<Event> = self.heap.iter().map(|Reverse(e)| *e).collect();
+        evs.extend(self.bucket.iter().copied());
+        evs.sort_unstable();
+        evs
+    }
+
+    /// Replaces the queue contents from a checkpoint. All events go into
+    /// the heap with the bucket idle; ordering is unaffected because the
+    /// heap orders purely by `(time, seq)` and every restored event keeps
+    /// its original sequence number.
+    pub fn restore(&mut self, events: &[Event], next_seq: u64, scheduled_total: u64) {
+        self.heap.clear();
+        self.bucket.clear();
+        self.bucket_time = None;
+        for ev in events {
+            self.heap.push(Reverse(*ev));
+        }
+        self.next_seq = next_seq;
+        self.scheduled_total = scheduled_total;
+    }
+
+    /// The sequence number the next scheduled event would receive.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
     #[allow(dead_code)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty() && self.bucket.is_empty()

@@ -64,6 +64,17 @@ impl SignalId {
     pub(crate) const fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds an id from its raw index (checkpoint deserialization; ids
+    /// are only meaningful against the simulator they were minted by).
+    pub const fn from_raw(raw: u32) -> Self {
+        SignalId(raw)
+    }
+
+    /// The raw index (checkpoint serialization).
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Display for SignalId {
@@ -174,6 +185,82 @@ pub trait DelayModel {
         now: SimTime,
         nominal: SimDuration,
     ) -> SimDuration;
+
+    /// Serializes the model's mutable call-history state (occurrence
+    /// counters and the like) for checkpointing. Stateless models return
+    /// an empty vector (the default).
+    fn snapshot_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`DelayModel::snapshot_state`].
+    /// Returns false if the bytes are not understood (the default
+    /// accepts only an empty snapshot).
+    fn restore_state(&mut self, bytes: &[u8]) -> bool {
+        bytes.is_empty()
+    }
+}
+
+/// A pending event in serializable form (public mirror of the internal
+/// queue entry). Ids are raw indices into the owning simulator's signal
+/// and component tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelEvent {
+    /// Absolute fire time.
+    pub time: SimTime,
+    /// Scheduling sequence number (total order within one instant).
+    pub seq: u64,
+    /// What fires.
+    pub kind: KernelEventKind,
+}
+
+/// Serializable event payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelEventKind {
+    /// Set a signal to a value.
+    Drive {
+        /// Target signal.
+        sig: SignalId,
+        /// Value to apply.
+        value: Value,
+    },
+    /// Wake a component with `Wake::Timer(tag)`.
+    Timer {
+        /// Target component.
+        comp: ComponentId,
+        /// The tag the component passed to `set_timer`.
+        tag: u64,
+    },
+}
+
+/// A full snapshot of the kernel's dynamic state (signals, pending
+/// events, counters) at an instant between run segments.
+///
+/// The snapshot intentionally excludes the RNG and the waveform trace
+/// buffer: it is only valid for workloads that draw no randomness and
+/// trace no signals (the caller is expected to gate on that — the
+/// synchro-tokens deterministic mode qualifies). Component state is
+/// also *not* included; components checkpoint themselves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelSnapshot {
+    /// Simulation time at capture.
+    pub now: SimTime,
+    /// Whether `Wake::Start` has already been delivered.
+    pub started: bool,
+    /// Next event sequence number.
+    pub next_seq: u64,
+    /// Total events ever scheduled.
+    pub scheduled_total: u64,
+    /// Total events fired.
+    pub events_fired: u64,
+    /// Total component wakes delivered.
+    pub wakes: u64,
+    /// Every signal's current value, indexed by raw signal id.
+    pub signals: Vec<Value>,
+    /// Pending events sorted by `(time, seq)`.
+    pub events: Vec<KernelEvent>,
+    /// Installed delay model's mutable state (empty when none).
+    pub delay_model: Vec<u8>,
 }
 
 /// Everything the kernel owns apart from the component boxes.
@@ -720,6 +807,82 @@ impl Simulator {
     pub fn run_for(&mut self, span: SimDuration) -> Result<RunSummary, SimError> {
         let deadline = self.inner.now + span;
         self.run_until(deadline)
+    }
+
+    /// Captures the kernel's dynamic state (see [`KernelSnapshot`] for
+    /// what is and is not included).
+    pub fn snapshot_kernel(&self) -> KernelSnapshot {
+        let events = self
+            .inner
+            .queue
+            .pending_sorted()
+            .into_iter()
+            .map(|e| KernelEvent {
+                time: e.time,
+                seq: e.seq,
+                kind: match e.kind {
+                    EventKind::Drive { sig, value } => KernelEventKind::Drive { sig, value },
+                    EventKind::Timer { comp, tag } => KernelEventKind::Timer { comp, tag },
+                },
+            })
+            .collect();
+        KernelSnapshot {
+            now: self.inner.now,
+            started: self.started,
+            next_seq: self.inner.queue.next_seq(),
+            scheduled_total: self.inner.queue.scheduled_total(),
+            events_fired: self.inner.events_fired,
+            wakes: self.inner.wakes,
+            signals: self.inner.signals.iter().map(|s| s.value).collect(),
+            events,
+            delay_model: self
+                .inner
+                .delay_model
+                .as_ref()
+                .map(|m| m.snapshot_state())
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Restores the dynamic state captured by
+    /// [`Simulator::snapshot_kernel`] into this simulator, which must
+    /// have been built with the identical build sequence (same signals,
+    /// components and sensitivity lists — ids are raw indices).
+    ///
+    /// Returns false (leaving the simulator in an unspecified mixed
+    /// state) if the snapshot's shape does not match this simulator; the
+    /// caller is expected to treat that as a hard error.
+    pub fn restore_kernel(&mut self, snap: &KernelSnapshot) -> bool {
+        if snap.signals.len() != self.inner.signals.len() {
+            return false;
+        }
+        for (st, v) in self.inner.signals.iter_mut().zip(&snap.signals) {
+            st.value = *v;
+        }
+        let events: Vec<crate::event::Event> = snap
+            .events
+            .iter()
+            .map(|e| crate::event::Event {
+                time: e.time,
+                seq: e.seq,
+                kind: match e.kind {
+                    KernelEventKind::Drive { sig, value } => EventKind::Drive { sig, value },
+                    KernelEventKind::Timer { comp, tag } => EventKind::Timer { comp, tag },
+                },
+            })
+            .collect();
+        self.inner
+            .queue
+            .restore(&events, snap.next_seq, snap.scheduled_total);
+        self.inner.now = snap.now;
+        self.inner.events_fired = snap.events_fired;
+        self.inner.wakes = snap.wakes;
+        self.inner.stop_requested = false;
+        self.started = snap.started;
+        match self.inner.delay_model.as_mut() {
+            Some(m) => m.restore_state(&snap.delay_model),
+            None => snap.delay_model.is_empty(),
+        }
     }
 
     /// Total events ever scheduled (for benchmarking kernel overhead).

@@ -56,7 +56,8 @@ pub mod value;
 
 pub use component::{Component, ComponentId, Handle, Wake};
 pub use kernel::{
-    BitSignal, Ctx, DelayModel, RunSummary, SignalId, SimBuilder, SimError, Simulator, WordSignal,
+    BitSignal, Ctx, DelayModel, KernelEvent, KernelEventKind, KernelSnapshot, RunSummary, SignalId,
+    SimBuilder, SimError, Simulator, WordSignal,
 };
 pub use time::{SimDuration, SimTime};
 pub use trace::TraceBuffer;
@@ -66,8 +67,8 @@ pub use value::{Bit, Value};
 pub mod prelude {
     pub use crate::component::{Component, ComponentId, Handle, Wake};
     pub use crate::kernel::{
-        BitSignal, Ctx, DelayModel, RunSummary, SignalId, SimBuilder, SimError, Simulator,
-        WordSignal,
+        BitSignal, Ctx, DelayModel, KernelEvent, KernelEventKind, KernelSnapshot, RunSummary,
+        SignalId, SimBuilder, SimError, Simulator, WordSignal,
     };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::value::{Bit, Value};

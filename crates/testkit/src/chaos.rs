@@ -28,13 +28,17 @@
 //! `ST_CHAOS_CONFIGS` caps the configuration count for smoke runs (see
 //! [`configs_from_env`]).
 
-use st_sim::time::SimDuration;
+use st_sim::time::{SimDuration, SimTime};
 use std::fmt;
 use std::time::Instant;
 use synchro_tokens::prelude::*;
 use synchro_tokens::scenarios::MixerLogic;
-use synchro_tokens::{classify, run_with_plan, BackendKind, CampaignStats, ChaosOutcome};
-use synchro_tokens::{run_jobs_hooked, FaultClass, FaultPlan, RunHooks};
+use synchro_tokens::{
+    classify, run_with_plan, run_with_plan_resumed, BackendKind, CampaignStats, ChaosOutcome,
+};
+use synchro_tokens::{
+    run_jobs_hooked, DecodedCheckpoint, FaultClass, FaultPlan, RunHooks, SeuFault, SeuTarget,
+};
 
 /// One chaos configuration: a plan seed and the fault class to generate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -455,6 +459,316 @@ fn run_one(spec: &SystemSpec, job: ChaosJob, cycles: u64, budget: SimDuration) -
     }
 }
 
+// --- Prefix-fork SEU sweeps ----------------------------------------------
+
+thread_local! {
+    // One rewindable engine per sweep worker: forked variants restore
+    // the shared prefix checkpoint into it in place instead of lowering
+    // a fresh engine each time. Helper threads die with their sweep;
+    // only the calling thread retains its engine (a few KiB) between
+    // sweeps, where a changed configuration fails the restore's hash
+    // check and the engine is rebuilt from the new blob.
+    static FORK_ENGINE: std::cell::RefCell<Option<AnySystem>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A deterministic grid of SEU-only plan variants over `spec`, all
+/// first (and only) firing at local cycle `at_cycle`: variant `i`
+/// strikes ring `i % rings` on alternating holder/peer sides, cycling
+/// through hold-bit, recycle-bit and token-latch targets. Because every
+/// variant shares one first-fire cycle, a prefix-fork sweep amortises a
+/// single nominal prefix across the whole grid — the shape a chip-level
+/// SEU susceptibility scan takes (one workload, many strike points).
+pub fn seu_sweep_plans(spec: &SystemSpec, at_cycle: u64, count: usize) -> Vec<FaultPlan> {
+    (0..count)
+        .map(|i| {
+            let ring_idx = i % spec.rings.len();
+            let ring = &spec.rings[ring_idx];
+            let rounds = i / spec.rings.len();
+            let sb = if rounds.is_multiple_of(2) {
+                ring.holder
+            } else {
+                ring.peer
+            };
+            let bit = (rounds as u32 / 2) % 3;
+            let target = match i % 3 {
+                0 => SeuTarget::HoldBit(bit),
+                1 => SeuTarget::RecycleBit(bit),
+                _ => SeuTarget::TokenLatch,
+            };
+            FaultPlan {
+                seu: vec![SeuFault {
+                    sb,
+                    ring: RingId(ring_idx),
+                    at_cycle,
+                    target,
+                }],
+                ..FaultPlan::default()
+            }
+        })
+        .collect()
+}
+
+/// One variant's verdict in a prefix-fork SEU sweep.
+#[derive(Debug, Clone)]
+pub struct SeuSweepRun {
+    /// Position of this variant in the input plan list.
+    pub index: usize,
+    /// The injected plan.
+    pub plan: FaultPlan,
+    /// `(engine used, classified outcome)` — compiled backend.
+    pub outcome: (BackendKind, ChaosOutcome),
+    /// Whether this variant resumed from a shared prefix checkpoint
+    /// (`false` means it fell back to a full straight run).
+    pub forked: bool,
+    /// Oracle violations — empty on a conforming run.
+    pub violations: Vec<String>,
+}
+
+/// A completed prefix-fork SEU sweep.
+#[derive(Debug, Clone)]
+pub struct SeuSweepReport {
+    /// Every variant's verdict, in plan order.
+    pub runs: Vec<SeuSweepRun>,
+    /// Distinct first-fire cycles that earned a shared prefix
+    /// checkpoint (each cost one nominal prefix run).
+    pub prefixes: usize,
+    /// Wall-clock / throughput counters (machine-dependent; excluded
+    /// from any byte-compared artefact).
+    pub stats: CampaignStats,
+}
+
+impl SeuSweepReport {
+    /// How many variants resumed from a shared prefix.
+    pub fn forked(&self) -> usize {
+        self.runs.iter().filter(|r| r.forked).count()
+    }
+
+    /// All violations across the sweep, prefixed with their variant.
+    pub fn violations(&self) -> Vec<String> {
+        self.runs
+            .iter()
+            .flat_map(|r| {
+                r.violations
+                    .iter()
+                    .map(move |v| format!("variant {}: {v}", r.index))
+            })
+            .collect()
+    }
+}
+
+/// Prefix-fork SEU sweep: runs every plan variant against one workload
+/// `(spec, seed)`, sharing the fault-free prefix below each variant's
+/// first strike cycle through engine checkpoints instead of recomputing
+/// it per variant.
+///
+/// Determinism makes the fork *exact*, not approximate: an SEU-only
+/// plan leaves the engine configuration untouched (the flips are
+/// applied from outside by [`run_with_plan`]), so the nominal run's
+/// state at the strike cycle **is** the variant's state — resuming a
+/// checkpoint of it and continuing with
+/// [`run_with_plan_resumed`] replays the exact call sequence
+/// `run_with_plan` would have made, byte for byte. Per distinct
+/// first-fire cycle `f` (with `f >= min_fork_cycle`), the sweep runs
+/// one nominal prefix to `f`, checkpoints, and forks every variant
+/// firing at `f` from that blob. Variants that are not SEU-only, fire
+/// before `min_fork_cycle`, or whose prefix failed to reach `f` fall
+/// back to a full straight run — the report is identical either way,
+/// only the cost differs.
+///
+/// The sweep is deterministic: the report's runs are a pure function of
+/// `(spec, seed, plans, cycles, budget, min_fork_cycle)` at any
+/// `threads` count.
+pub fn run_seu_sweep(
+    spec: &SystemSpec,
+    seed: u64,
+    plans: &[FaultPlan],
+    cycles: u64,
+    budget: SimDuration,
+    threads: usize,
+    min_fork_cycle: u64,
+) -> SeuSweepReport {
+    match run_seu_sweep_hooked(
+        spec,
+        seed,
+        plans,
+        cycles,
+        budget,
+        threads,
+        min_fork_cycle,
+        RunHooks::default(),
+    ) {
+        Ok(report) => report,
+        Err(_) => unreachable!("no cancel token was installed"),
+    }
+}
+
+/// Jobified [`run_seu_sweep`] with [`RunHooks`] for cooperative
+/// cancellation and progress reporting (checked between variants; the
+/// golden and prefix prologue is not cancellable).
+///
+/// # Errors
+///
+/// Returns [`Cancelled`](synchro_tokens::Cancelled) carrying the
+/// completed [`SeuSweepRun`]s (in plan order) when the token trips
+/// before the last variant is claimed.
+#[allow(clippy::too_many_arguments)]
+pub fn run_seu_sweep_hooked(
+    spec: &SystemSpec,
+    seed: u64,
+    plans: &[FaultPlan],
+    cycles: u64,
+    budget: SimDuration,
+    threads: usize,
+    min_fork_cycle: u64,
+    hooks: RunHooks<'_>,
+) -> Result<SeuSweepReport, synchro_tokens::Cancelled<SeuSweepRun>> {
+    let started = Instant::now();
+
+    // Golden: the unfaulted workload, for outcome classification.
+    let mut golden_sys =
+        chaos_builder(spec, seed, cycles as usize).build_backend(Backend::Compiled);
+    let golden_outcome = golden_sys
+        .run_until_cycles(cycles, budget)
+        .unwrap_or(RunOutcome::TimedOut);
+    let golden: Vec<SbIoTrace> = (0..spec.sbs.len())
+        .map(|i| golden_sys.io_trace(SbId(i)).clone())
+        .collect();
+
+    // The fork cycle a plan is eligible for, if any.
+    let fork_cycle = |plan: &FaultPlan| -> Option<u64> {
+        plan.seu_only_first_fire()
+            .map(|f| f.min(cycles))
+            .filter(|&f| f >= min_fork_cycle && f > 0)
+    };
+
+    // One shared nominal prefix checkpoint per distinct eligible
+    // first-fire cycle. A prefix that fails to reach its cycle or a
+    // configuration outside the checkpoint envelope simply yields no
+    // entry — its variants fall back to straight runs.
+    let mut fire_cycles: Vec<u64> = plans.iter().filter_map(&fork_cycle).collect();
+    fire_cycles.sort_unstable();
+    fire_cycles.dedup();
+    let prefixes: Vec<(u64, DecodedCheckpoint)> = fire_cycles
+        .into_iter()
+        .filter_map(|f| {
+            let mut sys =
+                chaos_builder(spec, seed, cycles as usize).build_backend(Backend::Compiled);
+            match sys.run_until_cycles(f, budget) {
+                // Decode once here: every variant restores from the
+                // decoded state instead of re-parsing the blob.
+                Ok(RunOutcome::Reached) => sys
+                    .checkpoint()
+                    .ok()
+                    .and_then(|c| c.decode().ok())
+                    .map(|c| (f, c)),
+                _ => None,
+            }
+        })
+        .collect();
+
+    let runs = run_jobs_hooked(plans, threads, hooks, |index, plan| {
+        let mut violations = Vec::new();
+        if golden_outcome != RunOutcome::Reached {
+            violations.push(format!(
+                "golden run did not reach {cycles} cycles: {golden_outcome:?}"
+            ));
+        }
+
+        let straight = |violations: &mut Vec<String>| {
+            let mut sys = chaos_builder(spec, seed, cycles as usize)
+                .with_fault_plan(plan.clone())
+                .build_backend(Backend::Compiled);
+            let outcome = match run_with_plan(&mut sys, plan, cycles, budget) {
+                Ok(o) => o,
+                Err(e) => {
+                    violations.push(format!("compiled backend kernel error: {e}"));
+                    RunOutcome::TimedOut
+                }
+            };
+            (sys.backend_kind(), classify(&golden, &sys, &outcome), false)
+        };
+
+        let shared = fork_cycle(plan).and_then(|f| {
+            prefixes
+                .iter()
+                .find(|(pf, _)| *pf == f)
+                .map(|(_, c)| (f, c))
+        });
+        let (kind, outcome, forked) = match shared {
+            Some((f, ckpt)) => {
+                // SEU-only ⇒ the variant's engine configuration is the
+                // nominal one, so the nominal blob resumes directly.
+                // Each worker keeps one engine and rewinds it in place
+                // per variant; `restore_decoded` fully overwrites the
+                // previous variant's state and is fail-closed on any
+                // configuration mismatch, so reuse is exact.
+                let fork_run = FORK_ENGINE.with(|cell| {
+                    let mut slot = cell.borrow_mut();
+                    let mut ready = slot
+                        .as_mut()
+                        .is_some_and(|sys| sys.restore_decoded(ckpt).is_ok());
+                    if !ready {
+                        match AnySystem::resume_decoded(
+                            chaos_builder(spec, seed, cycles as usize),
+                            ckpt,
+                        ) {
+                            Ok(sys) => {
+                                *slot = Some(sys);
+                                ready = true;
+                            }
+                            Err(_) => *slot = None,
+                        }
+                    }
+                    if !ready {
+                        return None;
+                    }
+                    let sys = slot.as_mut().expect("engine cached above");
+                    // The straight run's deadline is `now + budget` at
+                    // entry with `now == 0`; replay it exactly.
+                    let outcome =
+                        match run_with_plan_resumed(sys, plan, f, cycles, SimTime::ZERO + budget) {
+                            Ok(o) => o,
+                            Err(e) => {
+                                violations.push(format!("compiled backend kernel error: {e}"));
+                                RunOutcome::TimedOut
+                            }
+                        };
+                    Some((sys.backend_kind(), classify(&golden, sys, &outcome)))
+                });
+                match fork_run {
+                    Some((kind, outcome)) => (kind, outcome, true),
+                    None => straight(&mut violations),
+                }
+            }
+            None => straight(&mut violations),
+        };
+
+        SeuSweepRun {
+            index,
+            plan: plan.clone(),
+            outcome: (kind, outcome),
+            forked,
+            violations,
+        }
+    })?;
+
+    let stats = CampaignStats {
+        // One attacked engine per variant, plus the golden and one
+        // nominal prefix per shared checkpoint.
+        runs: runs.len() + 1 + prefixes.len(),
+        threads: effective_threads(threads),
+        wall_seconds: started.elapsed().as_secs_f64(),
+        events_fired: 0,
+        wakes: 0,
+    };
+    Ok(SeuSweepReport {
+        runs,
+        prefixes: prefixes.len(),
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +829,74 @@ mod tests {
                 .runs
                 .iter()
                 .map(|r| (r.job, r.outcomes.clone(), r.violations.clone()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn seu_sweep_forks_and_matches_straight_runs() {
+        let spec = pingpong_spec();
+        let (seed, cycles, budget) = (3u64, 60u64, SimDuration::us(2000));
+        // Two fire-cycle cohorts plus a protocol plan that must fall
+        // back to a straight run.
+        let mut plans = seu_sweep_plans(&spec, 44, 5);
+        plans.extend(seu_sweep_plans(&spec, 52, 5));
+        plans.push(FaultPlan::generate(FaultClass::Protocol, &spec, seed));
+        let report = run_seu_sweep(&spec, seed, &plans, cycles, budget, 2, 8);
+
+        assert_eq!(report.prefixes, 2, "one shared prefix per fire cycle");
+        assert_eq!(report.forked(), 10, "every SEU-only variant must fork");
+        assert!(!report.runs[10].forked, "protocol plan must not fork");
+        assert!(report.violations().is_empty(), "{:?}", report.violations());
+
+        // The forked sweep must classify exactly as naive straight runs.
+        let mut golden_sys =
+            chaos_builder(&spec, seed, cycles as usize).build_backend(Backend::Compiled);
+        golden_sys.run_until_cycles(cycles, budget).unwrap();
+        let golden: Vec<SbIoTrace> = (0..spec.sbs.len())
+            .map(|i| golden_sys.io_trace(SbId(i)).clone())
+            .collect();
+        for (i, plan) in plans.iter().enumerate() {
+            let mut sys = chaos_builder(&spec, seed, cycles as usize)
+                .with_fault_plan(plan.clone())
+                .build_backend(Backend::Compiled);
+            let outcome = run_with_plan(&mut sys, plan, cycles, budget).unwrap();
+            assert_eq!(
+                report.runs[i].outcome.1,
+                classify(&golden, &sys, &outcome),
+                "variant {i} diverged from its straight run"
+            );
+        }
+    }
+
+    #[test]
+    fn seu_sweep_respects_min_fork_cycle() {
+        let spec = pingpong_spec();
+        let plans = seu_sweep_plans(&spec, 10, 4);
+        let report = run_seu_sweep(&spec, 1, &plans, 60, SimDuration::us(2000), 1, 32);
+        assert_eq!(report.prefixes, 0, "fires below the floor share nothing");
+        assert_eq!(report.forked(), 0);
+        assert!(report.violations().is_empty());
+    }
+
+    #[test]
+    fn seu_sweep_is_thread_count_invariant() {
+        let spec = pingpong_spec();
+        let plans = seu_sweep_plans(&spec, 48, 6);
+        let run = |threads| {
+            run_seu_sweep(&spec, 7, &plans, 60, SimDuration::us(2000), threads, 8)
+                .runs
+                .iter()
+                .map(|r| {
+                    (
+                        r.index,
+                        r.plan.clone(),
+                        r.outcome.clone(),
+                        r.forked,
+                        r.violations.clone(),
+                    )
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(4));

@@ -57,7 +57,9 @@ pub mod tap;
 pub use bist::{BistEngine, Lfsr, Misr};
 pub use chaos::{
     chaos_jobs, configs_from_env, run_chaos_campaign, run_chaos_campaign_batched,
-    run_chaos_campaign_batched_hooked, run_chaos_campaign_hooked, ChaosJob, ChaosReport, ChaosRun,
+    run_chaos_campaign_batched_hooked, run_chaos_campaign_hooked, run_seu_sweep,
+    run_seu_sweep_hooked, seu_sweep_plans, ChaosJob, ChaosReport, ChaosRun, SeuSweepReport,
+    SeuSweepRun,
 };
 pub use debug::{
     shmoo, shmoo_any, shmoo_any_hooked, shmoo_grid, BreakpointReport, ShmooGridPoint, ShmooPoint,

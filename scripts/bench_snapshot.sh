@@ -7,7 +7,19 @@
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
 #   bench-name   optional criterion bench targets
 #                (default: gate_sim kernel system_sim chaos serve
-#                 campaign_batch)
+#                 campaign_batch campaign_fork)
+#
+# Bench guard — multi-thread campaign numbers: the chaos bench's
+# campaign_pingpong_{1,4}threads pair measures *host* parallelism, and
+# on a host with fewer free cores than worker threads (CI containers,
+# shared runners) the 4-thread variant can come out SLOWER than
+# 1-thread (BENCH_6: 8.92ms vs 7.83ms) purely from oversubscription —
+# spawn cost plus contention on the work-stealing cursor, with zero
+# change to the simulation itself (reports are byte-identical at any
+# thread count). Compare thread-scaling entries only across snapshots
+# taken on the same host class, and never read a 4-thread regression as
+# an engine regression without first checking `nproc` against the
+# thread count. See EXPERIMENTS.md "Campaign thread scaling".
 #
 # Works against real criterion and the devstubs shim alike — both write
 # estimates.json with a median.point_estimate field. Benches that
@@ -30,7 +42,9 @@ if [[ ${#benches[@]} -eq 0 ]]; then
     # chaos records the robustness-campaign throughput (plans/s) next to
     # the raw simulation benches; campaign_batch records the batched
     # lane-parallel campaign engine against its scalar baselines.
-    benches=(gate_sim kernel system_sim chaos serve campaign_batch)
+    # campaign_fork records the prefix-fork sweep against its straight
+    # baseline (the checkpoint/resume speedup).
+    benches=(gate_sim kernel system_sim chaos serve campaign_batch campaign_fork)
 fi
 
 # Only results (re)written by THIS invocation land in the snapshot —
