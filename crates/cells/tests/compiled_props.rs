@@ -99,8 +99,18 @@ fn build(recipe: &Recipe) -> (Circuit, Vec<Net>) {
 /// the contract; the others catch cross-lane shift/mask bugs.
 const CHECKED_LANES: [usize; 4] = [0, 1, 31, 63];
 
+/// Conformance clause this suite is evidence for: the bit-parallel
+/// compiled lanes are indistinguishable from the scalar interpreter.
+const WITNESSED: &[&str] = &["ST-GATE-008"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-GATE-008"]);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+    #![proptest_config(st_testkit::case_budget(48, WITNESSED))]
 
     /// Compiled lanes ≡ scalar interpreter over random circuits, random
     /// per-lane input masks, and a random settle/edge schedule.

@@ -1,0 +1,331 @@
+//! `st-conformance-lint` — cross-checks the requirements registry
+//! against the `witnesses!` declarations in the workspace sources and
+//! the runtime manifests test runs emit.
+//!
+//! Evidence comes from two places:
+//!
+//! * **Static declarations** — every `witnesses!(["ST-..."])` in a
+//!   workspace `.rs` file (a textual scan, so a commented-out
+//!   declaration counts as deleted). These are the normative evidence:
+//!   the lint FAILS when a requirement has fewer declarations than its
+//!   pinned `min_witnesses`, or when a declaration names an unknown ID.
+//! * **Runtime manifests** — `*.witness` files under `ST_WITNESS_DIR`
+//!   (default `<root>/target/st-witness`), appended by the macro when
+//!   tests actually run. Reported as corroboration; only *unknown IDs*
+//!   in manifests fail the lint (manifests may legitimately be absent,
+//!   e.g. before the first test run).
+//!
+//! Modes:
+//!
+//! * default — the coverage report; exit 1 on any violation.
+//! * `--table` — the markdown "Conformance coverage" table embedded in
+//!   EXPERIMENTS.md.
+//! * `--hash` — the registry content hash (32 hex chars), stamped into
+//!   BENCH_*.json by scripts/bench_snapshot.sh.
+//! * `--root <dir>` — repo root override (default: walk up from the
+//!   current directory to the first `conformance/requirements.toml`).
+
+use st_conformance::{key_hex, Registry};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// One `witnesses!` occurrence found in a source file.
+struct Declaration {
+    file: String,
+    ids: Vec<String>,
+}
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut table = false;
+    let mut hash = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--table" => table = true,
+            "--hash" => hash = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    let Some(root) = root.or_else(find_root) else {
+        eprintln!(
+            "st-conformance-lint: no conformance/requirements.toml above the current directory"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let registry_path = root.join("conformance/requirements.toml");
+    let src = match std::fs::read_to_string(&registry_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("st-conformance-lint: read {}: {e}", registry_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let registry = match Registry::parse(&src) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("st-conformance-lint: {}: {e}", registry_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if hash {
+        println!("{}", key_hex(registry.content_hash()));
+        return ExitCode::SUCCESS;
+    }
+
+    let mut errors = Vec::new();
+    // A registry that drifted from the compiled-in copy means the
+    // binaries (the macro's validation, st-serve's /conformance) were
+    // built against different clauses than the lint is checking.
+    if registry.content_hash() != Registry::builtin().content_hash() {
+        errors.push(
+            "registry drift: conformance/requirements.toml differs from the copy this \
+             binary was built with — rebuild (cargo build -p st-conformance)"
+                .to_owned(),
+        );
+    }
+
+    let declarations = scan_workspace(&root, &mut errors);
+    let mut static_counts: BTreeMap<&str, u64> = BTreeMap::new();
+    for decl in &declarations {
+        for id in &decl.ids {
+            match registry.get(id) {
+                Some(r) => *static_counts.entry(r.id.as_str()).or_insert(0) += 1,
+                None => errors.push(format!(
+                    "{}: witnesses! names unknown requirement {id:?}",
+                    decl.file
+                )),
+            }
+        }
+    }
+
+    let manifest_dir = std::env::var("ST_WITNESS_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
+        .map(PathBuf::from)
+        .unwrap_or_else(|| root.join("target/st-witness"));
+    let runtime_counts = collect_manifests(&manifest_dir, &registry, &mut errors);
+
+    for r in &registry.requirements {
+        let have = static_counts.get(r.id.as_str()).copied().unwrap_or(0);
+        if have == 0 {
+            errors.push(format!(
+                "{}: UNWITNESSED — no witnesses! declaration names it ({})",
+                r.id, r.title
+            ));
+        } else if have < r.min_witnesses {
+            errors.push(format!(
+                "{}: {have} witness declaration(s), registry floor is {} — a declaration \
+                 was deleted without lowering min_witnesses in review",
+                r.id, r.min_witnesses
+            ));
+        }
+    }
+
+    if table {
+        print_table(&registry, &static_counts);
+    } else {
+        println!(
+            "conformance registry v{} ({} requirements, content hash {})",
+            registry.version,
+            registry.requirements.len(),
+            key_hex(registry.content_hash())
+        );
+        println!(
+            "{} witnesses! declaration(s) across the workspace; runtime manifests: {}",
+            declarations.len(),
+            if runtime_counts.is_empty() {
+                format!("none under {}", manifest_dir.display())
+            } else {
+                format!("{}", manifest_dir.display())
+            }
+        );
+        for r in &registry.requirements {
+            let have = static_counts.get(r.id.as_str()).copied().unwrap_or(0);
+            let runtime = runtime_counts.get(r.id.as_str()).copied().unwrap_or(0);
+            println!(
+                "  {:<13} {:<6} static {have}/{} runtime {runtime}  {}",
+                r.id,
+                r.level.name(),
+                r.min_witnesses,
+                r.title
+            );
+        }
+    }
+
+    if errors.is_empty() {
+        if !table {
+            println!("conformance lint OK");
+        }
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("st-conformance-lint: FAIL: {e}");
+        }
+        eprintln!("st-conformance-lint: {} violation(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("st-conformance-lint: {msg}");
+    eprintln!("usage: st-conformance-lint [--root <dir>] [--table | --hash]");
+    ExitCode::FAILURE
+}
+
+/// Walks up from the current directory to the first parent holding
+/// `conformance/requirements.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("conformance/requirements.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects every `witnesses!` declaration in the workspace `.rs`
+/// sources. Skipped subtrees: build output (`target`), the offline
+/// dependency shims (`devstubs`), VCS internals, and this crate's own
+/// `src` (the macro definition and its doc examples are not evidence).
+fn scan_workspace(root: &Path, errors: &mut Vec<String>) -> Vec<Declaration> {
+    let mut files = Vec::new();
+    walk(root, root, &mut files);
+    let mut found = Vec::new();
+    for path in files {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .display()
+            .to_string();
+        let mut rest = text.as_str();
+        while let Some(at) = rest.find("witnesses!") {
+            rest = &rest[at + "witnesses!".len()..];
+            // Only an invocation is a candidate — a prose mention of the
+            // macro name (doc comments, error strings) has no `(` and is
+            // not evidence of anything.
+            if !rest.trim_start().starts_with('(') {
+                continue;
+            }
+            let Some(ids) = extract_ids(rest) else {
+                errors.push(format!(
+                    "{rel}: malformed witnesses! declaration (expected ([\"ST-...\", ...]))"
+                ));
+                continue;
+            };
+            if ids.is_empty() {
+                errors.push(format!("{rel}: witnesses! declares no IDs"));
+                continue;
+            }
+            found.push(Declaration {
+                file: rel.clone(),
+                ids,
+            });
+        }
+    }
+    found
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) {
+    const SKIP_DIRS: &[&str] = &["target", "devstubs", ".git", ".claude", ".cargo"];
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) {
+                continue;
+            }
+            if path == root.join("crates/conformance/src") {
+                continue;
+            }
+            walk(root, &path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses the `(["ID", "ID"])` tail after `witnesses!`. Tolerates
+/// whitespace/newlines; stops at the closing bracket.
+fn extract_ids(rest: &str) -> Option<Vec<String>> {
+    let rest = rest.trim_start().strip_prefix('(')?;
+    let rest = rest.trim_start().strip_prefix('[')?;
+    let end = rest.find(']')?;
+    let inner = &rest[..end];
+    let mut ids = Vec::new();
+    for part in inner.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        let id = part.strip_prefix('"')?.strip_suffix('"')?;
+        ids.push(id.to_owned());
+    }
+    Some(ids)
+}
+
+/// Merges `*.witness` manifests: per-ID runtime witness counts.
+/// Unknown IDs are violations (a manifest written by a stale binary
+/// against a renamed requirement must be regenerated, not ignored).
+fn collect_manifests(
+    dir: &Path,
+    registry: &Registry,
+    errors: &mut Vec<String>,
+) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return counts;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.extension().and_then(|e| e.to_str()) != Some("witness") {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue;
+        };
+        for line in text.lines() {
+            let Some((site, ids)) = line.split_once('\t') else {
+                errors.push(format!("{}: malformed manifest line", path.display()));
+                continue;
+            };
+            for id in ids.split(',').filter(|s| !s.is_empty()) {
+                if registry.contains(id) {
+                    *counts.entry(id.to_owned()).or_insert(0) += 1;
+                } else {
+                    errors.push(format!(
+                        "{}: manifest ({site}) names unknown requirement {id:?}",
+                        path.display()
+                    ));
+                }
+            }
+        }
+    }
+    counts
+}
+
+fn print_table(registry: &Registry, static_counts: &BTreeMap<&str, u64>) {
+    println!("| ID | Level | Requirement | Witnesses |");
+    println!("|----|-------|-------------|-----------|");
+    for r in &registry.requirements {
+        let have = static_counts.get(r.id.as_str()).copied().unwrap_or(0);
+        println!("| {} | {} | {} | {have} |", r.id, r.level.name(), r.title);
+    }
+}

@@ -1,0 +1,66 @@
+//! The conformance layer witnessing itself: the chained witness log is
+//! a registered requirement like any other, and this suite is its
+//! evidence.
+
+use st_conformance::{
+    content_key16, fnv1a64, mix64, witness_genesis, Registry, WitnessLog, WitnessRecord,
+};
+
+#[test]
+fn witness_chain_is_the_documented_construction() {
+    st_conformance::witnesses!(["ST-WIT-013"]);
+
+    // The chain is exactly mix64(prev ^ fnv1a64(canonical bytes)),
+    // recomputed here from first principles rather than through the
+    // library's own helper.
+    let mut log = WitnessLog::new();
+    let config = content_key16(b"some request bytes");
+    let result = content_key16(b"some result bytes");
+    let rec = log.append(&["ST-DET-001"], config, result);
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"STWR");
+    bytes.extend_from_slice(&0u64.to_le_bytes()); // seq
+    bytes.extend_from_slice(&1u32.to_le_bytes()); // one id
+    bytes.extend_from_slice(&("ST-DET-001".len() as u32).to_le_bytes());
+    bytes.extend_from_slice(b"ST-DET-001");
+    bytes.extend_from_slice(&config);
+    bytes.extend_from_slice(&result);
+    assert_eq!(rec.canonical_bytes(), bytes);
+    assert_eq!(rec.prev, witness_genesis());
+    assert_eq!(rec.chain, mix64(witness_genesis() ^ fnv1a64(&bytes)));
+    assert!(rec.verify());
+}
+
+#[test]
+fn a_reconstructed_record_verifies_or_fails_like_the_original() {
+    // Offline verification as a client would do it: rebuild the record
+    // from serialized public fields only.
+    let mut log = WitnessLog::new();
+    let first = log.append(&["ST-CAMP-005"], [7; 16], [8; 16]);
+    let second = log.append(&["ST-CHAOS-006", "ST-DET-001"], [9; 16], [10; 16]);
+
+    let rebuilt = WitnessRecord {
+        seq: second.seq,
+        ids: second.ids.clone(),
+        config: second.config,
+        result: second.result,
+        prev: first.chain,
+        chain: second.chain,
+    };
+    assert!(rebuilt.verify());
+    assert_eq!(log.head(), second.chain);
+
+    // Dropping an ID from the set is detectable.
+    let mut tampered = rebuilt;
+    tampered.ids.pop();
+    assert!(!tampered.verify());
+}
+
+#[test]
+fn builtin_and_checked_in_registries_agree() {
+    // The macro validates against the embedded copy; the lint checks
+    // the file on disk. They must be the same document.
+    let on_disk = Registry::parse(st_conformance::BUILTIN_REGISTRY_TOML).unwrap();
+    assert_eq!(on_disk.content_hash(), Registry::builtin().content_hash());
+}

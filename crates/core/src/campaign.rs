@@ -633,9 +633,48 @@ mod tests {
         assert_eq!(threads_from_env("ST_THREADS"), Some(7), "whitespace ok");
         std::env::set_var("ST_THREADS", "0");
         assert_eq!(threads_from_env("ST_THREADS"), Some(1), "zero clamps");
+        // Corner inputs all fall through to the caller's default rather
+        // than panicking or half-parsing.
+        std::env::set_var("ST_THREADS", "");
+        assert_eq!(threads_from_env("ST_THREADS"), None, "empty is unset-ish");
+        std::env::set_var("ST_THREADS", "   ");
+        assert_eq!(threads_from_env("ST_THREADS"), None, "whitespace-only too");
+        std::env::set_var("ST_THREADS", "-2");
+        assert_eq!(threads_from_env("ST_THREADS"), None, "negative is garbage");
+        std::env::set_var("ST_THREADS", "18446744073709551616");
+        assert_eq!(threads_from_env("ST_THREADS"), None, "overflow is garbage");
+        std::env::set_var("ST_THREADS", "3.5");
+        assert_eq!(threads_from_env("ST_THREADS"), None, "floats are garbage");
         match prev {
             Some(v) => std::env::set_var("ST_THREADS", v),
             None => std::env::remove_var("ST_THREADS"),
+        }
+    }
+
+    #[test]
+    fn st_batch_resolves_with_the_shared_clamp_policy() {
+        // This test fn owns all ST_BATCH mutation (same single-owner
+        // convention as ST_THREADS above).
+        let prev = std::env::var("ST_BATCH").ok();
+        std::env::remove_var("ST_BATCH");
+        assert_eq!(batch_limit_from_env(), DEFAULT_BATCH_LIMIT, "unset");
+        std::env::set_var("ST_BATCH", "8");
+        assert_eq!(batch_limit_from_env(), 8);
+        std::env::set_var("ST_BATCH", " 16 ");
+        assert_eq!(batch_limit_from_env(), 16, "whitespace trims");
+        std::env::set_var("ST_BATCH", "1");
+        assert_eq!(batch_limit_from_env(), 1, "1 disables batching, legal");
+        std::env::set_var("ST_BATCH", "0");
+        assert_eq!(batch_limit_from_env(), 1, "0 clamps to 1, not default");
+        std::env::set_var("ST_BATCH", "");
+        assert_eq!(batch_limit_from_env(), DEFAULT_BATCH_LIMIT, "empty");
+        std::env::set_var("ST_BATCH", "-1");
+        assert_eq!(batch_limit_from_env(), DEFAULT_BATCH_LIMIT, "negative");
+        std::env::set_var("ST_BATCH", "18446744073709551616");
+        assert_eq!(batch_limit_from_env(), DEFAULT_BATCH_LIMIT, "overflow");
+        match prev {
+            Some(v) => std::env::set_var("ST_BATCH", v),
+            None => std::env::remove_var("ST_BATCH"),
         }
     }
 }

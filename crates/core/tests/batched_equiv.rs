@@ -573,24 +573,21 @@ fn build_spec(recipe: &SpecRecipe) -> SystemSpec {
     s
 }
 
-/// Case budget: `PROPTEST_CASES` wins (CI pins a fixed reduced budget,
-/// soak runs raise it), otherwise a default sized for tier-1 latency —
-/// each batched case runs two scalar backends per lane on top of the
-/// batch itself, so the default sits below `compiled_equiv`'s.
-fn case_budget() -> ProptestConfig {
-    let cases = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|n| *n > 0)
-        .unwrap_or(24);
-    ProptestConfig {
-        cases,
-        ..ProptestConfig::default()
-    }
+/// The conformance clauses this suite is evidence for: per-lane
+/// batched≡scalar byte identity, which in turn re-proves the traces'
+/// cycle-count purity. The default budget sits below `compiled_equiv`'s
+/// because each batched case runs two scalar backends per lane on top
+/// of the batch itself.
+const WITNESSED: &[&str] = &["ST-EQ-003", "ST-DET-001"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-EQ-003", "ST-DET-001"]);
 }
 
 proptest! {
-    #![proptest_config(case_budget())]
+    #![proptest_config(st_testkit::case_budget(24, WITNESSED))]
 
     /// Batched ≡ scalar-compiled ≡ event on random systems with 1–4
     /// data-distinct lanes per batch: arbitrary topologies,

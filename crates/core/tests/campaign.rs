@@ -57,8 +57,18 @@ fn campaign_stats_are_thread_count_invariant_on_kernel_counters() {
     assert_eq!(seq.runs, par.runs);
 }
 
+/// Conformance clause this suite is evidence for: campaign results are
+/// byte-identical at any thread count and any work interleaving.
+const WITNESSED: &[&str] = &["ST-CAMP-005"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-CAMP-005"]);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(st_testkit::case_budget(16, WITNESSED))]
 
     /// Merging is interleaving-independent: any random subset of the
     /// campaign's configs, mapped through `run_jobs` at any thread

@@ -151,7 +151,20 @@ fn assert_resume_equivalent(
     );
 }
 
+/// The conformance clauses this suite is evidence for: resume≡straight
+/// byte identity and the canonical checkpoint format's round-trip
+/// stability + fail-closed mismatch rejection.
+const WITNESSED: &[&str] = &["ST-EQ-004", "ST-CKPT-007"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-EQ-004", "ST-CKPT-007"]);
+}
+
 proptest! {
+    #![proptest_config(st_testkit::case_budget(24, WITNESSED))]
+
     /// Event backend: resume ≡ straight run, with and without active
     /// fault plans.
     #[test]

@@ -307,22 +307,20 @@ fn build_spec(recipe: &SpecRecipe) -> SystemSpec {
     s
 }
 
-/// Case budget: `PROPTEST_CASES` wins (CI pins a fixed reduced budget,
-/// soak runs raise it), otherwise a default sized for tier-1 latency.
-fn case_budget() -> ProptestConfig {
-    let cases = std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .filter(|n| *n > 0)
-        .unwrap_or(48);
-    ProptestConfig {
-        cases,
-        ..ProptestConfig::default()
-    }
+/// The conformance clauses this suite is evidence for (see
+/// `conformance/requirements.toml`): the compiled≡event byte identity
+/// and, through it, the cycle-count purity of every SB's I/O trace.
+const WITNESSED: &[&str] = &["ST-EQ-002", "ST-DET-001"];
+
+/// Registers the suite's witness declaration; `st-conformance-lint`
+/// counts it, and an unregistered ID fails right here.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-EQ-002", "ST-DET-001"]);
 }
 
 proptest! {
-    #![proptest_config(case_budget())]
+    #![proptest_config(st_testkit::case_budget(48, WITNESSED))]
 
     /// Compiled backend ≡ event backend on random systems: arbitrary
     /// topologies, plesiochronous periods, late/early tokens (random

@@ -90,8 +90,18 @@ fn budget_exhaustion_classifies_as_timeout() {
     assert_eq!(classify(&gold, &sys, &outcome), ChaosOutcome::Timeout);
 }
 
+/// Conformance clause this suite is evidence for: injected fault plans
+/// replay bit-exactly and classify identically on both backends.
+const WITNESSED: &[&str] = &["ST-CHAOS-006"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-CHAOS-006"]);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(st_testkit::case_budget(24, WITNESSED))]
 
     /// Satellite property: *every* injected token loss is diagnosed as a
     /// deadlock that names the owning ring's SBs — never a silent wrong

@@ -269,8 +269,18 @@ fn lane_equivalence_covers_the_scalar_corners() {
     }
 }
 
+/// Conformance clause this suite is evidence for: gate-level wrapper
+/// netlists track the behavioural FSM cycle-for-cycle.
+const WITNESSED: &[&str] = &["ST-GATE-008"];
+
+/// Registers the suite's witness declaration for the lint.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-GATE-008"]);
+}
+
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+    #![proptest_config(st_testkit::case_budget(64, WITNESSED))]
 
     /// The gate-level node and the behavioural FSM agree cycle-for-cycle
     /// for random parameters and random adversarial token timing —

@@ -10,11 +10,12 @@
 //! | Route                | Method | Body / reply                           |
 //! |----------------------|--------|----------------------------------------|
 //! | `/submit`            | POST   | job JSON (+ optional `deadline_ms`) → `{status,id,key}` |
-//! | `/status/<id>`       | GET    | `{id,status,key[,error]}`              |
+//! | `/status/<id>`       | GET    | `{id,status,key[,error][,witness]}`    |
 //! | `/result/<id>`       | GET    | canonical result bytes (octet-stream)  |
 //! | `/cancel/<id>`       | POST   | `{cancelled}`                          |
 //! | `/healthz`           | GET    | `{status:"ok"}`                        |
 //! | `/metrics`           | GET    | text counters/gauges                   |
+//! | `/conformance`       | GET    | requirements registry + witness counts |
 //! | `/shutdown`          | POST   | `{status:"shutting-down"}`, then stops |
 //!
 //! Connections are served sequentially by one acceptor thread; request
@@ -159,6 +160,7 @@ fn handle(service: &JobService, req: &Request, stop: &AtomicBool) -> Response {
             content_type: "text/plain; charset=utf-8",
             body: service.metrics_text().into_bytes(),
         },
+        ("GET", "/conformance") => handle_conformance(service),
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Release);
             Response::json(200, &Json::obj([("status", Json::str("shutting-down"))]))
@@ -241,9 +243,79 @@ fn handle_status(service: &JobService, id: u64) -> Response {
             if let Some(e) = error {
                 fields.push(("error".to_owned(), Json::Str(e)));
             }
+            if let Some(w) = service.witness(id) {
+                fields.push(("witness".to_owned(), witness_json(&w)));
+            }
             Response::json(200, &Json::Obj(fields))
         }
     }
+}
+
+/// The wire form of a witness record. Chain values are 16-hex-digit
+/// strings (JSON numbers lose u64 precision past 2^53); everything a
+/// client needs to recompute `chain = mix64(prev ^ fnv1a64(canonical))`
+/// offline is present.
+fn witness_json(w: &st_conformance::WitnessRecord) -> Json {
+    Json::obj([
+        ("seq", Json::UInt(w.seq)),
+        (
+            "requirements",
+            Json::Arr(w.ids.iter().map(|s| Json::Str(s.clone())).collect()),
+        ),
+        ("config", Json::Str(st_conformance::key_hex(w.config))),
+        ("result", Json::Str(st_conformance::key_hex(w.result))),
+        ("prev", Json::Str(format!("{:016x}", w.prev))),
+        ("chain", Json::Str(format!("{:016x}", w.chain))),
+    ])
+}
+
+/// `GET /conformance`: the full builtin requirements registry (id,
+/// level, title, text, tags, static floor) joined with this service
+/// instance's runtime witness tallies, plus the log head and length.
+fn handle_conformance(service: &JobService) -> Response {
+    let registry = st_conformance::Registry::builtin();
+    let (head, len, counts) = service.witness_summary();
+    let count_of = |id: &str| {
+        counts
+            .iter()
+            .find(|(cid, _)| cid == id)
+            .map_or(0, |&(_, n)| n)
+    };
+    let requirements: Vec<Json> = registry
+        .requirements
+        .iter()
+        .map(|r| {
+            Json::obj([
+                ("id", Json::Str(r.id.clone())),
+                ("level", Json::str(r.level.name())),
+                ("title", Json::Str(r.title.clone())),
+                ("text", Json::Str(r.text.clone())),
+                (
+                    "tags",
+                    Json::Arr(r.tags.iter().map(|t| Json::Str(t.clone())).collect()),
+                ),
+                ("min_witnesses", Json::UInt(r.min_witnesses)),
+                ("witnessed", Json::UInt(count_of(&r.id))),
+            ])
+        })
+        .collect();
+    Response::json(
+        200,
+        &Json::obj([
+            ("registry_version", Json::UInt(registry.version)),
+            (
+                "registry_hash",
+                Json::Str(st_conformance::key_hex(registry.content_hash())),
+            ),
+            (
+                "witness_genesis",
+                Json::Str(format!("{:016x}", st_conformance::witness_genesis())),
+            ),
+            ("witness_head", Json::Str(format!("{head:016x}"))),
+            ("witness_records", Json::UInt(len)),
+            ("requirements", Json::Arr(requirements)),
+        ]),
+    )
 }
 
 fn handle_result(service: &JobService, id: u64) -> Response {

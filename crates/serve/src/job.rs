@@ -226,6 +226,25 @@ impl JobRequest {
         out
     }
 
+    /// The conformance requirement IDs (see `conformance/requirements.toml`)
+    /// a successful run of this request bears witness to. Every job kind
+    /// exercises the determinism invariant and the content-addressed
+    /// campaign contract; multi-seed compiled sims additionally take the
+    /// batched lane path, and chaos campaigns replay fault plans.
+    pub fn witnessed_ids(&self) -> Vec<&'static str> {
+        let mut ids = vec!["ST-DET-001", "ST-CAMP-005"];
+        match self {
+            JobRequest::Sim(r) => {
+                if r.backend == Backend::Compiled && r.seeds.len() >= 2 {
+                    ids.push("ST-EQ-003");
+                }
+            }
+            JobRequest::Shmoo(_) => {}
+            JobRequest::Chaos(_) => ids.push("ST-CHAOS-006"),
+        }
+        ids
+    }
+
     /// Builds a request from its JSON wire form (the `/submit` body).
     ///
     /// # Errors

@@ -20,6 +20,7 @@
 use crate::hash::ContentKey;
 use crate::job::{execute, JobRequest};
 use crate::store::ResultStore;
+use st_conformance::{WitnessLog, WitnessRecord};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -133,6 +134,10 @@ struct JobEntry {
     cancel: CancelToken,
     deadline: Option<Instant>,
     error: Option<String>,
+    /// The chained witness record minted when this job completed.
+    /// `None` until `Done`, and forever for cached/coalesced
+    /// registrations — only an actual execution bears witness.
+    witness: Option<WitnessRecord>,
 }
 
 #[derive(Default)]
@@ -178,6 +183,8 @@ pub struct JobService {
     pub stats: ServiceStats,
     state: Mutex<QueueState>,
     wake: Condvar,
+    /// The hashed witness log; every executed job appends one record.
+    witness: Mutex<WitnessLog>,
     config: ServiceConfig,
     shutdown: AtomicBool,
     started: Instant,
@@ -204,6 +211,7 @@ impl JobService {
             stats: ServiceStats::default(),
             state: Mutex::new(QueueState::default()),
             wake: Condvar::new(),
+            witness: Mutex::new(WitnessLog::new()),
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -278,6 +286,7 @@ impl JobService {
                 cancel: CancelToken::new(),
                 deadline,
                 error: None,
+                witness: None,
             },
         );
         id
@@ -287,6 +296,22 @@ impl JobService {
     pub fn status(&self, id: JobId) -> Option<(JobStatus, ContentKey, Option<String>)> {
         let st = self.state.lock().unwrap();
         st.jobs.get(&id).map(|e| (e.status, e.key, e.error.clone()))
+    }
+
+    /// The witness record minted when job `id` executed to completion.
+    /// `None` for unknown jobs, unfinished jobs, and cache-served
+    /// registrations (which executed nothing).
+    pub fn witness(&self, id: JobId) -> Option<WitnessRecord> {
+        let st = self.state.lock().unwrap();
+        st.jobs.get(&id).and_then(|e| e.witness.clone())
+    }
+
+    /// Snapshot of the witness log for `/conformance`: the chain head,
+    /// the record count, and per-requirement witness tallies.
+    pub fn witness_summary(&self) -> (u64, u64, Vec<(String, u64)>) {
+        let log = self.witness.lock().unwrap();
+        let counts = log.counts().map(|(id, n)| (id.to_owned(), n)).collect();
+        (log.head(), log.len(), counts)
     }
 
     /// The job's result bytes, once [`JobStatus::Done`].
@@ -413,10 +438,19 @@ impl JobService {
         match outcome {
             Ok(result) => {
                 drop(st); // store I/O outside the lock
-                self.store.put(key, result.to_canonical_bytes());
+                let bytes = result.to_canonical_bytes();
+                let result_key = ContentKey::of(&bytes);
+                self.store.put(key, bytes);
+                // Mint the chained witness record: this execution is
+                // evidence for the request's conformance clauses.
+                let record = {
+                    let mut log = self.witness.lock().unwrap();
+                    log.append(&request.witnessed_ids(), key.0, result_key.0)
+                };
                 st = self.state.lock().unwrap();
                 if let Some(e) = st.jobs.get_mut(&id) {
                     e.status = JobStatus::Done;
+                    e.witness = Some(record);
                 }
                 if st.latencies_ms.len() >= LATENCY_WINDOW {
                     st.latencies_ms.remove(0);
@@ -658,6 +692,40 @@ mod tests {
         svc.shutdown();
         let metrics = svc.metrics_text();
         assert!(metrics.contains("st_serve_jobs_done_total 4"), "{metrics}");
+    }
+
+    #[test]
+    fn executed_jobs_mint_chained_witness_records_but_cache_hits_do_not() {
+        let svc = manual_service();
+        let Submission::Queued(a) = svc.submit(req(21), None) else {
+            panic!()
+        };
+        assert_eq!(svc.witness(a), None, "no witness before execution");
+        assert!(svc.step());
+        let ra = svc.witness(a).expect("done job carries a record");
+        assert!(ra.verify(), "served record must verify offline");
+        assert_eq!(ra.seq, 0);
+        assert_eq!(ra.prev, st_conformance::witness_genesis());
+        assert_eq!(
+            ra.ids,
+            vec!["ST-CAMP-005".to_owned(), "ST-DET-001".to_owned()]
+        );
+        // Cache-served registration: no execution, no record; the log
+        // keeps chaining from where the real run left it.
+        let Submission::Cached(b) = svc.submit(req(21), None) else {
+            panic!()
+        };
+        assert_eq!(svc.witness(b), None);
+        let Submission::Queued(c) = svc.submit(req(22), None) else {
+            panic!()
+        };
+        assert!(svc.step());
+        let rc = svc.witness(c).unwrap();
+        assert_eq!(rc.seq, 1);
+        assert_eq!(rc.prev, ra.chain, "records chain in execution order");
+        let (head, len, counts) = svc.witness_summary();
+        assert_eq!((head, len), (rc.chain, 2));
+        assert!(counts.contains(&("ST-DET-001".to_owned(), 2)));
     }
 
     #[test]

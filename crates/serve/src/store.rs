@@ -157,8 +157,25 @@ impl ResultStore {
     }
 
     /// Looks up a cached checkpoint blob for `(spec_hash, cycle)`.
+    ///
+    /// Fail-closed: the returned blob's *embedded* configuration hash
+    /// and cycle must echo the requested pair. A checksum-valid entry
+    /// filed under the wrong key (a buggy writer, a copied cache file)
+    /// would otherwise seed a resume of the wrong configuration — the
+    /// one corruption the transport checksum cannot catch. Mismatches
+    /// count as [`StoreStats::corrupt_discards`] and miss, so the
+    /// caller recomputes from cycle 0 exactly like `resume` itself
+    /// refuses a foreign checkpoint.
     pub fn get_checkpoint(&self, spec_hash: [u8; 16], cycle: u64) -> Option<Vec<u8>> {
-        self.get(Self::checkpoint_key(spec_hash, cycle))
+        let bytes = self.get(Self::checkpoint_key(spec_hash, cycle))?;
+        let embedded = synchro_tokens::Checkpoint::from_canonical_bytes(&bytes)
+            .ok()
+            .map(|c| (c.spec_hash(), c.cycle()));
+        if embedded != Some((spec_hash, cycle)) {
+            self.stats.corrupt_discards.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        Some(bytes)
     }
 
     /// Caches a checkpoint's canonical bytes under `(spec_hash, cycle)`.
@@ -296,6 +313,7 @@ mod tests {
 
     #[test]
     fn corrupt_disk_entries_are_discarded_not_served() {
+        st_conformance::witnesses!(["ST-STORE-011"]);
         let dir = tempdir("corrupt");
         let store = ResultStore::with_dir(1, &dir);
         store.put(key(1), b"golden".to_vec());
@@ -375,6 +393,58 @@ mod tests {
             ResultStore::checkpoint_key(ckpt.spec_hash(), ckpt.cycle()),
             ContentKey::of(&bytes)
         );
+    }
+
+    #[test]
+    fn checkpoint_lookup_fails_closed_on_embedded_identity_mismatch() {
+        st_conformance::witnesses!(["ST-STORE-012", "ST-CKPT-007"]);
+        use synchro_tokens::prelude::*;
+        use synchro_tokens::scenarios::{pingpong_spec, MixerLogic};
+
+        let spec = pingpong_spec();
+        let mut b = SystemBuilder::new(spec.clone())
+            .unwrap()
+            .with_trace_limit(64);
+        for i in 0..spec.sbs.len() {
+            b = b.with_logic(SbId(i), MixerLogic::new(0x1000 * i as u64));
+        }
+        let mut sys = b.build_backend(Backend::Event);
+        sys.run_until_cycles(12, st_sim::time::SimDuration::us(3000))
+            .unwrap();
+        let ckpt = sys.checkpoint().unwrap();
+        let bytes = ckpt.to_canonical_bytes();
+
+        let store = ResultStore::in_memory(8);
+        // A checksum-valid blob filed under the wrong cycle: the store
+        // transport layer cannot see the problem (put/get agree on the
+        // key), only the embedded identity check can.
+        store.put_checkpoint(ckpt.spec_hash(), ckpt.cycle() + 5, bytes.clone());
+        assert_eq!(
+            store.get_checkpoint(ckpt.spec_hash(), ckpt.cycle() + 5),
+            None,
+            "embedded cycle mismatch must miss, not serve"
+        );
+        assert_eq!(store.stats.corrupt_discards.load(Ordering::Relaxed), 1);
+
+        // Same blob under a foreign configuration hash.
+        let mut other = ckpt.spec_hash();
+        other[0] ^= 0xFF;
+        store.put_checkpoint(other, ckpt.cycle(), bytes.clone());
+        assert_eq!(store.get_checkpoint(other, ckpt.cycle()), None);
+        assert_eq!(store.stats.corrupt_discards.load(Ordering::Relaxed), 2);
+
+        // Garbage that decodes as no checkpoint at all also misses.
+        store.put_checkpoint(ckpt.spec_hash(), 99, b"not a checkpoint".to_vec());
+        assert_eq!(store.get_checkpoint(ckpt.spec_hash(), 99), None);
+        assert_eq!(store.stats.corrupt_discards.load(Ordering::Relaxed), 3);
+
+        // The honestly-filed entry still serves.
+        store.put_checkpoint(ckpt.spec_hash(), ckpt.cycle(), bytes.clone());
+        assert_eq!(
+            store.get_checkpoint(ckpt.spec_hash(), ckpt.cycle()),
+            Some(bytes)
+        );
+        assert_eq!(store.stats.corrupt_discards.load(Ordering::Relaxed), 3);
     }
 
     #[test]

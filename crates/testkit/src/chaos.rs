@@ -904,8 +904,33 @@ mod tests {
 
     #[test]
     fn configs_env_cap_parses() {
-        // Pure-function check only; env mutation lives in the campaign
-        // crate's dedicated test to avoid cross-test races.
-        assert_eq!(configs_from_env(500), 500);
+        // This test fn owns all ST_CHAOS_CONFIGS mutation — the same
+        // single-owner convention every env-knob test in the workspace
+        // follows, so parallel test threads never race the environment.
+        let prev = std::env::var("ST_CHAOS_CONFIGS").ok();
+        std::env::remove_var("ST_CHAOS_CONFIGS");
+        assert_eq!(configs_from_env(500), 500, "unset keeps the full sweep");
+        std::env::set_var("ST_CHAOS_CONFIGS", "24");
+        assert_eq!(configs_from_env(500), 24, "positive cap applies");
+        std::env::set_var("ST_CHAOS_CONFIGS", " 12 ");
+        assert_eq!(configs_from_env(500), 12, "whitespace trims");
+        // Everything non-positive or unparsable keeps the full sweep:
+        // a chaos campaign silently shrunk to zero would be a vacuous
+        // oracle, so 0 is *not* honoured here (unlike thread knobs,
+        // where 0 clamps to 1).
+        std::env::set_var("ST_CHAOS_CONFIGS", "0");
+        assert_eq!(configs_from_env(500), 500, "zero keeps the full sweep");
+        std::env::set_var("ST_CHAOS_CONFIGS", "");
+        assert_eq!(configs_from_env(500), 500, "empty keeps the full sweep");
+        std::env::set_var("ST_CHAOS_CONFIGS", "banana");
+        assert_eq!(configs_from_env(500), 500, "garbage keeps the full sweep");
+        std::env::set_var("ST_CHAOS_CONFIGS", "-5");
+        assert_eq!(configs_from_env(500), 500, "negative keeps the full sweep");
+        std::env::set_var("ST_CHAOS_CONFIGS", "18446744073709551616");
+        assert_eq!(configs_from_env(500), 500, "overflow keeps the full sweep");
+        match prev {
+            Some(v) => std::env::set_var("ST_CHAOS_CONFIGS", v),
+            None => std::env::remove_var("ST_CHAOS_CONFIGS"),
+        }
     }
 }

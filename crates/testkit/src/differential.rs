@@ -1,0 +1,134 @@
+//! Shared proptest budgeting for the differential suites.
+//!
+//! Every differential suite (`compiled_equiv`, `batched_equiv`,
+//! `checkpoint_equiv`, `gate_equiv`, the chaos properties, the cells
+//! lane properties) draws its case budget from ONE place so the
+//! `PROPTEST_CASES` contract cannot drift per copy:
+//!
+//! * `PROPTEST_CASES` (trimmed, positive) wins — CI pins a fixed
+//!   reduced budget, soak runs raise it;
+//! * otherwise the suite's own default applies, sized for tier-1
+//!   latency.
+//!
+//! The helper also registers the suite's witnessed conformance IDs and
+//! installs a process-wide failure banner: when a property fails, the
+//! panic output ends with the witnessed requirement IDs and the exact
+//! budget to rerun with, so a red differential run names the normative
+//! clause it just broke (see `conformance/requirements.toml`).
+
+use proptest::prelude::ProptestConfig;
+use std::sync::{Mutex, Once, OnceLock};
+
+/// One suite registration: its witnessed IDs and resolved case budget.
+type SuiteBudget = (&'static [&'static str], u32);
+
+/// The witnessed-ID sets registered by [`case_budget`] in this process,
+/// newest last; the failure banner prints the union.
+fn registered() -> &'static Mutex<Vec<SuiteBudget>> {
+    static REGISTERED: OnceLock<Mutex<Vec<SuiteBudget>>> = OnceLock::new();
+    REGISTERED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Resolves the suite's case budget and arms the failure banner.
+///
+/// `default_cases` applies when `PROPTEST_CASES` is unset or unusable;
+/// `witnessed` is the suite's conformance declaration (the same IDs the
+/// suite's `witnesses!` test registers), echoed on failure.
+pub fn case_budget(default_cases: u32, witnessed: &'static [&'static str]) -> ProptestConfig {
+    let cases = resolve_cases(default_cases);
+    if let Ok(mut reg) = registered().lock() {
+        if !reg.iter().any(|&(ids, _)| std::ptr::eq(ids, witnessed)) {
+            reg.push((witnessed, cases));
+        }
+    }
+    install_failure_banner();
+    ProptestConfig {
+        cases,
+        ..ProptestConfig::default()
+    }
+}
+
+/// `PROPTEST_CASES` resolution alone (no banner): trimmed, parsed,
+/// positive — anything else falls back to `default_cases`.
+pub fn resolve_cases(default_cases: u32) -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(default_cases)
+}
+
+/// Chains a panic hook that appends the suite context when a proptest
+/// runner reports a failing case. The previous hook runs first (it
+/// prints the failing case/seed and inputs); the banner then names the
+/// witnessed requirement IDs and the budget to reproduce under.
+fn install_failure_banner() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            previous(info);
+            let msg = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| info.payload().downcast_ref::<&str>().copied())
+                .unwrap_or("");
+            // Only suite-level proptest failures get the banner — the
+            // devstubs runner panics with "failed at case N", real
+            // proptest with its minimal-failing-input report.
+            if !(msg.contains("failed at case") || msg.contains("minimal failing input")) {
+                return;
+            }
+            let reg = match registered().lock() {
+                Ok(r) => r,
+                Err(_) => return,
+            };
+            let mut ids: Vec<&str> = reg
+                .iter()
+                .flat_map(|&(ids, _)| ids.iter().copied())
+                .collect();
+            ids.sort_unstable();
+            ids.dedup();
+            let budgets: Vec<String> = reg.iter().map(|&(_, c)| c.to_string()).collect();
+            eprintln!(
+                "── differential suite failure ─────────────────────────────\n\
+                 witnessed requirement IDs: [{}]\n\
+                 case budget(s) in force: PROPTEST_CASES={} (case generation is \
+                 deterministic per property name — rerun with the same budget to \
+                 reproduce the failing seed above)\n\
+                 clauses: conformance/requirements.toml\n\
+                 ───────────────────────────────────────────────────────────",
+                ids.join(", "),
+                budgets.join("/"),
+            );
+        }));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_budget_prefers_the_env_and_falls_back_to_the_default() {
+        // This test owns PROPTEST_CASES in this binary (env mutation
+        // must not race other tests reading the same variable).
+        std::env::remove_var("PROPTEST_CASES");
+        assert_eq!(resolve_cases(48), 48, "unset uses the suite default");
+        std::env::set_var("PROPTEST_CASES", "12");
+        assert_eq!(resolve_cases(48), 12);
+        assert_eq!(case_budget(48, &["ST-DET-001"]).cases, 12);
+        std::env::set_var("PROPTEST_CASES", "  7  ");
+        assert_eq!(resolve_cases(48), 7, "whitespace is trimmed");
+        std::env::set_var("PROPTEST_CASES", "");
+        assert_eq!(resolve_cases(48), 48, "empty string falls back");
+        std::env::set_var("PROPTEST_CASES", "0");
+        assert_eq!(resolve_cases(48), 48, "zero cases would test nothing");
+        std::env::set_var("PROPTEST_CASES", "banana");
+        assert_eq!(resolve_cases(48), 48, "garbage falls back");
+        std::env::set_var("PROPTEST_CASES", "18446744073709551616");
+        assert_eq!(resolve_cases(48), 48, "overflow falls back");
+        std::env::remove_var("PROPTEST_CASES");
+    }
+}

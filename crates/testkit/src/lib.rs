@@ -49,6 +49,7 @@
 pub mod bist;
 pub mod chaos;
 pub mod debug;
+pub mod differential;
 pub mod player;
 pub mod registers;
 pub mod scan;
@@ -65,6 +66,7 @@ pub use debug::{
     shmoo, shmoo_any, shmoo_any_hooked, shmoo_grid, BreakpointReport, ShmooGridPoint, ShmooPoint,
     ShmooResult, TckMode, TestAccess,
 };
+pub use differential::case_budget;
 pub use player::TapPort;
 pub use registers::{DataRegister, Instruction, P1500Mode, P1500Wrapper, RegisterFile};
 pub use scan::SelfTimedScanChain;

@@ -12,6 +12,14 @@ use synchro_tokens::{classify, run_with_plan, BackendKind, ChaosOutcome, FaultCl
 
 const BUDGET: SimDuration = SimDuration::us(2000);
 
+/// Registers the suite's witness declaration for the lint: the chaos
+/// campaign exercises bit-exact fault replay, the determinism invariant
+/// under attack, and thread-count-invariant campaign merging.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-CHAOS-006", "ST-DET-001", "ST-CAMP-005"]);
+}
+
 /// The headline acceptance test: a full differential campaign over the
 /// ping-pong workload. Every configuration must satisfy its class
 /// oracle (analog → byte-identical traces; protocol/state → classified,

@@ -36,6 +36,13 @@ const IEEE_1149_1_TABLE: [(TapState, TapState, TapState); 16] = {
     ]
 };
 
+/// Registers the suite's witness declaration for the lint: the TAP
+/// controller conforms to the transcribed IEEE 1149.1 state diagram.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-JTAG-009"]);
+}
+
 #[test]
 fn tap_transition_table_conforms_to_ieee_1149_1() {
     assert_eq!(IEEE_1149_1_TABLE.len(), TapState::ALL.len());

@@ -56,11 +56,17 @@ for b in "${benches[@]}"; do
     cargo bench -p st-bench --bench "$b"
 done
 
+# The registry hash pins which conformance contract these numbers were
+# measured under — a snapshot taken before a requirement changed is not
+# comparable evidence for the requirement that replaced it.
+registry_hash=$(cargo run -q -p st-conformance --bin st-conformance-lint -- --hash)
+
 out="BENCH_${n}.json"
 {
     echo "{"
     echo "  \"date\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
     echo "  \"host\": \"$(uname -srm)\","
+    echo "  \"conformance_registry_hash\": \"${registry_hash}\","
     echo "  \"median_ns_per_iter\": {"
     first=1
     # Sorted for a stable diff between snapshots.

@@ -17,7 +17,14 @@ echo "== build (release) =="
 cargo build --workspace --release
 
 echo "== tests =="
+# Witness manifests from this run land where the conformance lint looks
+# for runtime corroboration (static declarations alone gate the lint).
+export ST_WITNESS_DIR="$PWD/target/st-witness"
+rm -rf "$ST_WITNESS_DIR"
 cargo test --workspace -q
+
+echo "== conformance witness lint =="
+cargo run --release -q -p st-conformance --bin st-conformance-lint
 
 echo "== compiled-backend differential proptests (fixed reduced budget) =="
 PROPTEST_CASES=16 cargo test --release -p synchro-tokens --test compiled_equiv -q

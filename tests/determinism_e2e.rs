@@ -9,6 +9,13 @@ use synchro_tokens_repro::synchro_tokens::scenarios::{
     build_e1, build_e1_bypass, e1_spec, MixerLogic,
 };
 
+/// Registers the suite's witness declaration for the lint: the E1
+/// platform's traces are a pure function of local cycle count.
+#[test]
+fn conformance_witnesses() {
+    st_conformance::witnesses!(["ST-DET-001"]);
+}
+
 #[test]
 fn e1_platform_obeys_every_design_rule_across_the_paper_sweep() {
     let violations = check_determinism_rules(&e1_spec(), ScaleRange::PAPER_SWEEP);
