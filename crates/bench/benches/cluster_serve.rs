@@ -1,0 +1,154 @@
+//! Cluster-path benchmarks: what the fabric costs on the hot path.
+//!
+//! BENCH_5 put a single node's warm cache-hit round trip at ~86 µs/req
+//! (serve/cache_hit_requests). The cluster rows answer two questions
+//! against that baseline:
+//!
+//! * `cache_hit_requests` — the same full HTTP round trip (connect,
+//!   POST /submit, GET /result) against a *clustered* node whose store
+//!   already holds the bytes. The ring is consulted only on a miss, so
+//!   this should price within noise of the single-node row: attaching
+//!   the fabric must not tax the memoized path.
+//! * `peer_get_roundtrip` — one `/peer/get` probe against a peer that
+//!   owns the entry: the incremental network hop a non-owner pays when
+//!   it serves a key from a remote store instead of its own. The gap
+//!   between this row and zero is the price of *not* owning a key.
+//!
+//! The cluster is three in-process nodes with manual gossip (converged
+//! once at setup), so the rows measure protocol + store, not
+//! membership churn.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use st_serve::cluster::{Cluster, ClusterConfig};
+use st_serve::http::{request, Server};
+use st_serve::job::{JobRequest, Scenario, SimRequest};
+use st_serve::service::{JobService, ServiceConfig};
+use st_sim::time::SimDuration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use synchro_tokens::Backend;
+
+fn sim(seeds: Vec<u64>) -> JobRequest {
+    JobRequest::Sim(SimRequest {
+        scenario: Scenario::PingPong,
+        backend: Backend::Compiled,
+        seeds,
+        cycles: 40,
+        trace_cycles: 40,
+        budget_fs: SimDuration::us(2000).as_fs(),
+    })
+}
+
+struct Node {
+    server: Server,
+    cluster: Arc<Cluster>,
+}
+
+fn start_cluster(n: usize) -> Vec<Node> {
+    let mut nodes: Vec<Node> = Vec::new();
+    for i in 0..n {
+        let service = JobService::start(ServiceConfig {
+            workers: 1,
+            ..ServiceConfig::default()
+        });
+        let server = Server::bind("127.0.0.1:0", service).unwrap();
+        let cluster = Cluster::start(
+            ClusterConfig {
+                node_id: format!("bench-n{i}"),
+                seeds: nodes.iter().map(|p| p.server.addr().to_string()).collect(),
+                replicas: 2,
+                gossip_interval: None,
+                ..ClusterConfig::default()
+            },
+            server.addr(),
+            server.service(),
+        );
+        server.service().attach_cluster(Arc::clone(&cluster));
+        nodes.push(Node { server, cluster });
+    }
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        for node in &nodes {
+            node.cluster.gossip_round();
+        }
+        if nodes.iter().all(|n| n.cluster.ring().len() == nodes.len()) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "bench cluster never converged");
+    }
+    nodes
+}
+
+/// Submits and waits until done; returns the job's content-key hex.
+fn warm(addr: std::net::SocketAddr, body: &str) -> String {
+    let (code, reply) = request(addr, "POST", "/submit", body.as_bytes()).unwrap();
+    assert_eq!(code, 202, "{}", String::from_utf8_lossy(&reply));
+    let v = st_serve::Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    let id = v.get("id").unwrap().as_u64().unwrap();
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let (_, body) = request(addr, "GET", &format!("/status/{id}"), b"").unwrap();
+        let v = st_serve::Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+        match v.get("status").unwrap().as_str().unwrap() {
+            "done" | "cached" => break,
+            _ => {
+                assert!(Instant::now() < deadline, "warmup job stalled");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    let (_, body) = request(addr, "GET", &format!("/status/{id}"), b"").unwrap();
+    let v = st_serve::Json::parse(&String::from_utf8_lossy(&body)).unwrap();
+    v.get("key").unwrap().as_str().unwrap().to_owned()
+}
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut nodes = start_cluster(3);
+    let req = sim(vec![1, 2, 3, 4]).to_json().encode();
+
+    // Warm every node: after these, each store holds the bytes locally
+    // (execution on the owner, replication and forwarded serving
+    // everywhere else), so the hit bench below never leaves the node.
+    let mut key_hex = String::new();
+    for node in &nodes {
+        key_hex = warm(node.server.addr(), &req);
+    }
+
+    let mut g = c.benchmark_group("cluster_serve");
+    g.throughput(Throughput::Elements(1));
+
+    // Comparable like for like with BENCH_5 serve/cache_hit_requests.
+    let addr = nodes[0].server.addr();
+    g.bench_function("cache_hit_requests", |b| {
+        b.iter(|| {
+            let (code, reply) = request(addr, "POST", "/submit", req.as_bytes()).unwrap();
+            assert_eq!(code, 202);
+            let v = st_serve::Json::parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+            assert_eq!(v.get("status").unwrap().as_str(), Some("cached"));
+            let id = v.get("id").unwrap().as_u64().unwrap();
+            let (code, body) = request(addr, "GET", &format!("/result/{id}"), b"").unwrap();
+            assert_eq!(code, 200);
+            body.len()
+        })
+    });
+
+    // The inter-node hop: fetch the framed entry from a *peer*'s
+    // store, as the routing layer does when it does not own a key.
+    let peer = nodes[1].server.addr();
+    let path = format!("/peer/get/{key_hex}");
+    g.bench_function("peer_get_roundtrip", |b| {
+        b.iter(|| {
+            let (code, body) = request(peer, "GET", &path, b"").unwrap();
+            assert_eq!(code, 200);
+            body.len()
+        })
+    });
+    g.finish();
+
+    for node in &mut nodes {
+        node.server.shutdown();
+    }
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

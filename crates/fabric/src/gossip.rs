@@ -1,0 +1,386 @@
+//! Gossip membership: who is in the cluster, how healthy, and which
+//! node set the ring should be built from.
+//!
+//! This is the *state machine* only — pure data, injected clocks, no
+//! sockets — so every transition is unit-testable without timing races.
+//! st-serve drives it: a background thread periodically exchanges
+//! membership snapshots with one peer over HTTP (`/peer/gossip`) and
+//! feeds the replies back in here, in the PALS/FATAL+ spirit the issue
+//! cites — neighbourhood exchange suffices, no master.
+//!
+//! Evidence grades:
+//!
+//! * **direct** — we talked to the peer (a gossip round-trip, a served
+//!   forward): `last_seen` resets, health returns to Alive.
+//! * **relayed** — a peer reported having heard from it `age` ago: only
+//!   *fresher* evidence is accepted, so stale rumours cannot resurrect
+//!   a dead node.
+//! * **failure** — a connection to the peer failed: immediately
+//!   Suspect; a Suspect node is still ring-resident (requests fall back
+//!   past it) until `evict_after` passes without contrary evidence,
+//!   when it is evicted and the ring rebuilt.
+//!
+//! Every mutation that changes the *member set* bumps `epoch`, the
+//! cheap "rebuild your ring" signal.
+
+use crate::NodeId;
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Peer health, coarse on purpose: routing only needs "try it first"
+/// vs "try it last".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Heard from recently; a routing candidate.
+    Alive,
+    /// A contact failed or went quiet; skipped when an Alive candidate
+    /// exists, evicted if it stays silent.
+    Suspect,
+}
+
+impl Health {
+    /// Wire name used by `/cluster` and the gossip payload.
+    pub fn name(self) -> &'static str {
+        match self {
+            Health::Alive => "alive",
+            Health::Suspect => "suspect",
+        }
+    }
+}
+
+/// One known peer.
+#[derive(Debug, Clone)]
+pub struct PeerEntry {
+    /// The peer's stable node id.
+    pub id: NodeId,
+    /// Its HTTP address (`host:port`).
+    pub addr: String,
+    /// Current health.
+    pub health: Health,
+    /// When evidence of life was last accepted.
+    pub last_seen: Instant,
+}
+
+impl PeerEntry {
+    /// Age of the last accepted evidence at `now`.
+    pub fn age(&self, now: Instant) -> Duration {
+        now.saturating_duration_since(self.last_seen)
+    }
+}
+
+/// Membership timeouts.
+#[derive(Debug, Clone, Copy)]
+pub struct Timeouts {
+    /// Silence after which an Alive peer turns Suspect.
+    pub suspect_after: Duration,
+    /// Silence after which a Suspect peer is evicted from membership
+    /// (and therefore the ring).
+    pub evict_after: Duration,
+}
+
+impl Default for Timeouts {
+    fn default() -> Self {
+        Timeouts {
+            suspect_after: Duration::from_secs(3),
+            evict_after: Duration::from_secs(10),
+        }
+    }
+}
+
+/// The membership table: this node plus every peer it knows about.
+#[derive(Debug)]
+pub struct Membership {
+    self_id: NodeId,
+    self_addr: String,
+    peers: BTreeMap<NodeId, PeerEntry>,
+    timeouts: Timeouts,
+    /// Bumped whenever the member *set* changes (join, eviction,
+    /// explicit leave) — the ring-rebuild signal.
+    epoch: u64,
+}
+
+impl Membership {
+    /// A table knowing only this node.
+    pub fn new(self_id: NodeId, self_addr: String, timeouts: Timeouts) -> Membership {
+        Membership {
+            self_id,
+            self_addr,
+            peers: BTreeMap::new(),
+            timeouts,
+            epoch: 0,
+        }
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> &NodeId {
+        &self.self_id
+    }
+
+    /// This node's advertised address.
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// Current membership epoch; changes exactly when the member set
+    /// does.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// All known peers (not including self), id-sorted.
+    pub fn peers(&self) -> impl Iterator<Item = &PeerEntry> {
+        self.peers.values()
+    }
+
+    /// The peer entry for `id`, if known.
+    pub fn get(&self, id: &NodeId) -> Option<&PeerEntry> {
+        self.peers.get(id)
+    }
+
+    /// The node set the ring should be built from: self plus every
+    /// non-evicted peer (Suspect nodes stay ring-resident so placement
+    /// does not flap on one dropped packet; routing simply tries Alive
+    /// candidates first).
+    pub fn ring_nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.peers.keys().cloned().collect();
+        nodes.push(self.self_id.clone());
+        nodes.sort();
+        nodes
+    }
+
+    /// Alive peers only, id-sorted — gossip partners and first-choice
+    /// routing targets.
+    pub fn alive_peers(&self) -> Vec<PeerEntry> {
+        self.peers
+            .values()
+            .filter(|p| p.health == Health::Alive)
+            .cloned()
+            .collect()
+    }
+
+    /// Direct evidence of life: a round-trip with the peer succeeded.
+    /// Unknown peers join (epoch bump); known peers refresh, Suspect
+    /// recovers to Alive, and an address change is adopted.
+    pub fn observe_direct(&mut self, id: &NodeId, addr: &str, now: Instant) {
+        if *id == self.self_id {
+            return;
+        }
+        match self.peers.get_mut(id) {
+            Some(p) => {
+                p.last_seen = now;
+                p.health = Health::Alive;
+                if p.addr != addr {
+                    p.addr = addr.to_owned();
+                }
+            }
+            None => {
+                self.peers.insert(
+                    id.clone(),
+                    PeerEntry {
+                        id: id.clone(),
+                        addr: addr.to_owned(),
+                        health: Health::Alive,
+                        last_seen: now,
+                    },
+                );
+                self.epoch += 1;
+            }
+        }
+    }
+
+    /// Relayed evidence: a gossip partner reported hearing from `id`
+    /// `age` ago. Accepted only when fresher than what we hold, so a
+    /// stale rumour can neither resurrect nor age a peer.
+    pub fn observe_relayed(&mut self, id: &NodeId, addr: &str, age: Duration, now: Instant) {
+        if *id == self.self_id {
+            return;
+        }
+        let seen = now.checked_sub(age).unwrap_or(now);
+        match self.peers.get_mut(id) {
+            Some(p) => {
+                if seen > p.last_seen {
+                    p.last_seen = seen;
+                    if age < self.timeouts.suspect_after {
+                        p.health = Health::Alive;
+                    }
+                }
+            }
+            None => {
+                // A rumour older than the eviction window is history,
+                // not membership.
+                if age >= self.timeouts.evict_after {
+                    return;
+                }
+                self.peers.insert(
+                    id.clone(),
+                    PeerEntry {
+                        id: id.clone(),
+                        addr: addr.to_owned(),
+                        health: if age < self.timeouts.suspect_after {
+                            Health::Alive
+                        } else {
+                            Health::Suspect
+                        },
+                        last_seen: seen,
+                    },
+                );
+                self.epoch += 1;
+            }
+        }
+    }
+
+    /// A contact with the peer failed: immediate Suspect. The eviction
+    /// clock keeps running from the last *accepted* evidence.
+    pub fn mark_failed(&mut self, id: &NodeId) {
+        if let Some(p) = self.peers.get_mut(id) {
+            p.health = Health::Suspect;
+        }
+    }
+
+    /// An explicit, clean departure (`/peer/leave`): removed at once —
+    /// no suspicion window for a node that said goodbye.
+    pub fn remove(&mut self, id: &NodeId) -> bool {
+        let removed = self.peers.remove(id).is_some();
+        if removed {
+            self.epoch += 1;
+        }
+        removed
+    }
+
+    /// Advances the suspicion/eviction clocks. Returns `true` when the
+    /// member set changed (somebody was evicted).
+    pub fn tick(&mut self, now: Instant) -> bool {
+        let before = self.epoch;
+        let mut evict = Vec::new();
+        for p in self.peers.values_mut() {
+            let age = p.age(now);
+            if age >= self.timeouts.evict_after {
+                evict.push(p.id.clone());
+            } else if age >= self.timeouts.suspect_after {
+                p.health = Health::Suspect;
+            }
+        }
+        for id in evict {
+            self.peers.remove(&id);
+            self.epoch += 1;
+        }
+        self.epoch != before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(s: &str) -> NodeId {
+        NodeId(s.to_owned())
+    }
+
+    fn quick() -> Timeouts {
+        Timeouts {
+            suspect_after: Duration::from_millis(100),
+            evict_after: Duration::from_millis(300),
+        }
+    }
+
+    #[test]
+    fn direct_contact_joins_refreshes_and_recovers() {
+        let t0 = Instant::now();
+        let mut m = Membership::new(node("me"), "127.0.0.1:1".into(), quick());
+        assert_eq!(m.ring_nodes(), vec![node("me")]);
+
+        m.observe_direct(&node("p1"), "127.0.0.1:2", t0);
+        assert_eq!(m.epoch(), 1, "join bumps the epoch");
+        assert_eq!(m.ring_nodes(), vec![node("me"), node("p1")]);
+
+        // Failure → Suspect, still ring-resident.
+        m.mark_failed(&node("p1"));
+        assert_eq!(m.get(&node("p1")).unwrap().health, Health::Suspect);
+        assert!(m.alive_peers().is_empty());
+        assert_eq!(m.ring_nodes().len(), 2);
+
+        // Fresh direct contact recovers it without an epoch bump.
+        m.observe_direct(&node("p1"), "127.0.0.1:2", t0 + Duration::from_millis(50));
+        assert_eq!(m.get(&node("p1")).unwrap().health, Health::Alive);
+        assert_eq!(m.epoch(), 1, "recovery is not a membership change");
+
+        // Self-observations are ignored.
+        m.observe_direct(&node("me"), "127.0.0.1:9", t0);
+        assert_eq!(m.peers().count(), 1);
+    }
+
+    #[test]
+    fn silence_suspects_then_evicts() {
+        let t0 = Instant::now();
+        let mut m = Membership::new(node("me"), "a:1".into(), quick());
+        m.observe_direct(&node("p1"), "a:2", t0);
+
+        assert!(!m.tick(t0 + Duration::from_millis(50)), "fresh: no change");
+        assert_eq!(m.get(&node("p1")).unwrap().health, Health::Alive);
+
+        assert!(!m.tick(t0 + Duration::from_millis(150)));
+        assert_eq!(
+            m.get(&node("p1")).unwrap().health,
+            Health::Suspect,
+            "past suspect_after"
+        );
+
+        assert!(m.tick(t0 + Duration::from_millis(400)), "eviction");
+        assert!(m.get(&node("p1")).is_none());
+        assert_eq!(m.ring_nodes(), vec![node("me")]);
+        let epoch = m.epoch();
+
+        // Evidence after eviction re-joins cleanly.
+        m.observe_direct(&node("p1"), "a:2", t0 + Duration::from_millis(500));
+        assert_eq!(m.epoch(), epoch + 1);
+    }
+
+    #[test]
+    fn relayed_evidence_only_moves_forward() {
+        let t0 = Instant::now();
+        let now = t0 + Duration::from_millis(200);
+        let mut m = Membership::new(node("me"), "a:1".into(), quick());
+
+        // A fresh rumour introduces an Alive peer.
+        m.observe_relayed(&node("p1"), "a:2", Duration::from_millis(10), now);
+        assert_eq!(m.get(&node("p1")).unwrap().health, Health::Alive);
+
+        // A staler rumour cannot rewind last_seen or health.
+        m.mark_failed(&node("p1"));
+        m.observe_relayed(&node("p1"), "a:2", Duration::from_millis(190), now);
+        assert_eq!(
+            m.get(&node("p1")).unwrap().health,
+            Health::Suspect,
+            "stale rumours do not resurrect"
+        );
+
+        // A fresher one does.
+        m.observe_relayed(
+            &node("p1"),
+            "a:2",
+            Duration::ZERO,
+            now + Duration::from_millis(10),
+        );
+        assert_eq!(m.get(&node("p1")).unwrap().health, Health::Alive);
+
+        // A rumour at suspect-age joins as Suspect; one past the
+        // eviction window does not join at all.
+        m.observe_relayed(&node("p2"), "a:3", Duration::from_millis(150), now);
+        assert_eq!(m.get(&node("p2")).unwrap().health, Health::Suspect);
+        m.observe_relayed(&node("p3"), "a:4", Duration::from_millis(900), now);
+        assert!(m.get(&node("p3")).is_none(), "history is not membership");
+    }
+
+    #[test]
+    fn explicit_leave_removes_immediately() {
+        let t0 = Instant::now();
+        let mut m = Membership::new(node("me"), "a:1".into(), quick());
+        m.observe_direct(&node("p1"), "a:2", t0);
+        m.observe_direct(&node("p2"), "a:3", t0);
+        let epoch = m.epoch();
+        assert!(m.remove(&node("p1")));
+        assert_eq!(m.epoch(), epoch + 1);
+        assert!(!m.remove(&node("p1")), "double-leave is a no-op");
+        assert_eq!(m.ring_nodes(), vec![node("me"), node("p2")]);
+    }
+}

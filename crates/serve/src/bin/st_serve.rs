@@ -1,18 +1,23 @@
 //! `st_serve` — serve campaigns over HTTP, or talk to a running server.
 //!
 //! ```text
-//! st_serve serve [ADDR]                 # default 127.0.0.1:7878
+//! st_serve serve [ADDR] [--node-id ID] [--peers HOST:PORT,...]
 //! st_serve submit ADDR JSON             # POST /submit, print reply
 //! st_serve status ADDR ID               # GET /status/<id>
 //! st_serve result ADDR ID OUT_FILE      # GET /result/<id> into a file
 //! st_serve cancel ADDR ID               # POST /cancel/<id>
 //! st_serve metrics ADDR                 # GET /metrics
+//! st_serve cluster ADDR                 # GET /cluster
 //! ```
 //!
 //! Environment (documented in EXPERIMENTS.md): `ST_SERVE_THREADS` sets
 //! the worker count (clamp-and-warn like `ST_THREADS`),
-//! `ST_SERVE_CACHE_DIR` enables the persistent result cache.
+//! `ST_SERVE_CACHE_DIR` enables the persistent result cache, and
+//! `ST_PEERS` lists cluster seed peers (same contract as `--peers`,
+//! which wins when both are given; setting either opts the node into
+//! cluster mode).
 
+use st_serve::cluster::{parse_peers, peers_from_env, Cluster, ClusterConfig};
 use st_serve::http::{request, Server};
 use st_serve::service::{JobService, ServiceConfig};
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -20,14 +25,56 @@ use std::process::ExitCode;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: st_serve serve [ADDR]\n\
+        "usage: st_serve serve [ADDR] [--node-id ID] [--peers HOST:PORT,...]\n\
          \x20      st_serve submit ADDR JSON\n\
          \x20      st_serve status ADDR ID\n\
          \x20      st_serve result ADDR ID OUT_FILE\n\
          \x20      st_serve cancel ADDR ID\n\
-         \x20      st_serve metrics ADDR"
+         \x20      st_serve metrics ADDR\n\
+         \x20      st_serve cluster ADDR"
     );
     ExitCode::from(2)
+}
+
+/// The `serve` subcommand's arguments: an optional positional address
+/// plus the cluster flags, in any order.
+struct ServeArgs {
+    addr: String,
+    node_id: Option<String>,
+    /// `Some` when `--peers` was given (even empty after validation) —
+    /// presence opts into cluster mode, like a set `ST_PEERS`.
+    peers: Option<Vec<String>>,
+}
+
+fn parse_serve_args(args: &[&str]) -> Result<ServeArgs, String> {
+    let mut out = ServeArgs {
+        addr: "127.0.0.1:7878".to_owned(),
+        node_id: None,
+        peers: None,
+    };
+    let mut positional = 0usize;
+    let mut it = args.iter();
+    while let Some(&arg) = it.next() {
+        match arg {
+            "--node-id" => {
+                let v = it.next().ok_or("--node-id needs a value")?;
+                out.node_id = Some((*v).to_owned());
+            }
+            "--peers" => {
+                let v = it.next().ok_or("--peers needs a value")?;
+                out.peers = Some(parse_peers(v));
+            }
+            _ if arg.starts_with("--") => return Err(format!("unknown flag {arg:?}")),
+            _ => {
+                positional += 1;
+                if positional > 1 {
+                    return Err(format!("unexpected argument {arg:?}"));
+                }
+                out.addr = arg.to_owned();
+            }
+        }
+    }
+    Ok(out)
 }
 
 fn resolve(addr: &str) -> Option<SocketAddr> {
@@ -56,18 +103,37 @@ fn one_shot(addr: &str, method: &str, path: &str, body: &[u8]) -> ExitCode {
     }
 }
 
-fn serve(addr: &str) -> ExitCode {
+fn serve(args: ServeArgs) -> ExitCode {
     let config = ServiceConfig::default().from_env();
     let service = JobService::start(config);
-    let mut server = match Server::bind(addr, service) {
+    let mut server = match Server::bind(&args.addr, service) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("st_serve: cannot bind {addr}: {e}");
+            eprintln!("st_serve: cannot bind {}: {e}", args.addr);
             return ExitCode::FAILURE;
         }
     };
     // The smoke script and tests key off this exact line.
     println!("listening on {}", server.addr());
+    // Cluster mode: opted into by --node-id, --peers, or a set
+    // ST_PEERS (--peers wins over the environment when both appear).
+    let peers = args.peers.or_else(|| peers_from_env("ST_PEERS"));
+    let clustered = args.node_id.is_some() || peers.is_some();
+    if clustered {
+        let cluster_config = ClusterConfig {
+            node_id: args
+                .node_id
+                .unwrap_or_else(|| format!("node@{}", server.addr())),
+            seeds: peers.unwrap_or_default(),
+            ..ClusterConfig::default()
+        };
+        eprintln!(
+            "cluster node_id={} replicas={} seeds={:?}",
+            cluster_config.node_id, cluster_config.replicas, cluster_config.seeds
+        );
+        let cluster = Cluster::start(cluster_config, server.addr(), server.service());
+        server.service().attach_cluster(cluster);
+    }
     let cfg = server.service().config().clone();
     eprintln!(
         "workers={} threads/job={} queue_cap={} cache_entries={} cache_dir={}",
@@ -81,6 +147,12 @@ fn serve(addr: &str) -> ExitCode {
     );
     // Serve until POST /shutdown stops the acceptor.
     server.join_acceptor();
+    // A clustered node leaves cleanly: hand memory-resident entries to
+    // their new owners and tell the peers goodbye.
+    if let Some(cluster) = server.service().cluster() {
+        let handed = cluster.leave_and_handoff();
+        eprintln!("cluster leave: handed off {handed} entries");
+    }
     ExitCode::SUCCESS
 }
 
@@ -88,12 +160,18 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let strs: Vec<&str> = args.iter().map(String::as_str).collect();
     match strs.as_slice() {
-        ["serve"] => serve("127.0.0.1:7878"),
-        ["serve", addr] => serve(addr),
+        ["serve", rest @ ..] => match parse_serve_args(rest) {
+            Ok(args) => serve(args),
+            Err(e) => {
+                eprintln!("st_serve: {e}");
+                usage()
+            }
+        },
         ["submit", addr, json] => one_shot(addr, "POST", "/submit", json.as_bytes()),
         ["status", addr, id] => one_shot(addr, "GET", &format!("/status/{id}"), b""),
         ["cancel", addr, id] => one_shot(addr, "POST", &format!("/cancel/{id}"), b""),
         ["metrics", addr] => one_shot(addr, "GET", "/metrics", b""),
+        ["cluster", addr] => one_shot(addr, "GET", "/cluster", b""),
         ["result", addr, id, out] => {
             let Some(sock) = resolve(addr) else {
                 eprintln!("st_serve: cannot resolve address {addr:?}");
@@ -119,5 +197,46 @@ fn main() -> ExitCode {
             }
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_args_default_then_positional_then_flags_in_any_order() {
+        let d = parse_serve_args(&[]).unwrap();
+        assert_eq!(d.addr, "127.0.0.1:7878");
+        assert_eq!(d.node_id, None);
+        assert_eq!(d.peers, None, "no flags: not clustered");
+
+        let a = parse_serve_args(&["0.0.0.0:9000"]).unwrap();
+        assert_eq!(a.addr, "0.0.0.0:9000");
+
+        let b =
+            parse_serve_args(&["--peers", "a:1,b:2", "127.0.0.1:0", "--node-id", "n1"]).unwrap();
+        assert_eq!(b.addr, "127.0.0.1:0");
+        assert_eq!(b.node_id.as_deref(), Some("n1"));
+        assert_eq!(b.peers, Some(vec!["a:1".to_owned(), "b:2".to_owned()]));
+    }
+
+    #[test]
+    fn serve_args_reject_unknown_flags_missing_values_and_extra_positionals() {
+        assert!(parse_serve_args(&["--bogus"]).is_err());
+        assert!(parse_serve_args(&["--node-id"]).is_err());
+        assert!(parse_serve_args(&["--peers"]).is_err());
+        assert!(parse_serve_args(&["a:1", "b:2"]).is_err());
+    }
+
+    #[test]
+    fn serve_args_peers_flag_applies_the_knob_validation_contract() {
+        // Malformed/duplicate entries are dropped by the shared peer
+        // parser, but the flag's *presence* survives even when nothing
+        // does — an explicitly-given knob opts into clustering.
+        let a = parse_serve_args(&["--peers", "garbage,also bad"]).unwrap();
+        assert_eq!(a.peers, Some(vec![]));
+        let b = parse_serve_args(&["--peers", " x:1 ,x:1,,y:2 "]).unwrap();
+        assert_eq!(b.peers, Some(vec!["x:1".to_owned(), "y:2".to_owned()]));
     }
 }

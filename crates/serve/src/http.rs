@@ -17,6 +17,12 @@
 //! | `/metrics`           | GET    | text counters/gauges                   |
 //! | `/conformance`       | GET    | requirements registry + witness counts |
 //! | `/shutdown`          | POST   | `{status:"shutting-down"}`, then stops |
+//! | `/cluster`           | GET    | ring state, peers, per-peer counters   |
+//! | `/peer/gossip`       | POST   | membership exchange (cluster nodes)    |
+//! | `/peer/get/<key>`    | GET    | stored entry as a verified peer frame  |
+//! | `/peer/put/<key>`    | POST   | replicate an entry (frame, fail-closed)|
+//! | `/peer/execute`      | POST   | job JSON → `{status,id,key}`, no re-forward |
+//! | `/peer/leave`        | POST   | `{id}` → drop the peer from membership |
 //!
 //! Connections are served sequentially by one acceptor thread; request
 //! handling never blocks on job execution (that is the worker pool's
@@ -161,12 +167,28 @@ fn handle(service: &JobService, req: &Request, stop: &AtomicBool) -> Response {
             body: service.metrics_text().into_bytes(),
         },
         ("GET", "/conformance") => handle_conformance(service),
+        ("GET", "/cluster") => handle_cluster(service),
+        ("POST", "/peer/gossip") => handle_peer_gossip(service, &req.body),
+        ("POST", "/peer/execute") => handle_peer_execute(service, &req.body),
+        ("POST", "/peer/leave") => handle_peer_leave(service, &req.body),
         ("POST", "/shutdown") => {
             stop.store(true, Ordering::Release);
             Response::json(200, &Json::obj([("status", Json::str("shutting-down"))]))
         }
         ("POST", "/submit") => handle_submit(service, &req.body),
         (method, path) => {
+            if let Some(hex) = path.strip_prefix("/peer/get/") {
+                if method != "GET" {
+                    return Response::error(405, "use GET");
+                }
+                return handle_peer_get(service, hex);
+            }
+            if let Some(hex) = path.strip_prefix("/peer/put/") {
+                if method != "POST" {
+                    return Response::error(405, "use POST");
+                }
+                return handle_peer_put(service, hex, &req.body);
+            }
             if let Some(id) = path.strip_prefix("/status/").and_then(|s| s.parse().ok()) {
                 if method != "GET" {
                     return Response::error(405, "use GET");
@@ -314,6 +336,144 @@ fn handle_conformance(service: &JobService) -> Response {
             ("witness_head", Json::Str(format!("{head:016x}"))),
             ("witness_records", Json::UInt(len)),
             ("requirements", Json::Arr(requirements)),
+        ]),
+    )
+}
+
+/// `GET /cluster`: ring/membership/counter snapshot, or
+/// `{"clustered": false}` on a standalone node.
+fn handle_cluster(service: &JobService) -> Response {
+    match service.cluster() {
+        Some(cluster) => Response::json(200, &cluster.cluster_json()),
+        None => Response::json(200, &Json::obj([("clustered", Json::Bool(false))])),
+    }
+}
+
+/// `POST /peer/gossip`: fold the sender's membership into ours, reply
+/// with our snapshot. Only meaningful on clustered nodes.
+fn handle_peer_gossip(service: &JobService, body: &[u8]) -> Response {
+    let Some(cluster) = service.cluster() else {
+        return Response::error(409, "node is not clustered");
+    };
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let payload = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    Response::json(200, &cluster.handle_gossip(&payload))
+}
+
+/// `POST /peer/leave`: a peer's clean goodbye — drop it immediately.
+fn handle_peer_leave(service: &JobService, body: &[u8]) -> Response {
+    let Some(cluster) = service.cluster() else {
+        return Response::error(409, "node is not clustered");
+    };
+    let id = std::str::from_utf8(body)
+        .ok()
+        .and_then(|t| Json::parse(t).ok())
+        .and_then(|v| v.get("id").and_then(Json::as_str).map(str::to_owned));
+    match id {
+        Some(id) => {
+            let removed = cluster.handle_leave(&id);
+            Response::json(200, &Json::obj([("removed", Json::Bool(removed))]))
+        }
+        None => Response::error(400, "body must be {\"id\": \"...\"}"),
+    }
+}
+
+/// `GET /peer/get/<keyhex>`: the stored entry wrapped in a verified
+/// peer frame, carrying this node's witness record for the key when an
+/// execution here minted one. Works unclustered too — the store is the
+/// store.
+fn handle_peer_get(service: &JobService, hex: &str) -> Response {
+    let Some(key) = crate::hash::ContentKey::from_hex(hex) else {
+        return Response::error(400, "bad content key");
+    };
+    match service.store.get(key) {
+        None => Response::error(404, "miss"),
+        Some(bytes) => {
+            let frame = st_fabric::Frame {
+                key: key.0,
+                payload: bytes,
+                witness: service.witness_for_key(key),
+            };
+            Response {
+                code: 200,
+                content_type: "application/octet-stream",
+                body: frame.encode(),
+            }
+        }
+    }
+}
+
+/// `POST /peer/put/<keyhex>`: store a replicated entry. Fail-closed —
+/// the frame must verify against the key in the path (key echo,
+/// payload checksum, witness consistency) before a byte is stored;
+/// failures count into the store's corrupt-discard ledger and answer
+/// 400 (ST-CLU-015).
+fn handle_peer_put(service: &JobService, hex: &str, body: &[u8]) -> Response {
+    let Some(key) = crate::hash::ContentKey::from_hex(hex) else {
+        return Response::error(400, "bad content key");
+    };
+    match crate::cluster::decode_verified(body, key) {
+        Ok(frame) => {
+            service.store.put(key, frame.payload);
+            Response::json(200, &Json::obj([("stored", Json::Bool(true))]))
+        }
+        Err(e) => {
+            service
+                .store
+                .stats
+                .corrupt_discards
+                .fetch_add(1, Ordering::Relaxed);
+            Response::error(400, &e)
+        }
+    }
+}
+
+/// `POST /peer/execute`: a forwarded job. Identical wire shape to
+/// `/submit`, but the job is pinned to this node — it will execute
+/// here, never be re-forwarded, which is what makes forwarding
+/// loop-free under transient ring disagreement.
+fn handle_peer_execute(service: &JobService, body: &[u8]) -> Response {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Response::error(400, "body must be UTF-8 JSON"),
+    };
+    let parsed = match Json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return Response::error(400, &format!("bad JSON: {e}")),
+    };
+    let request = match crate::job::JobRequest::from_json(&parsed) {
+        Ok(r) => r,
+        Err(e) => return Response::error(400, &e),
+    };
+    if let Err(e) = request.validate() {
+        return Response::error(400, &e);
+    }
+    let deadline = parsed
+        .get("deadline_ms")
+        .and_then(Json::as_u64)
+        .map(Duration::from_millis);
+    let (status, id) = match service.submit_peer(request, deadline) {
+        Submission::Cached(id) => ("cached", id),
+        Submission::Coalesced(id) => ("coalesced", id),
+        Submission::Queued(id) => ("queued", id),
+        Submission::QueueFull => return Response::error(503, "queue full, retry later"),
+    };
+    let key = service
+        .status(id)
+        .map(|(_, k, _)| k.to_hex())
+        .unwrap_or_default();
+    Response::json(
+        202,
+        &Json::obj([
+            ("status", Json::str(status)),
+            ("id", Json::UInt(id)),
+            ("key", Json::Str(key)),
         ]),
     )
 }

@@ -22,7 +22,10 @@
 //! * [`service`] — bounded queue, worker pool, coalescing, deadlines,
 //!   cancellation, metrics,
 //! * [`http`] — a std-only HTTP/1.1 front end (no tokio/hyper/serde:
-//!   offline builds stay dependency-free).
+//!   offline builds stay dependency-free),
+//! * [`cluster`] — the multi-node fabric over `st-fabric`'s pure
+//!   primitives: consistent-hash routing, replication, gossip
+//!   membership, and the fail-closed peer protocol.
 //!
 //! ## Example
 //!
@@ -42,6 +45,7 @@
 //! # }
 //! ```
 
+pub mod cluster;
 pub mod hash;
 pub mod http;
 pub mod job;
@@ -49,6 +53,7 @@ pub mod json;
 pub mod service;
 pub mod store;
 
+pub use cluster::{Cluster, ClusterConfig};
 pub use hash::ContentKey;
 pub use http::Server;
 pub use job::{run_sim_once, JobRequest, JobResult, Scenario};

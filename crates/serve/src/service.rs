@@ -138,6 +138,10 @@ struct JobEntry {
     /// `None` until `Done`, and forever for cached/coalesced
     /// registrations — only an actual execution bears witness.
     witness: Option<WitnessRecord>,
+    /// Set on jobs arriving via `/peer/execute`: this node must run
+    /// the job itself, never re-forward it — the loop-prevention
+    /// guarantee under transient ring disagreement.
+    local_only: bool,
 }
 
 #[derive(Default)]
@@ -185,6 +189,10 @@ pub struct JobService {
     wake: Condvar,
     /// The hashed witness log; every executed job appends one record.
     witness: Mutex<WitnessLog>,
+    /// The cluster layer, when this node is part of one. Attached
+    /// after the server binds (the cluster needs the bound address);
+    /// holds a `Weak` back-reference, so no cycle.
+    cluster: Mutex<Option<Arc<crate::cluster::Cluster>>>,
     config: ServiceConfig,
     shutdown: AtomicBool,
     started: Instant,
@@ -212,6 +220,7 @@ impl JobService {
             state: Mutex::new(QueueState::default()),
             wake: Condvar::new(),
             witness: Mutex::new(WitnessLog::new()),
+            cluster: Mutex::new(None),
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
@@ -236,9 +245,37 @@ impl JobService {
         &self.config
     }
 
+    /// Attaches the cluster layer. Call once, after the HTTP server
+    /// binds; workers route through it from then on.
+    pub fn attach_cluster(&self, cluster: Arc<crate::cluster::Cluster>) {
+        *self.cluster.lock().unwrap() = Some(cluster);
+    }
+
+    /// The attached cluster layer, if this node is part of one.
+    pub fn cluster(&self) -> Option<Arc<crate::cluster::Cluster>> {
+        self.cluster.lock().unwrap().clone()
+    }
+
     /// Submits a request. See [`Submission`] for the four outcomes.
     /// `deadline` is wall-clock time from *now*.
     pub fn submit(&self, request: JobRequest, deadline: Option<Duration>) -> Submission {
+        self.submit_with(request, deadline, false)
+    }
+
+    /// Submits a request on behalf of a peer (`/peer/execute`): the
+    /// job is pinned to this node — executed here, never re-forwarded,
+    /// so two nodes with momentarily different rings cannot bounce a
+    /// job between each other.
+    pub fn submit_peer(&self, request: JobRequest, deadline: Option<Duration>) -> Submission {
+        self.submit_with(request, deadline, true)
+    }
+
+    fn submit_with(
+        &self,
+        request: JobRequest,
+        deadline: Option<Duration>,
+        local_only: bool,
+    ) -> Submission {
         let key = ContentKey::of(&request.to_canonical_bytes());
         let mut st = self.state.lock().unwrap();
         // Coalesce before anything else: an in-flight twin means the
@@ -248,9 +285,10 @@ impl JobService {
             return Submission::Coalesced(id);
         }
         // A store hit needs no execution at all; register a terminal
-        // job so /status and /result answer uniformly by id.
+        // job so /status and /result answer uniformly by id. In a
+        // cluster this also serves replica-resident entries locally.
         if self.store.get(key).is_some() {
-            let id = Self::register(&mut st, key, request, JobStatus::Done, None);
+            let id = Self::register(&mut st, key, request, JobStatus::Done, None, local_only);
             self.stats.served_cached.fetch_add(1, Ordering::Relaxed);
             return Submission::Cached(id);
         }
@@ -259,7 +297,14 @@ impl JobService {
             return Submission::QueueFull;
         }
         let deadline = deadline.map(|d| Instant::now() + d);
-        let id = Self::register(&mut st, key, request, JobStatus::Queued, deadline);
+        let id = Self::register(
+            &mut st,
+            key,
+            request,
+            JobStatus::Queued,
+            deadline,
+            local_only,
+        );
         st.queue.push_back(id);
         st.inflight.insert(key, id);
         self.stats.submitted.fetch_add(1, Ordering::Relaxed);
@@ -274,6 +319,7 @@ impl JobService {
         request: JobRequest,
         status: JobStatus,
         deadline: Option<Instant>,
+        local_only: bool,
     ) -> JobId {
         let id = st.next_id;
         st.next_id += 1;
@@ -287,6 +333,7 @@ impl JobService {
                 deadline,
                 error: None,
                 witness: None,
+                local_only,
             },
         );
         id
@@ -304,6 +351,17 @@ impl JobService {
     pub fn witness(&self, id: JobId) -> Option<WitnessRecord> {
         let st = self.state.lock().unwrap();
         st.jobs.get(&id).and_then(|e| e.witness.clone())
+    }
+
+    /// The witness record of any completed execution of `key` on this
+    /// node, for attaching provenance to `/peer/get` frames. `None`
+    /// when every local registration of the key was a cache hit.
+    pub fn witness_for_key(&self, key: ContentKey) -> Option<WitnessRecord> {
+        let st = self.state.lock().unwrap();
+        st.jobs
+            .values()
+            .find(|e| e.key == key && e.witness.is_some())
+            .and_then(|e| e.witness.clone())
     }
 
     /// Snapshot of the witness log for `/conformance`: the chain head,
@@ -404,12 +462,31 @@ impl JobService {
     }
 
     fn run_job(&self, id: JobId) {
-        let (request, cancel, deadline, key) = {
+        let (request, cancel, deadline, key, local_only) = {
             let st = self.state.lock().unwrap();
             let e = &st.jobs[&id];
-            (Arc::clone(&e.request), e.cancel.clone(), e.deadline, e.key)
+            (
+                Arc::clone(&e.request),
+                e.cancel.clone(),
+                e.deadline,
+                e.key,
+                e.local_only,
+            )
         };
         let started = Instant::now();
+        // Cluster routing happens here, on the worker thread — the
+        // acceptor never blocks on a peer. Peer-submitted jobs are
+        // pinned local; everything else asks the ring who owns the key.
+        if !local_only {
+            if let Some(cluster) = self.cluster() {
+                if let Some(served) = cluster.try_remote(&request, key, &cancel, deadline) {
+                    self.finish_remote(id, key, served, started);
+                    return;
+                }
+                // None: we own the key, or every remote path failed
+                // (a steal) — fall through to local execution.
+            }
+        }
         // The deadline is enforced cooperatively: every completed
         // sub-job reports progress, and a report past the deadline
         // trips the job's own cancel token.
@@ -440,13 +517,18 @@ impl JobService {
                 drop(st); // store I/O outside the lock
                 let bytes = result.to_canonical_bytes();
                 let result_key = ContentKey::of(&bytes);
-                self.store.put(key, bytes);
+                self.store.put(key, bytes.clone());
                 // Mint the chained witness record: this execution is
                 // evidence for the request's conformance clauses.
                 let record = {
                     let mut log = self.witness.lock().unwrap();
                     log.append(&request.witnessed_ids(), key.0, result_key.0)
                 };
+                // Push the fresh entry to the key's ring successors;
+                // peers verify the frame fail-closed before storing.
+                if let Some(cluster) = self.cluster() {
+                    cluster.replicate(key, &bytes, Some(&record));
+                }
                 st = self.state.lock().unwrap();
                 if let Some(e) = st.jobs.get_mut(&id) {
                     e.status = JobStatus::Done;
@@ -472,6 +554,39 @@ impl JobService {
                 }
             }
         }
+        st.inflight.remove(&key);
+    }
+
+    /// Completes a job whose verified bytes came from a peer. When the
+    /// remote actually executed (its frame carried a witness record),
+    /// an equivalent record — same requirement IDs, same config and
+    /// result digests — is appended to *this* node's chained log, so
+    /// local `/conformance` tallies remote executions too; a plain
+    /// peer cache hit mints nothing, mirroring local cache hits.
+    fn finish_remote(
+        &self,
+        id: JobId,
+        key: ContentKey,
+        served: crate::cluster::ServedRemote,
+        started: Instant,
+    ) {
+        let result_key = ContentKey::of(&served.bytes);
+        self.store.put(key, served.bytes);
+        let record = served.witness_ids.map(|ids| {
+            let refs: Vec<&str> = ids.iter().map(String::as_str).collect();
+            let mut log = self.witness.lock().unwrap();
+            log.append(&refs, key.0, result_key.0)
+        });
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.jobs.get_mut(&id) {
+            e.status = JobStatus::Done;
+            e.witness = record;
+        }
+        if st.latencies_ms.len() >= LATENCY_WINDOW {
+            st.latencies_ms.remove(0);
+        }
+        st.latencies_ms.push(started.elapsed().as_millis() as u64);
+        self.stats.done.fetch_add(1, Ordering::Relaxed);
         st.inflight.remove(&key);
     }
 
@@ -512,7 +627,7 @@ impl JobService {
         } else {
             lanes as f64 / groups as f64
         };
-        format!(
+        let mut text = format!(
             "st_serve_queue_depth {}\n\
              st_serve_jobs_submitted_total {}\n\
              st_serve_jobs_done_total {done}\n\
@@ -544,12 +659,44 @@ impl JobService {
             r(&self.store.stats.evictions),
             r(&self.store.stats.corrupt_discards),
             done as f64 / elapsed,
-        )
+        );
+        // Cluster series appear only on clustered nodes, so the
+        // single-node exposition stays byte-stable.
+        if let Some(cluster) = self.cluster() {
+            let c = &cluster.stats;
+            text.push_str(&format!(
+                "st_serve_cluster_nodes {}\n\
+                 st_serve_cluster_epoch {}\n\
+                 st_serve_cluster_forwards_total {}\n\
+                 st_serve_cluster_peer_hits_total {}\n\
+                 st_serve_cluster_peer_misses_total {}\n\
+                 st_serve_cluster_steals_total {}\n\
+                 st_serve_cluster_replications_total {}\n\
+                 st_serve_cluster_handoffs_total {}\n\
+                 st_serve_cluster_gossip_rounds_total {}\n\
+                 st_serve_cluster_peer_failures_total {}\n",
+                cluster.ring().len(),
+                cluster.epoch(),
+                r(&c.forwards),
+                r(&c.peer_hits),
+                r(&c.peer_misses),
+                r(&c.steals),
+                r(&c.replications),
+                r(&c.handoffs),
+                r(&c.gossip_rounds),
+                r(&c.peer_failures),
+            ));
+        }
+        text
     }
 
-    /// Stops the worker pool. Running jobs are cancelled cooperatively;
-    /// queued jobs never start. Idempotent.
+    /// Stops the worker pool (and the cluster gossip thread, when
+    /// attached). Running jobs are cancelled cooperatively; queued
+    /// jobs never start. Idempotent.
     pub fn shutdown(&self) {
+        if let Some(cluster) = self.cluster.lock().unwrap().clone() {
+            cluster.stop_gossip();
+        }
         self.shutdown.store(true, Ordering::Release);
         {
             let st = self.state.lock().unwrap();

@@ -130,6 +130,14 @@ impl ResultStore {
         self.mem.lock().unwrap().len()
     }
 
+    /// The keys currently resident in memory — the working set a
+    /// departing cluster node hands off to the keys' new owners.
+    /// (Disk-resident entries are not enumerated: determinism makes
+    /// dropping them safe, the bytes recompute identically on demand.)
+    pub fn mem_keys(&self) -> Vec<ContentKey> {
+        self.mem.lock().unwrap().keys().copied().collect()
+    }
+
     fn insert_mem(&self, key: ContentKey, bytes: Vec<u8>) {
         let mut mem = self.mem.lock().unwrap();
         let last_used = self.tick();

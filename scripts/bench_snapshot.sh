@@ -7,7 +7,7 @@
 #   <n>          snapshot index (BENCH_<n>.json at the repo root)
 #   bench-name   optional criterion bench targets
 #                (default: gate_sim kernel system_sim chaos serve
-#                 campaign_batch campaign_fork)
+#                 campaign_batch campaign_fork cluster_serve)
 #
 # Bench guard — multi-thread campaign numbers: the chaos bench's
 # campaign_pingpong_{1,4}threads pair measures *host* parallelism, and
@@ -43,8 +43,10 @@ if [[ ${#benches[@]} -eq 0 ]]; then
     # the raw simulation benches; campaign_batch records the batched
     # lane-parallel campaign engine against its scalar baselines.
     # campaign_fork records the prefix-fork sweep against its straight
-    # baseline (the checkpoint/resume speedup).
-    benches=(gate_sim kernel system_sim chaos serve campaign_batch campaign_fork)
+    # baseline (the checkpoint/resume speedup). cluster_serve records
+    # the multi-node fabric's hit path against the single-node serve
+    # rows.
+    benches=(gate_sim kernel system_sim chaos serve campaign_batch campaign_fork cluster_serve)
 fi
 
 # Only results (re)written by THIS invocation land in the snapshot —
